@@ -1,0 +1,71 @@
+//! Micro-benchmarks for the statistical-max kernel — the operation the
+//! whole method leans on (every SSTA arrival and every NLP constraint
+//! evaluation calls it). Compares plain moments, moments + gradient,
+//! moments + Hessian, and the hyper-dual reference path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sgs_statmath::clark::{self, DEFAULT_EPS};
+use sgs_statmath::{mc, Normal};
+
+fn bench_clark(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clark_max");
+    let args = (5.0f64, 2.0f64, 4.5f64, 1.5f64);
+
+    g.bench_function("moments", |b| {
+        b.iter(|| {
+            clark::max(
+                Normal::from_mean_var(black_box(args.0), black_box(args.1)),
+                Normal::from_mean_var(black_box(args.2), black_box(args.3)),
+            )
+        })
+    });
+    g.bench_function("gradient", |b| {
+        b.iter(|| {
+            clark::max_grad(
+                black_box(args.0),
+                black_box(args.1),
+                black_box(args.2),
+                black_box(args.3),
+                DEFAULT_EPS,
+            )
+        })
+    });
+    g.bench_function("hessian_closed_form", |b| {
+        b.iter(|| {
+            clark::max_hess(
+                black_box(args.0),
+                black_box(args.1),
+                black_box(args.2),
+                black_box(args.3),
+                DEFAULT_EPS,
+            )
+        })
+    });
+    g.bench_function("hessian_hyper_dual", |b| {
+        b.iter(|| {
+            clark::max_hess_dual(
+                black_box(args.0),
+                black_box(args.1),
+                black_box(args.2),
+                black_box(args.3),
+                DEFAULT_EPS,
+            )
+        })
+    });
+    // The sampling alternative the paper rejects as too slow for repeated
+    // evaluation inside an optimiser (here at a modest 10k samples).
+    g.bench_function("monte_carlo_10k", |b| {
+        b.iter(|| {
+            mc::max_moments(
+                Normal::from_mean_var(args.0, args.1),
+                Normal::from_mean_var(args.2, args.3),
+                10_000,
+                42,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_clark);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Regenerates **Table 2** of the paper: objective/constraint sweeps on
+//! the 7-NAND tree circuit of Fig. 3.
+//!
+//! Rows: the (min area, min mu) range of the circuit, then for each pinned
+//! mean delay in {5.8, 6.5, 7.2} the minimum-area, minimum-sigma and
+//! maximum-sigma sizings. The default library is calibrated so the pinned
+//! values of the paper fall inside our tree's feasible delay range, so the
+//! paper's pins are used verbatim.
+//!
+//! Run with `cargo run -p sgs-bench --bin table2 --release`.
+
+use sgs_bench::{print_table, Row};
+use sgs_core::{DelaySpec, Objective, Sizer};
+use sgs_netlist::{generate, Library};
+
+fn main() {
+    let circuit = generate::tree7();
+    let lib = Library::paper_default();
+
+    let mut rows = Vec::new();
+    let run = |obj: Objective, spec: DelaySpec, label: (&str, String), paper| -> Row {
+        let r = Sizer::new(&circuit, &lib)
+            .objective(obj)
+            .delay_spec(spec)
+            .solve()
+            .expect("tree-circuit sizing converges");
+        Row {
+            minimize: label.0.to_string(),
+            constraint: label.1,
+            mu: r.delay.mean(),
+            sigma: r.delay.sigma(),
+            sum_s: r.area,
+            cpu: Some(r.seconds),
+            paper,
+        }
+    };
+
+    rows.push(run(
+        Objective::Area,
+        DelaySpec::None,
+        ("min sum S", String::new()),
+        Some((7.4, 0.811, 7.00)),
+    ));
+    rows.push(run(
+        Objective::MeanDelay,
+        DelaySpec::None,
+        ("min mu_Tmax", String::new()),
+        Some((5.4, 0.592, 21.00)),
+    ));
+
+    let paper_rows: [(f64, [(f64, f64); 3]); 3] = [
+        // pinned mu -> paper (sigma, sum S) for (min area, min sigma, max sigma)
+        (5.8, [(0.631, 14.73), (0.622, 15.66), (0.667, 19.22)]),
+        (6.5, [(0.704, 9.54), (0.689, 10.20), (0.831, 15.51)]),
+        (7.2, [(0.786, 7.21), (0.689, 7.25), (0.817, 9.08)]),
+    ];
+    for (pin, paper) in paper_rows {
+        let objs = [
+            ("min sum S", Objective::Area),
+            ("min sigma_Tmax", Objective::Sigma),
+            ("max sigma_Tmax", Objective::NegSigma),
+        ];
+        for ((label, obj), (p_sigma, p_area)) in objs.into_iter().zip(paper) {
+            rows.push(run(
+                obj,
+                DelaySpec::ExactMean(pin),
+                (label, format!("mu_Tmax = {pin}")),
+                Some((pin, p_sigma, p_area)),
+            ));
+        }
+    }
+
+    print_table("Table 2: results for the tree circuit (paper Fig. 3)", &rows);
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Table 3** of the paper: the per-gate speed factors
+//! `S_A..S_G` of the tree circuit for the three `mu_Tmax = 6.5`
+//! experiments of Table 2 (min area, min sigma, max sigma).
+//!
+//! The paper's qualitative observations to reproduce: symmetric gates get
+//! identical factors (groups {A, B, D, E} and {C, F}), speed factors grow
+//! toward the output, min-sigma exaggerates that pattern (leaves at the
+//! lower bound, output gate at the limit), and max-sigma deliberately
+//! unbalances the two branches.
+//!
+//! Run with `cargo run -p sgs-bench --bin table3 --release`.
+
+use sgs_core::{DelaySpec, Objective, Sizer};
+use sgs_netlist::{generate, Library};
+
+fn main() {
+    let circuit = generate::tree7();
+    let lib = Library::paper_default();
+    let pin = 6.5;
+
+    println!("\n## Table 3: speed factors for the tree circuit at mu_Tmax = {pin}\n");
+    println!(
+        "{:<16} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "objective", "S_A", "S_B", "S_C", "S_D", "S_E", "S_F", "S_G"
+    );
+    println!("{}", "-".repeat(66));
+
+    let paper: [(&str, [f64; 7]); 3] = [
+        ("min sum S", [1.22, 1.22, 1.45, 1.22, 1.22, 1.45, 1.74]),
+        ("min sigma", [1.00, 1.00, 2.01, 1.00, 1.00, 2.01, 3.00]),
+        ("max sigma", [3.00, 1.00, 1.00, 3.00, 3.00, 3.00, 1.51]),
+    ];
+    let objs = [Objective::Area, Objective::Sigma, Objective::NegSigma];
+
+    for ((label, paper_s), obj) in paper.into_iter().zip(objs) {
+        let r = Sizer::new(&circuit, &lib)
+            .objective(obj)
+            .delay_spec(DelaySpec::ExactMean(pin))
+            .solve()
+            .expect("tree-circuit sizing converges");
+        print!("{label:<16}");
+        for si in &r.s {
+            print!(" {si:>6.2}");
+        }
+        println!();
+        print!("{:<16}", "  (paper)");
+        for si in &paper_s {
+            print!(" {si:>6.2}");
+        }
+        println!();
+    }
+    println!("\nGate order A..G as in the paper's Fig. 3: {{A,B}} -> C, {{D,E}} -> F, {{C,F}} -> G.");
+}

@@ -1,0 +1,67 @@
+//! Shared helpers for the table-regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table of the DATE 2000
+//! paper (see `DESIGN.md` for the experiment index); this crate holds the
+//! row model and formatting they share.
+
+/// One row of a paper-style results table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Objective column ("min sum S", "min mu", ...).
+    pub minimize: String,
+    /// Constraint column (may be empty).
+    pub constraint: String,
+    /// `mu_Tmax` at the solution.
+    pub mu: f64,
+    /// `sigma_Tmax` at the solution.
+    pub sigma: f64,
+    /// Area `sum S_i` at the solution.
+    pub sum_s: f64,
+    /// Solver wall-clock seconds (`None` for closed-form rows).
+    pub cpu: Option<f64>,
+    /// The paper's reported `(mu, sigma, sum S)` for this row, if any.
+    pub paper: Option<(f64, f64, f64)>,
+}
+
+/// Prints a table of rows with a paper-comparison block.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n## {title}\n");
+    println!(
+        "{:<28} {:<32} {:>8} {:>8} {:>8} {:>9} | {:>8} {:>8} {:>8}",
+        "minimize", "constraint", "mu", "sigma", "sum S", "CPU [s]", "mu*", "sigma*", "sum S*"
+    );
+    println!("{}", "-".repeat(130));
+    for r in rows {
+        let cpu = r.cpu.map_or(String::from("-"), |s| format!("{s:.2}"));
+        let (pm, ps, pa) = r
+            .paper
+            .map(|(a, b, c)| (format!("{a:.2}"), format!("{b:.3}"), format!("{c:.2}")))
+            .unwrap_or_else(|| ("-".into(), "-".into(), "-".into()));
+        println!(
+            "{:<28} {:<32} {:>8.2} {:>8.3} {:>8.2} {:>9} | {:>8} {:>8} {:>8}",
+            r.minimize, r.constraint, r.mu, r.sigma, r.sum_s, cpu, pm, ps, pa
+        );
+    }
+    println!("\n(*) columns: values reported in the paper (their library/hosts; shapes, not absolutes, are comparable)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_does_not_panic() {
+        print_table(
+            "t",
+            &[Row {
+                minimize: "min mu".into(),
+                constraint: String::new(),
+                mu: 1.0,
+                sigma: 0.1,
+                sum_s: 7.0,
+                cpu: Some(0.5),
+                paper: Some((1.1, 0.12, 7.0)),
+            }],
+        );
+    }
+}

@@ -1,0 +1,348 @@
+//! Discrete sizing: snapping the continuous NLP solution to a cell grid.
+//!
+//! The paper (like its LP predecessor) solves a *continuous* sizing
+//! problem; real libraries offer discrete drive strengths (X1, X1.4, X2,
+//! X2.8, ...). This module post-processes a continuous solution:
+//!
+//! 1. snap every speed factor to the nearest grid point,
+//! 2. **repair**: while the delay spec is violated, upsize the gate with
+//!    the best violation reduction per area increment,
+//! 3. **recover**: try downsizing gates one grid step wherever the spec
+//!    stays satisfied, largest area saving first.
+//!
+//! The result is guaranteed feasible when repair succeeds, and the tests
+//! bound its area against the continuous optimum (the usual measure of
+//! discretisation loss).
+
+use crate::spec::DelaySpec;
+use sgs_netlist::{Circuit, Library};
+use sgs_ssta::ssta;
+
+/// A discrete size grid (sorted ascending, within `[1, s_limit]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeGrid {
+    points: Vec<f64>,
+}
+
+impl SizeGrid {
+    /// Builds a grid from explicit points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points are empty, unsorted, or below 1.
+    pub fn new(points: Vec<f64>) -> Self {
+        assert!(!points.is_empty(), "grid needs at least one point");
+        assert!(points.windows(2).all(|w| w[0] < w[1]), "grid must be sorted");
+        assert!(points[0] >= 1.0, "grid points must be >= 1");
+        SizeGrid { points }
+    }
+
+    /// The classic geometric drive-strength ladder `1, r, r^2, ...` capped
+    /// at `limit` (e.g. `r = sqrt 2` gives X1/X1.4/X2/X2.8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio <= 1` or `limit < 1`.
+    pub fn geometric(ratio: f64, limit: f64) -> Self {
+        assert!(ratio > 1.0, "ratio must exceed 1");
+        assert!(limit >= 1.0, "limit must be >= 1");
+        let mut points = vec![1.0];
+        loop {
+            let next = points.last().expect("nonempty") * ratio;
+            if next > limit * (1.0 + 1e-12) {
+                break;
+            }
+            points.push(next.min(limit));
+        }
+        if *points.last().expect("nonempty") < limit - 1e-12 {
+            points.push(limit);
+        }
+        SizeGrid { points }
+    }
+
+    /// The grid points.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Nearest grid point to `s`.
+    pub fn snap(&self, s: f64) -> f64 {
+        *self
+            .points
+            .iter()
+            .min_by(|a, b| (*a - s).abs().total_cmp(&(*b - s).abs()))
+            .expect("nonempty grid")
+    }
+
+    fn index_of(&self, s: f64) -> usize {
+        self.points
+            .iter()
+            .position(|&p| (p - s).abs() < 1e-12)
+            .expect("value is a grid point")
+    }
+
+    fn up(&self, s: f64) -> Option<f64> {
+        let i = self.index_of(s);
+        self.points.get(i + 1).copied()
+    }
+
+    fn down(&self, s: f64) -> Option<f64> {
+        let i = self.index_of(s);
+        i.checked_sub(1).map(|j| self.points[j])
+    }
+}
+
+/// Result of [`discretize`].
+#[derive(Debug, Clone)]
+pub struct DiscreteResult {
+    /// Snapped (and repaired) speed factors; every entry is a grid point.
+    pub s: Vec<f64>,
+    /// Whether the delay spec holds at the result.
+    pub feasible: bool,
+    /// Area at the result.
+    pub area: f64,
+    /// Upsizing moves spent in repair.
+    pub repair_moves: usize,
+    /// Downsizing moves recovered.
+    pub recovered_moves: usize,
+}
+
+fn violation(circuit: &Circuit, lib: &Library, s: &[f64], spec: &DelaySpec) -> f64 {
+    let report = ssta(circuit, lib, s);
+    let mu = report.delay.mean();
+    let sigma = report.delay.sigma();
+    match spec {
+        DelaySpec::None => 0.0,
+        DelaySpec::MaxMean(d) => (mu - d).max(0.0),
+        DelaySpec::MaxMeanPlusKSigma { k, d } => (mu + k * sigma - d).max(0.0),
+        // An exact pin cannot be held on a grid; treat it as an upper
+        // bound for discretisation purposes.
+        DelaySpec::ExactMean(d) => (mu - d).max(0.0),
+        DelaySpec::PerOutput { k, d } => circuit
+            .outputs()
+            .iter()
+            .zip(d)
+            .map(|(&o, &d_o)| {
+                let a = report.arrivals[o.index()];
+                (a.mean() + k * a.sigma() - d_o).max(0.0)
+            })
+            .fold(0.0, f64::max),
+    }
+}
+
+/// Discretises a continuous sizing onto `grid`, repairing and recovering
+/// against `spec`.
+///
+/// # Panics
+///
+/// Panics if `s_cont.len() != circuit.num_gates()`.
+pub fn discretize(
+    circuit: &Circuit,
+    lib: &Library,
+    spec: &DelaySpec,
+    s_cont: &[f64],
+    grid: &SizeGrid,
+) -> DiscreteResult {
+    let n = circuit.num_gates();
+    assert_eq!(s_cont.len(), n, "one speed factor per gate");
+    let mut s: Vec<f64> = s_cont.iter().map(|&v| grid.snap(v)).collect();
+
+    // Without a delay spec there is nothing to repair against and the
+    // recovery pass would simply drain every gate to minimum size (losing
+    // whatever objective produced `s_cont`): plain snapping is the right
+    // semantics.
+    if matches!(spec, DelaySpec::None) {
+        return DiscreteResult {
+            feasible: true,
+            area: s.iter().sum(),
+            s,
+            repair_moves: 0,
+            recovered_moves: 0,
+        };
+    }
+
+    // Repair: greedy upsizing until feasible.
+    let mut repair_moves = 0usize;
+    let mut viol = violation(circuit, lib, &s, spec);
+    while viol > 1e-9 && repair_moves < 20 * n {
+        let mut best: Option<(usize, f64, f64)> = None; // (gate, new_s, score)
+        for g in 0..n {
+            let Some(up) = grid.up(s[g]) else { continue };
+            let old = s[g];
+            s[g] = up;
+            let v = violation(circuit, lib, &s, spec);
+            s[g] = old;
+            let gain = viol - v;
+            if gain > 1e-12 {
+                let score = gain / (up - old);
+                if best.is_none_or(|(_, _, bs)| score > bs) {
+                    best = Some((g, up, score));
+                }
+            }
+        }
+        match best {
+            Some((g, up, _)) => {
+                s[g] = up;
+                viol = violation(circuit, lib, &s, spec);
+                repair_moves += 1;
+            }
+            None => break,
+        }
+    }
+
+    // Recover: downsizing passes while the spec holds.
+    let mut recovered_moves = 0usize;
+    if viol <= 1e-9 {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Largest area first.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| s[b].total_cmp(&s[a]));
+            for g in order {
+                let Some(down) = grid.down(s[g]) else { continue };
+                let old = s[g];
+                s[g] = down;
+                if violation(circuit, lib, &s, spec) <= 1e-9 {
+                    recovered_moves += 1;
+                    changed = true;
+                } else {
+                    s[g] = old;
+                }
+            }
+        }
+        viol = violation(circuit, lib, &s, spec);
+    }
+
+    DiscreteResult {
+        feasible: viol <= 1e-9,
+        area: s.iter().sum(),
+        s,
+        repair_moves,
+        recovered_moves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Objective, Sizer};
+    use sgs_netlist::generate;
+
+    fn lib() -> Library {
+        Library::paper_default()
+    }
+
+    #[test]
+    fn geometric_grid_shape() {
+        let g = SizeGrid::geometric(std::f64::consts::SQRT_2, 3.0);
+        assert_eq!(g.points().first(), Some(&1.0));
+        assert_eq!(g.points().last(), Some(&3.0));
+        assert!(g.points().len() >= 4);
+        assert!((g.snap(1.45) - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(g.snap(0.9), 1.0);
+        assert_eq!(g.snap(10.0), 3.0);
+    }
+
+    #[test]
+    fn snapped_solution_is_on_grid_and_feasible() {
+        let circuit = generate::tree7();
+        let l = lib();
+        let d = 6.3;
+        let spec = DelaySpec::MaxMean(d);
+        let cont = Sizer::new(&circuit, &l)
+            .objective(Objective::Area)
+            .delay_spec(spec.clone())
+            .solve()
+            .expect("sizes");
+        let grid = SizeGrid::geometric(std::f64::consts::SQRT_2, 3.0);
+        let disc = discretize(&circuit, &l, &spec, &cont.s, &grid);
+        assert!(disc.feasible, "{disc:?}");
+        for &si in &disc.s {
+            assert!(grid.points().iter().any(|&p| (p - si).abs() < 1e-12), "S {si} off grid");
+        }
+        // Discretisation loss bounded: within one grid ratio of continuous.
+        assert!(
+            disc.area <= cont.area * std::f64::consts::SQRT_2 + 1e-9,
+            "area {} vs continuous {}",
+            disc.area,
+            cont.area
+        );
+        let check = ssta(&circuit, &l, &disc.s);
+        assert!(check.delay.mean() <= d + 1e-6);
+    }
+
+    #[test]
+    fn repair_fixes_infeasible_snap() {
+        // A tight deadline where naive rounding lands infeasible forces
+        // the repair loop to act.
+        let circuit = generate::ripple_carry_adder(4);
+        let l = lib();
+        let fast = Sizer::new(&circuit, &l)
+            .objective(Objective::MeanDelay)
+            .solve()
+            .expect("sizes");
+        let d = fast.delay.mean() * 1.05;
+        let spec = DelaySpec::MaxMean(d);
+        let cont = Sizer::new(&circuit, &l)
+            .objective(Objective::Area)
+            .delay_spec(spec.clone())
+            .solve()
+            .expect("sizes");
+        // Coarse grid: rounding error is large.
+        let grid = SizeGrid::new(vec![1.0, 2.0, 3.0]);
+        let disc = discretize(&circuit, &l, &spec, &cont.s, &grid);
+        assert!(disc.feasible, "{disc:?}");
+    }
+
+    #[test]
+    fn finer_grids_cost_less_area() {
+        let circuit = generate::tree7();
+        let l = lib();
+        let spec = DelaySpec::MaxMean(6.2);
+        let cont = Sizer::new(&circuit, &l)
+            .objective(Objective::Area)
+            .delay_spec(spec.clone())
+            .solve()
+            .expect("sizes");
+        let coarse = discretize(
+            &circuit,
+            &l,
+            &spec,
+            &cont.s,
+            &SizeGrid::new(vec![1.0, 2.0, 3.0]),
+        );
+        let fine = discretize(
+            &circuit,
+            &l,
+            &spec,
+            &cont.s,
+            &SizeGrid::geometric(2.0f64.powf(0.25), 3.0),
+        );
+        assert!(coarse.feasible && fine.feasible);
+        assert!(
+            fine.area <= coarse.area + 1e-9,
+            "fine {} vs coarse {}",
+            fine.area,
+            coarse.area
+        );
+        assert!(fine.area >= cont.area - 1e-9);
+    }
+
+    #[test]
+    fn unconstrained_spec_just_snaps() {
+        let circuit = generate::fig2();
+        let l = lib();
+        let grid = SizeGrid::new(vec![1.0, 1.5, 2.0, 3.0]);
+        let disc = discretize(&circuit, &l, &DelaySpec::None, &[1.2, 1.6, 2.4, 2.9], &grid);
+        assert!(disc.feasible);
+        assert_eq!(disc.s, vec![1.0, 1.5, 2.0, 3.0]);
+        assert_eq!(disc.repair_moves, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid must be sorted")]
+    fn unsorted_grid_rejected() {
+        let _ = SizeGrid::new(vec![2.0, 1.0]);
+    }
+}

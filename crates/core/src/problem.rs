@@ -1,0 +1,971 @@
+//! Assembly of the paper's sizing NLP (Eq. 17/18) from a circuit.
+//!
+//! Variable set (per gate, in the paper's notation): speed factor
+//! `S_cell`, gate-delay moments `mu_t` and `var_t = sigma_t^2`, arrival
+//! moments `mu_T` and `var_T`, plus one `(mu_U, var_U)` pair per internal
+//! node of every fan-in max tree (the paper's repeated two-operand max,
+//! Eq. 18b), one `(mu_Tmax, var_Tmax)` chain over the primary outputs, and
+//! a slack variable when a `<=` delay constraint is present.
+//!
+//! Constraint set (all equalities, as LANCELOT's formulation requires):
+//!
+//! ```text
+//! mu_t S  = t_int S + c (C_load + sum_j C_in,j S_j)     (Eq. 15/18d)
+//! var_t   = (kappa mu_t)^2                              (Eq. 16/18e)
+//! mu_U    = max_mu (op_a, op_b)                         (Eq. 18b)
+//! var_U   = max_var(op_a, op_b)
+//! mu_T    = mu_U + mu_t                                 (Eq. 18c)
+//! var_T   = var_U + var_t
+//! mu_Tmax [+ k sigma_Tmax] [+ slack] = D                (optional)
+//! 1 <= S <= limit                                       (Eq. 18f)
+//! ```
+//!
+//! Primary-input arrivals are constants, so max operands that are entirely
+//! constant fold at build time. Every constraint has hand-coded exact
+//! first and second derivatives; the stochastic-max blocks come from
+//! [`sgs_statmath::clark::max_hess`].
+
+use crate::spec::{DelaySpec, Objective};
+use sgs_netlist::{Circuit, Library, Signal};
+use sgs_nlp::NlpProblem;
+use sgs_ssta::DelayModel;
+use sgs_statmath::clark::{self, ClarkGrad, ClarkHess};
+
+const INF: f64 = f64::INFINITY;
+/// Lower bound applied to variance variables (keeps `sqrt` smooth).
+const VAR_LB: f64 = 1e-12;
+/// Floor inside `sqrt` when evaluating sigma terms.
+const SQRT_FLOOR: f64 = 1e-12;
+
+/// A stochastic-max operand: a constant (folded primary-input arrival) or
+/// a pair of problem variables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Operand {
+    Const { mu: f64, var: f64 },
+    Vars { mu: usize, var: usize },
+}
+
+impl Operand {
+    fn mu(&self, x: &[f64]) -> f64 {
+        match *self {
+            Operand::Const { mu, .. } => mu,
+            Operand::Vars { mu, .. } => x[mu],
+        }
+    }
+    fn var(&self, x: &[f64]) -> f64 {
+        match *self {
+            Operand::Const { var, .. } => var,
+            Operand::Vars { var, .. } => x[var],
+        }
+    }
+    /// Variable index per Clark slot (0 = mu_a, 1 = var_a, ...), `None`
+    /// for constant slots.
+    fn slot_var(&self, slot_in_pair: usize) -> Option<usize> {
+        match (*self, slot_in_pair) {
+            (Operand::Vars { mu, .. }, 0) => Some(mu),
+            (Operand::Vars { var, .. }, 1) => Some(var),
+            _ => None,
+        }
+    }
+}
+
+/// A scalar that is either a variable or a constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Term {
+    Var(usize),
+    Const(f64),
+}
+
+impl Term {
+    fn value(&self, x: &[f64]) -> f64 {
+        match *self {
+            Term::Var(i) => x[i],
+            Term::Const(c) => c,
+        }
+    }
+}
+
+/// One equality constraint of the formulation. The first field of each
+/// variant is the variable the constraint *defines* given its
+/// predecessors, which is what makes [`SizingProblem::initial_point`] able
+/// to construct an exactly feasible start by a single forward sweep.
+#[derive(Debug, Clone)]
+enum Con {
+    /// `mu_t S - t_int S - load0 - sum coef_j S_j = 0`.
+    Delay {
+        imt: usize,
+        is: usize,
+        t_int: f64,
+        load0: f64,
+        fanout: Vec<(usize, f64)>,
+    },
+    /// `var_t - kappa2 mu_t^2 = 0`.
+    VarT { ivt: usize, imt: usize, kappa2: f64 },
+    /// `out - max_mu(a, b) = 0`.
+    MaxMu { out: usize, a: Operand, b: Operand },
+    /// `out - max_var(a, b) = 0`.
+    MaxVar { out: usize, a: Operand, b: Operand },
+    /// `mu_T - u - mu_t = 0`.
+    ArrMu { im_arr: usize, u: Term, imt: usize },
+    /// `var_T - u - var_t = 0`.
+    ArrVar { iv_arr: usize, u: Term, ivt: usize },
+    /// `mu + k sqrt(var) + slack - d = 0` (slack absent for `=` pins).
+    DelayCap {
+        imu: usize,
+        iv: Option<usize>,
+        k: f64,
+        slack: Option<usize>,
+        d: f64,
+    },
+}
+
+/// The assembled sizing NLP. Implements [`NlpProblem`] with exact sparse
+/// derivatives; see the module docs for the formulation.
+#[derive(Debug, Clone)]
+pub struct SizingProblem {
+    num_vars: usize,
+    cons: Vec<Con>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    objective: Objective,
+    idx_s: Vec<usize>,
+    i_mu_tmax: usize,
+    i_v_tmax: usize,
+    eps: f64,
+    num_gates: usize,
+}
+
+impl SizingProblem {
+    /// Builds the formulation for `circuit` under `lib` with the given
+    /// objective and delay constraint, with all primary inputs arriving at
+    /// exactly time 0 (the paper's setting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a weighted-area objective has the wrong number of weights
+    /// or the circuit fails validation.
+    pub fn build(
+        circuit: &Circuit,
+        lib: &Library,
+        objective: Objective,
+        delay_spec: DelaySpec,
+    ) -> Self {
+        Self::build_with_arrivals(circuit, lib, objective, delay_spec, None)
+    }
+
+    /// [`SizingProblem::build`] with explicit primary-input arrival
+    /// distributions — e.g. uncertain upstream-block or wire delays, which
+    /// the statistical model exists to express. Arrivals enter the max
+    /// trees as constants (they do not depend on the sizing variables), so
+    /// the formulation size is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Additionally panics if the arrival slice length differs from the
+    /// input count.
+    pub fn build_with_arrivals(
+        circuit: &Circuit,
+        lib: &Library,
+        objective: Objective,
+        delay_spec: DelaySpec,
+        input_arrivals: Option<&[sgs_statmath::Normal]>,
+    ) -> Self {
+        circuit.validate().expect("circuit must be valid");
+        if let Some(ia) = input_arrivals {
+            assert_eq!(
+                ia.len(),
+                circuit.num_inputs(),
+                "one arrival distribution per primary input"
+            );
+        }
+        if let Objective::WeightedArea(w) = &objective {
+            assert_eq!(
+                w.len(),
+                circuit.num_gates(),
+                "weighted-area objective needs one weight per gate"
+            );
+        }
+        let n = circuit.num_gates();
+        let model = DelayModel::new(circuit, lib);
+        let kappa2 = lib.sigma_factor * lib.sigma_factor;
+
+        // --- variable layout -------------------------------------------
+        let mut lower = Vec::new();
+        let mut upper = Vec::new();
+        let push_var = |lo: f64, hi: f64, lower: &mut Vec<f64>, upper: &mut Vec<f64>| {
+            lower.push(lo);
+            upper.push(hi);
+            lower.len() - 1
+        };
+        let mut idx_s = Vec::with_capacity(n);
+        let mut idx_mt = Vec::with_capacity(n);
+        let mut idx_vt = Vec::with_capacity(n);
+        let mut idx_m_arr = Vec::with_capacity(n);
+        let mut idx_v_arr = Vec::with_capacity(n);
+        for _ in 0..n {
+            idx_s.push(push_var(1.0, lib.s_limit, &mut lower, &mut upper));
+            idx_mt.push(push_var(0.0, INF, &mut lower, &mut upper));
+            idx_vt.push(push_var(VAR_LB, INF, &mut lower, &mut upper));
+            idx_m_arr.push(push_var(0.0, INF, &mut lower, &mut upper));
+            idx_v_arr.push(push_var(VAR_LB, INF, &mut lower, &mut upper));
+        }
+
+        // --- constraints, gate by gate in topological order -------------
+        let mut cons: Vec<Con> = Vec::new();
+        let eps = clark::DEFAULT_EPS;
+        for (id, gate) in circuit.gates() {
+            let g = id.index();
+            let fanout: Vec<(usize, f64)> = model
+                .fanouts(id)
+                .iter()
+                .map(|&j| (idx_s[j.index()], model.c() * model.c_in(j)))
+                .collect();
+            cons.push(Con::Delay {
+                imt: idx_mt[g],
+                is: idx_s[g],
+                t_int: model.t_int(id),
+                load0: model.c() * model.static_load(id),
+                fanout,
+            });
+            cons.push(Con::VarT { ivt: idx_vt[g], imt: idx_mt[g], kappa2 });
+
+            // Fold the fan-in max tree.
+            let operands: Vec<Operand> = gate
+                .inputs
+                .iter()
+                .map(|&sig| match sig {
+                    Signal::Pi(p) => input_arrivals.map_or(
+                        Operand::Const { mu: 0.0, var: 0.0 },
+                        |ia| Operand::Const { mu: ia[p].mean(), var: ia[p].var() },
+                    ),
+                    Signal::Gate(src) => Operand::Vars {
+                        mu: idx_m_arr[src.index()],
+                        var: idx_v_arr[src.index()],
+                    },
+                })
+                .collect();
+            let u = fold_max(&operands, eps, &mut lower, &mut upper, &mut cons);
+
+            let (u_mu, u_var) = match u {
+                Operand::Const { mu, var } => (Term::Const(mu), Term::Const(var)),
+                Operand::Vars { mu, var } => (Term::Var(mu), Term::Var(var)),
+            };
+            cons.push(Con::ArrMu { im_arr: idx_m_arr[g], u: u_mu, imt: idx_mt[g] });
+            cons.push(Con::ArrVar { iv_arr: idx_v_arr[g], u: u_var, ivt: idx_vt[g] });
+        }
+
+        // --- circuit-output max chain ------------------------------------
+        let out_ops: Vec<Operand> = circuit
+            .outputs()
+            .iter()
+            .map(|&o| Operand::Vars {
+                mu: idx_m_arr[o.index()],
+                var: idx_v_arr[o.index()],
+            })
+            .collect();
+        let tmax = fold_max(&out_ops, eps, &mut lower, &mut upper, &mut cons);
+        let (i_mu_tmax, i_v_tmax) = match tmax {
+            Operand::Vars { mu, var } => (mu, var),
+            Operand::Const { .. } => unreachable!("outputs are always variables"),
+        };
+
+        // --- optional delay constraint -----------------------------------
+        match delay_spec {
+            DelaySpec::None => {}
+            DelaySpec::MaxMean(d) => {
+                let slack = push_var(0.0, INF, &mut lower, &mut upper);
+                cons.push(Con::DelayCap {
+                    imu: i_mu_tmax,
+                    iv: None,
+                    k: 0.0,
+                    slack: Some(slack),
+                    d,
+                });
+            }
+            DelaySpec::MaxMeanPlusKSigma { k, d } => {
+                let slack = push_var(0.0, INF, &mut lower, &mut upper);
+                cons.push(Con::DelayCap {
+                    imu: i_mu_tmax,
+                    iv: Some(i_v_tmax),
+                    k,
+                    slack: Some(slack),
+                    d,
+                });
+            }
+            DelaySpec::ExactMean(d) => {
+                cons.push(Con::DelayCap {
+                    imu: i_mu_tmax,
+                    iv: None,
+                    k: 0.0,
+                    slack: None,
+                    d,
+                });
+            }
+            DelaySpec::PerOutput { k, d } => {
+                assert_eq!(
+                    d.len(),
+                    circuit.outputs().len(),
+                    "one deadline per primary output"
+                );
+                for (&o, &d_o) in circuit.outputs().iter().zip(&d) {
+                    let slack = push_var(0.0, INF, &mut lower, &mut upper);
+                    cons.push(Con::DelayCap {
+                        imu: idx_m_arr[o.index()],
+                        iv: if k != 0.0 { Some(idx_v_arr[o.index()]) } else { None },
+                        k,
+                        slack: Some(slack),
+                        d: d_o,
+                    });
+                }
+            }
+        }
+
+        SizingProblem {
+            num_vars: lower.len(),
+            cons,
+            lower,
+            upper,
+            objective,
+            idx_s,
+            i_mu_tmax,
+            i_v_tmax,
+            eps,
+            num_gates: n,
+        }
+    }
+
+    /// Variable index of gate `g`'s speed factor.
+    pub fn s_index(&self, g: usize) -> usize {
+        self.idx_s[g]
+    }
+
+    /// Variable index of `mu_Tmax`.
+    pub fn mu_tmax_index(&self) -> usize {
+        self.i_mu_tmax
+    }
+
+    /// Variable index of `var_Tmax`.
+    pub fn var_tmax_index(&self) -> usize {
+        self.i_v_tmax
+    }
+
+    /// Number of gates in the underlying circuit.
+    pub fn num_gates(&self) -> usize {
+        self.num_gates
+    }
+
+    /// Extracts the speed factors from a solution vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the variable count.
+    pub fn extract_s(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.num_vars);
+        self.idx_s.iter().map(|&i| x[i]).collect()
+    }
+
+    /// Builds an exactly feasible starting point from speed factors `s0`
+    /// by sweeping the constraints in their defining order (every equality
+    /// except a `<=` cap whose slack saturates holds to rounding error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s0.len()` differs from the gate count.
+    pub fn initial_point(&self, s0: &[f64]) -> Vec<f64> {
+        assert_eq!(s0.len(), self.num_gates, "one speed factor per gate");
+        let mut x = vec![0.0; self.num_vars];
+        for (g, &i) in self.idx_s.iter().enumerate() {
+            x[i] = s0[g].max(self.lower[i]).min(self.upper[i]);
+        }
+        for con in &self.cons {
+            match con {
+                Con::Delay { imt, is, t_int, load0, fanout } => {
+                    let mut load = *load0;
+                    for &(j, coef) in fanout {
+                        load += coef * x[j];
+                    }
+                    x[*imt] = t_int + load / x[*is];
+                }
+                Con::VarT { ivt, imt, kappa2 } => {
+                    x[*ivt] = kappa2 * x[*imt] * x[*imt];
+                }
+                Con::MaxMu { out, a, b } => {
+                    let g = clark::max_grad(a.mu(&x), a.var(&x), b.mu(&x), b.var(&x), self.eps);
+                    x[*out] = g.mu;
+                }
+                Con::MaxVar { out, a, b } => {
+                    let g = clark::max_grad(a.mu(&x), a.var(&x), b.mu(&x), b.var(&x), self.eps);
+                    x[*out] = g.var.max(VAR_LB);
+                }
+                Con::ArrMu { im_arr, u, imt } => {
+                    x[*im_arr] = u.value(&x) + x[*imt];
+                }
+                Con::ArrVar { iv_arr, u, ivt } => {
+                    x[*iv_arr] = u.value(&x) + x[*ivt];
+                }
+                Con::DelayCap { imu, iv, k, slack, d } => {
+                    if let Some(sl) = slack {
+                        let sigma = iv.map_or(0.0, |i| x[i].max(SQRT_FLOOR).sqrt());
+                        x[*sl] = (d - (x[*imu] + k * sigma)).max(0.0);
+                    }
+                }
+            }
+        }
+        x
+    }
+
+    fn sigma_tmax(&self, x: &[f64]) -> f64 {
+        x[self.i_v_tmax].max(SQRT_FLOOR).sqrt()
+    }
+}
+
+/// Folds a list of operands with repeated two-operand stochastic maxima,
+/// folding constants eagerly and materialising `(mu_U, var_U)` variables
+/// plus their defining constraints for every non-constant node.
+fn fold_max(
+    operands: &[Operand],
+    eps: f64,
+    lower: &mut Vec<f64>,
+    upper: &mut Vec<f64>,
+    cons: &mut Vec<Con>,
+) -> Operand {
+    assert!(!operands.is_empty(), "max needs at least one operand");
+    let mut acc = operands[0];
+    for &op in &operands[1..] {
+        if let (Operand::Const { mu: ma, var: va }, Operand::Const { mu: mb, var: vb }) = (acc, op)
+        {
+            let g = clark::max_grad(ma, va, mb, vb, eps);
+            acc = Operand::Const { mu: g.mu, var: g.var };
+            continue;
+        }
+        lower.push(0.0);
+        upper.push(INF);
+        let imu = lower.len() - 1;
+        lower.push(VAR_LB);
+        upper.push(INF);
+        let ivar = lower.len() - 1;
+        cons.push(Con::MaxMu { out: imu, a: acc, b: op });
+        cons.push(Con::MaxVar { out: ivar, a: acc, b: op });
+        acc = Operand::Vars { mu: imu, var: ivar };
+    }
+    acc
+}
+
+/// Iterates the (slot, variable) pairs of a Clark max's four inputs that
+/// are actual problem variables.
+fn clark_slots(a: Operand, b: Operand) -> Vec<(usize, usize)> {
+    let mut v = Vec::with_capacity(4);
+    for (slot, op, pair_slot) in [(0, a, 0), (1, a, 1), (2, b, 0), (3, b, 1)] {
+        if let Some(var) = op.slot_var(pair_slot) {
+            v.push((slot, var));
+        }
+    }
+    v
+}
+
+fn clark_eval_grad(a: Operand, b: Operand, x: &[f64], eps: f64) -> ClarkGrad {
+    clark::max_grad(a.mu(x), a.var(x), b.mu(x), b.var(x), eps)
+}
+
+fn clark_eval_hess(a: Operand, b: Operand, x: &[f64], eps: f64) -> ClarkHess {
+    clark::max_hess(a.mu(x), a.var(x), b.mu(x), b.var(x), eps)
+}
+
+impl NlpProblem for SizingProblem {
+    fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    fn num_constraints(&self) -> usize {
+        self.cons.len()
+    }
+
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (self.lower.clone(), self.upper.clone())
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        match &self.objective {
+            Objective::Area => self.idx_s.iter().map(|&i| x[i]).sum(),
+            Objective::WeightedArea(w) => {
+                self.idx_s.iter().zip(w).map(|(&i, &wi)| wi * x[i]).sum()
+            }
+            Objective::MeanDelay => x[self.i_mu_tmax],
+            Objective::MeanPlusKSigma(k) => x[self.i_mu_tmax] + k * self.sigma_tmax(x),
+            Objective::Sigma => self.sigma_tmax(x),
+            Objective::NegSigma => -self.sigma_tmax(x),
+        }
+    }
+
+    fn gradient(&self, x: &[f64], grad: &mut [f64]) {
+        grad.fill(0.0);
+        match &self.objective {
+            Objective::Area => {
+                for &i in &self.idx_s {
+                    grad[i] = 1.0;
+                }
+            }
+            Objective::WeightedArea(w) => {
+                for (&i, &wi) in self.idx_s.iter().zip(w) {
+                    grad[i] = wi;
+                }
+            }
+            Objective::MeanDelay => grad[self.i_mu_tmax] = 1.0,
+            Objective::MeanPlusKSigma(k) => {
+                grad[self.i_mu_tmax] = 1.0;
+                grad[self.i_v_tmax] = k / (2.0 * self.sigma_tmax(x));
+            }
+            Objective::Sigma => grad[self.i_v_tmax] = 1.0 / (2.0 * self.sigma_tmax(x)),
+            Objective::NegSigma => {
+                grad[self.i_v_tmax] = -1.0 / (2.0 * self.sigma_tmax(x));
+            }
+        }
+    }
+
+    fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        for (ci, con) in self.cons.iter().enumerate() {
+            c[ci] = match con {
+                Con::Delay { imt, is, t_int, load0, fanout } => {
+                    let mut r = x[*imt] * x[*is] - t_int * x[*is] - load0;
+                    for &(j, coef) in fanout {
+                        r -= coef * x[j];
+                    }
+                    r
+                }
+                Con::VarT { ivt, imt, kappa2 } => x[*ivt] - kappa2 * x[*imt] * x[*imt],
+                Con::MaxMu { out, a, b } => {
+                    x[*out] - clark_eval_grad(*a, *b, x, self.eps).mu
+                }
+                Con::MaxVar { out, a, b } => {
+                    x[*out] - clark_eval_grad(*a, *b, x, self.eps).var
+                }
+                Con::ArrMu { im_arr, u, imt } => x[*im_arr] - u.value(x) - x[*imt],
+                Con::ArrVar { iv_arr, u, ivt } => x[*iv_arr] - u.value(x) - x[*ivt],
+                Con::DelayCap { imu, iv, k, slack, d } => {
+                    let sigma = iv.map_or(0.0, |i| x[i].max(SQRT_FLOOR).sqrt());
+                    x[*imu] + k * sigma + slack.map_or(0.0, |s| x[s]) - d
+                }
+            };
+        }
+    }
+
+    fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+        let mut s = Vec::new();
+        for (ci, con) in self.cons.iter().enumerate() {
+            match con {
+                Con::Delay { imt, is, fanout, .. } => {
+                    s.push((ci, *imt));
+                    s.push((ci, *is));
+                    for &(j, _) in fanout {
+                        s.push((ci, j));
+                    }
+                }
+                Con::VarT { ivt, imt, .. } => {
+                    s.push((ci, *ivt));
+                    s.push((ci, *imt));
+                }
+                Con::MaxMu { out, a, b } | Con::MaxVar { out, a, b } => {
+                    s.push((ci, *out));
+                    for (_, var) in clark_slots(*a, *b) {
+                        s.push((ci, var));
+                    }
+                }
+                Con::ArrMu { im_arr, u, imt } => {
+                    s.push((ci, *im_arr));
+                    if let Term::Var(i) = u {
+                        s.push((ci, *i));
+                    }
+                    s.push((ci, *imt));
+                }
+                Con::ArrVar { iv_arr, u, ivt } => {
+                    s.push((ci, *iv_arr));
+                    if let Term::Var(i) = u {
+                        s.push((ci, *i));
+                    }
+                    s.push((ci, *ivt));
+                }
+                Con::DelayCap { imu, iv, slack, .. } => {
+                    s.push((ci, *imu));
+                    if let Some(i) = iv {
+                        s.push((ci, *i));
+                    }
+                    if let Some(sl) = slack {
+                        s.push((ci, *sl));
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    fn jacobian_values(&self, x: &[f64], vals: &mut [f64]) {
+        let mut k_out = 0usize;
+        let mut push = |vals: &mut [f64], v: f64| {
+            vals[k_out] = v;
+            k_out += 1;
+        };
+        for con in &self.cons {
+            match con {
+                Con::Delay { imt, is, t_int, fanout, .. } => {
+                    push(vals, x[*is]);
+                    push(vals, x[*imt] - t_int);
+                    for &(_, coef) in fanout {
+                        push(vals, -coef);
+                    }
+                }
+                Con::VarT { imt, kappa2, .. } => {
+                    push(vals, 1.0);
+                    push(vals, -2.0 * kappa2 * x[*imt]);
+                }
+                Con::MaxMu { a, b, .. } => {
+                    let g = clark_eval_grad(*a, *b, x, self.eps);
+                    push(vals, 1.0);
+                    for (slot, _) in clark_slots(*a, *b) {
+                        push(vals, -g.dmu[slot]);
+                    }
+                }
+                Con::MaxVar { a, b, .. } => {
+                    let g = clark_eval_grad(*a, *b, x, self.eps);
+                    push(vals, 1.0);
+                    for (slot, _) in clark_slots(*a, *b) {
+                        push(vals, -g.dvar[slot]);
+                    }
+                }
+                Con::ArrMu { u, .. } | Con::ArrVar { u, .. } => {
+                    push(vals, 1.0);
+                    if matches!(u, Term::Var(_)) {
+                        push(vals, -1.0);
+                    }
+                    push(vals, -1.0);
+                }
+                Con::DelayCap { iv, k, slack, .. } => {
+                    push(vals, 1.0);
+                    if let Some(i) = iv {
+                        push(vals, k / (2.0 * x[*i].max(SQRT_FLOOR).sqrt()));
+                    }
+                    if slack.is_some() {
+                        push(vals, 1.0);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(k_out, vals.len());
+    }
+
+    fn hessian_structure(&self) -> Vec<(usize, usize)> {
+        let mut s = Vec::new();
+        // Objective block first.
+        if matches!(
+            self.objective,
+            Objective::MeanPlusKSigma(_) | Objective::Sigma | Objective::NegSigma
+        ) {
+            s.push((self.i_v_tmax, self.i_v_tmax));
+        }
+        for con in &self.cons {
+            match con {
+                Con::Delay { imt, is, .. } => {
+                    s.push(ordered(*imt, *is));
+                }
+                Con::VarT { imt, .. } => s.push((*imt, *imt)),
+                Con::MaxMu { a, b, .. } | Con::MaxVar { a, b, .. } => {
+                    let slots = clark_slots(*a, *b);
+                    for i in 0..slots.len() {
+                        for j in i..slots.len() {
+                            s.push(ordered(slots[i].1, slots[j].1));
+                        }
+                    }
+                }
+                Con::ArrMu { .. } | Con::ArrVar { .. } => {}
+                Con::DelayCap { iv, k, .. } => {
+                    if let Some(i) = iv {
+                        if *k != 0.0 {
+                            s.push((*i, *i));
+                        }
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    fn hessian_values(&self, x: &[f64], sigma: f64, lambda: &[f64], vals: &mut [f64]) {
+        let mut k_out = 0usize;
+        let mut push = |vals: &mut [f64], v: f64| {
+            vals[k_out] = v;
+            k_out += 1;
+        };
+        match self.objective {
+            Objective::MeanPlusKSigma(k) => {
+                let st = self.sigma_tmax(x);
+                push(vals, sigma * k * (-0.25) / (st * st * st));
+            }
+            Objective::Sigma => {
+                let st = self.sigma_tmax(x);
+                push(vals, sigma * (-0.25) / (st * st * st));
+            }
+            Objective::NegSigma => {
+                let st = self.sigma_tmax(x);
+                push(vals, sigma * 0.25 / (st * st * st));
+            }
+            _ => {}
+        }
+        for (ci, con) in self.cons.iter().enumerate() {
+            let lam = lambda[ci];
+            match con {
+                Con::Delay { .. } => push(vals, lam),
+                Con::VarT { kappa2, .. } => push(vals, lam * (-2.0 * kappa2)),
+                Con::MaxMu { a, b, .. } => {
+                    let h = clark_eval_hess(*a, *b, x, self.eps);
+                    emit_clark_hess(&mut push, vals, a, b, &h.hmu, lam);
+                }
+                Con::MaxVar { a, b, .. } => {
+                    let h = clark_eval_hess(*a, *b, x, self.eps);
+                    emit_clark_hess(&mut push, vals, a, b, &h.hvar, lam);
+                }
+                Con::ArrMu { .. } | Con::ArrVar { .. } => {}
+                Con::DelayCap { iv, k, .. } => {
+                    if let Some(i) = iv {
+                        if *k != 0.0 {
+                            let st = x[*i].max(SQRT_FLOOR).sqrt();
+                            push(vals, lam * k * (-0.25) / (st * st * st));
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(k_out, vals.len());
+    }
+}
+
+fn ordered(a: usize, b: usize) -> (usize, usize) {
+    if a >= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Emits the lower-triangle Hessian contributions `-lam * h[slot_i][slot_j]`
+/// for every pair of variable slots of one Clark constraint, doubling
+/// off-slot pairs that alias the same variable (the symmetric-triplet
+/// consumer only double-counts entries with distinct row and column).
+fn emit_clark_hess(
+    push: &mut impl FnMut(&mut [f64], f64),
+    vals: &mut [f64],
+    a: &Operand,
+    b: &Operand,
+    h: &[[f64; 4]; 4],
+    lam: f64,
+) {
+    let slots = clark_slots(*a, *b);
+    for i in 0..slots.len() {
+        for j in i..slots.len() {
+            let (si, vi) = slots[i];
+            let (sj, vj) = slots[j];
+            let factor = if i != j && vi == vj { 2.0 } else { 1.0 };
+            push(vals, -lam * factor * h[si][sj]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_netlist::{generate, CircuitBuilder, GateKind};
+    use sgs_nlp::problem::check_derivatives;
+
+    fn lib() -> Library {
+        Library::paper_default()
+    }
+
+    #[test]
+    fn fig2_formulation_matches_paper_eq18() {
+        // The paper's Eq. 18 for fig. 2: 4 delay constraints, 4 sigma
+        // constraints, arrival adds for each gate, max nodes for gate D's
+        // 3 fan-ins (2 nodes) and for the 2 outputs (1 node).
+        let c = generate::fig2();
+        let p = SizingProblem::build(&c, &lib(), Objective::MeanPlusKSigma(3.0), DelaySpec::None);
+        let n_delay = p.cons.iter().filter(|c| matches!(c, Con::Delay { .. })).count();
+        let n_vart = p.cons.iter().filter(|c| matches!(c, Con::VarT { .. })).count();
+        let n_maxmu = p.cons.iter().filter(|c| matches!(c, Con::MaxMu { .. })).count();
+        assert_eq!(n_delay, 4);
+        assert_eq!(n_vart, 4);
+        // Gates A, B, C have PI-only fan-ins (folded to constants); D has
+        // 3 variable fan-ins -> 2 max nodes; outputs C, D -> 1 max node.
+        assert_eq!(n_maxmu, 3);
+    }
+
+    #[test]
+    fn initial_point_is_feasible() {
+        for circuit in [generate::tree7(), generate::fig2(), generate::ripple_carry_adder(4)] {
+            let p = SizingProblem::build(
+                &circuit,
+                &lib(),
+                Objective::MeanDelay,
+                DelaySpec::None,
+            );
+            let x = p.initial_point(&vec![1.0; circuit.num_gates()]);
+            let mut c = vec![0.0; p.num_constraints()];
+            p.constraints(&x, &mut c);
+            let worst = c.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+            assert!(worst < 1e-9, "initial infeasibility {worst} on {}", circuit.name());
+        }
+    }
+
+    #[test]
+    fn initial_point_matches_ssta() {
+        let circuit = generate::tree7();
+        let p = SizingProblem::build(&circuit, &lib(), Objective::MeanDelay, DelaySpec::None);
+        let s = vec![1.7; 7];
+        let x = p.initial_point(&s);
+        let report = sgs_ssta::ssta(&circuit, &lib(), &s);
+        assert!((x[p.mu_tmax_index()] - report.delay.mean()).abs() < 1e-9);
+        assert!((x[p.var_tmax_index()] - report.delay.var()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derivatives_exact_tree() {
+        let circuit = generate::tree7();
+        for obj in [
+            Objective::Area,
+            Objective::MeanDelay,
+            Objective::MeanPlusKSigma(3.0),
+            Objective::Sigma,
+            Objective::NegSigma,
+        ] {
+            let p = SizingProblem::build(&circuit, &lib(), obj.clone(), DelaySpec::None);
+            let x = p.initial_point(&[1.3, 1.1, 2.0, 1.6, 1.0, 2.4, 2.9]);
+            let lambda: Vec<f64> = (0..p.num_constraints())
+                .map(|i| 0.3 + 0.1 * (i as f64 % 7.0))
+                .collect();
+            let r = check_derivatives(&p, &x, &lambda, 1e-6);
+            assert!(r.within(5e-5), "{obj}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn derivatives_exact_with_delay_caps() {
+        let circuit = generate::fig2();
+        for spec in [
+            DelaySpec::MaxMean(7.0),
+            DelaySpec::MaxMeanPlusKSigma { k: 3.0, d: 8.0 },
+            DelaySpec::ExactMean(6.0),
+        ] {
+            let p = SizingProblem::build(&circuit, &lib(), Objective::Area, spec.clone());
+            let x = p.initial_point(&[1.5, 1.2, 2.2, 1.9]);
+            let lambda: Vec<f64> = (0..p.num_constraints())
+                .map(|i| -0.2 + 0.15 * (i as f64 % 5.0))
+                .collect();
+            let r = check_derivatives(&p, &x, &lambda, 1e-6);
+            assert!(r.within(5e-5), "{spec}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_fanin_derivatives_exact() {
+        // A gate fed twice by the same signal exercises the aliased-slot
+        // Hessian doubling.
+        let mut b = CircuitBuilder::new("dup");
+        let a = b.add_input("a");
+        let g1 = b.add_gate(GateKind::Nand2, "g1", &[a, a]).unwrap();
+        let g2 = b.add_gate(GateKind::Nand2, "g2", &[g1, g1]).unwrap();
+        b.mark_output(g2).unwrap();
+        let circuit = b.build().unwrap();
+        let p = SizingProblem::build(
+            &circuit,
+            &lib(),
+            Objective::MeanPlusKSigma(1.0),
+            DelaySpec::None,
+        );
+        let x = p.initial_point(&[1.4, 2.1]);
+        let lambda: Vec<f64> = (0..p.num_constraints()).map(|i| 0.5 - 0.1 * i as f64).collect();
+        let r = check_derivatives(&p, &x, &lambda, 1e-6);
+        assert!(r.within(5e-5), "{r:?}");
+    }
+
+    #[test]
+    fn random_dag_derivatives_exact() {
+        let circuit = generate::random_dag(&sgs_netlist::generate::RandomDagSpec {
+            name: "d".into(),
+            cells: 30,
+            inputs: 6,
+            depth: 5,
+            seed: 11,
+            ..Default::default()
+        });
+        let p = SizingProblem::build(
+            &circuit,
+            &lib(),
+            Objective::MeanPlusKSigma(3.0),
+            DelaySpec::MaxMeanPlusKSigma { k: 1.0, d: 20.0 },
+        );
+        let s0: Vec<f64> = (0..circuit.num_gates())
+            .map(|i| 1.0 + 0.07 * (i % 25) as f64)
+            .collect();
+        let x = p.initial_point(&s0);
+        let lambda: Vec<f64> = (0..p.num_constraints())
+            .map(|i| 0.4 * ((i as f64 * 0.7).sin()))
+            .collect();
+        let r = check_derivatives(&p, &x, &lambda, 1e-6);
+        assert!(r.within(1e-4), "{r:?}");
+    }
+
+    #[test]
+    fn extract_s_roundtrip() {
+        let circuit = generate::tree7();
+        let p = SizingProblem::build(&circuit, &lib(), Objective::Area, DelaySpec::None);
+        let s = vec![1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7];
+        let x = p.initial_point(&s);
+        assert_eq!(p.extract_s(&x), s);
+    }
+
+    #[test]
+    fn input_arrivals_enter_as_constants() {
+        use sgs_statmath::Normal;
+        let circuit = generate::tree7();
+        let arrivals: Vec<Normal> = (0..8)
+            .map(|i| Normal::new(1.0 + 0.3 * i as f64, 0.2 + 0.02 * i as f64))
+            .collect();
+        let p = SizingProblem::build_with_arrivals(
+            &circuit,
+            &lib(),
+            Objective::MeanDelay,
+            DelaySpec::None,
+            Some(&arrivals),
+        );
+        let s = vec![1.4; 7];
+        let x = p.initial_point(&s);
+        let report = sgs_ssta::analysis::ssta_with_arrivals(&circuit, &lib(), &s, Some(&arrivals));
+        assert!((x[p.mu_tmax_index()] - report.delay.mean()).abs() < 1e-9);
+        assert!((x[p.var_tmax_index()] - report.delay.var()).abs() < 1e-9);
+        // Derivatives stay exact with nonzero constant operands.
+        let lambda: Vec<f64> = (0..p.num_constraints()).map(|i| 0.2 + 0.05 * i as f64).collect();
+        let r = sgs_nlp::problem::check_derivatives(&p, &x, &lambda, 1e-6);
+        assert!(r.within(5e-5), "{r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one arrival distribution per primary input")]
+    fn arrival_length_checked() {
+        let circuit = generate::tree7();
+        let _ = SizingProblem::build_with_arrivals(
+            &circuit,
+            &lib(),
+            Objective::MeanDelay,
+            DelaySpec::None,
+            Some(&[sgs_statmath::Normal::certain(0.0)]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per gate")]
+    fn weighted_area_length_checked() {
+        let circuit = generate::tree7();
+        let _ = SizingProblem::build(
+            &circuit,
+            &lib(),
+            Objective::WeightedArea(vec![1.0; 3]),
+            DelaySpec::None,
+        );
+    }
+}

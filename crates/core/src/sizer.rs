@@ -1,0 +1,412 @@
+//! High-level sizing driver: seed, solve, extract, cross-check.
+
+use crate::problem::SizingProblem;
+use crate::reduced::{self, ReducedOptions};
+use crate::spec::{DelaySpec, Objective};
+use sgs_netlist::{Circuit, Library};
+use sgs_nlp::auglag::{self, AugLagOptions};
+use sgs_statmath::Normal;
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+/// Which solver carries the optimisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverChoice {
+    /// Reduced-space warm start followed by the full-space
+    /// augmented-Lagrangian solve (the paper's formulation). Default.
+    #[default]
+    FullSpace,
+    /// Reduced-space (adjoint + projected L-BFGS with penalty) only — the
+    /// baseline alternative.
+    ReducedSpace,
+}
+
+/// Errors from [`Sizer::solve`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum SizeError {
+    /// The optimiser failed to converge to a feasible first-order point.
+    SolverFailed {
+        /// Solver status.
+        status: String,
+        /// Final constraint violation.
+        c_norm: f64,
+    },
+}
+
+impl fmt::Display for SizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SizeError::SolverFailed { status, c_norm } => {
+                write!(f, "sizing solver failed ({status}, |c| = {c_norm:.2e})")
+            }
+        }
+    }
+}
+
+impl Error for SizeError {}
+
+/// Result of a sizing run.
+#[derive(Debug, Clone)]
+pub struct SizingResult {
+    /// Optimised speed factors, one per gate.
+    pub s: Vec<f64>,
+    /// Circuit delay distribution at `s` (recomputed by a clean SSTA pass
+    /// — i.e. `(mu_Tmax, sigma_Tmax)` as the paper's tables report).
+    pub delay: Normal,
+    /// Area measure `sum S_i`.
+    pub area: f64,
+    /// Objective value reached.
+    pub objective: f64,
+    /// Outer (augmented-Lagrangian) iterations, 0 for reduced-space runs.
+    pub outer_iterations: usize,
+    /// Inner iterations (trust-region or L-BFGS).
+    pub inner_iterations: usize,
+    /// Final equality-constraint violation (full space only).
+    pub c_norm: f64,
+    /// Wall-clock seconds spent in the solver.
+    pub seconds: f64,
+}
+
+impl SizingResult {
+    /// `mu_Tmax + k sigma_Tmax` at the solution.
+    pub fn mean_plus_k_sigma(&self, k: f64) -> f64 {
+        self.delay.mean_plus_k_sigma(k)
+    }
+}
+
+/// Builder-style driver for sizing runs.
+///
+/// ```
+/// use sgs_core::{DelaySpec, Objective, Sizer};
+/// use sgs_netlist::{generate, Library};
+///
+/// let circuit = generate::tree7();
+/// let lib = Library::paper_default();
+/// let result = Sizer::new(&circuit, &lib)
+///     .objective(Objective::Area)
+///     .delay_spec(DelaySpec::MaxMean(6.5))
+///     .solve()?;
+/// assert!(result.delay.mean() <= 6.5 + 1e-3);
+/// # Ok::<(), sgs_core::SizeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sizer<'a> {
+    circuit: &'a Circuit,
+    lib: &'a Library,
+    objective: Objective,
+    delay_spec: DelaySpec,
+    solver: SolverChoice,
+    al_options: AugLagOptions,
+    reduced_options: ReducedOptions,
+    s0: Option<Vec<f64>>,
+    input_arrivals: Option<Vec<Normal>>,
+}
+
+impl<'a> Sizer<'a> {
+    /// Starts a sizing run with the default objective
+    /// ([`Objective::MeanDelay`]) and no delay constraint.
+    pub fn new(circuit: &'a Circuit, lib: &'a Library) -> Self {
+        Sizer {
+            circuit,
+            lib,
+            objective: Objective::MeanDelay,
+            delay_spec: DelaySpec::None,
+            solver: SolverChoice::FullSpace,
+            al_options: AugLagOptions {
+                tol_feas: 1e-6,
+                tol_opt: 1e-4,
+                ..Default::default()
+            },
+            reduced_options: ReducedOptions::default(),
+            s0: None,
+            input_arrivals: None,
+        }
+    }
+
+    /// Sets the objective.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets the delay constraint.
+    pub fn delay_spec(mut self, spec: DelaySpec) -> Self {
+        self.delay_spec = spec;
+        self
+    }
+
+    /// Selects the solver.
+    pub fn solver(mut self, solver: SolverChoice) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Overrides the augmented-Lagrangian options.
+    pub fn al_options(mut self, opts: AugLagOptions) -> Self {
+        self.al_options = opts;
+        self
+    }
+
+    /// Overrides the reduced-space options.
+    pub fn reduced_options(mut self, opts: ReducedOptions) -> Self {
+        self.reduced_options = opts;
+        self
+    }
+
+    /// Supplies explicit starting speed factors (default: all 1, refined
+    /// by a reduced-space warm start).
+    pub fn initial_s(mut self, s0: Vec<f64>) -> Self {
+        self.s0 = Some(s0);
+        self
+    }
+
+    /// Supplies primary-input arrival-time distributions (default:
+    /// deterministic arrival at 0, the paper's setting). Use this to size
+    /// under uncertain upstream-block or interface timing.
+    pub fn input_arrivals(mut self, arrivals: Vec<Normal>) -> Self {
+        self.input_arrivals = Some(arrivals);
+        self
+    }
+
+    /// Runs the optimisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SizeError::SolverFailed`] when neither a feasible
+    /// first-order point nor an acceptable fallback is reached.
+    pub fn solve(&self) -> Result<SizingResult, SizeError> {
+        let start = Instant::now();
+        let n = self.circuit.num_gates();
+        let s_start = self.s0.clone().unwrap_or_else(|| vec![1.0; n]);
+
+        // Reduced-space pass: warm start (FullSpace) or the whole solve
+        // (ReducedSpace).
+        let red = reduced::solve_reduced_with_arrivals(
+            self.circuit,
+            self.lib,
+            self.objective.clone(),
+            self.delay_spec.clone(),
+            &s_start,
+            &self.reduced_options,
+            self.input_arrivals.as_deref(),
+        );
+
+        if self.solver == SolverChoice::ReducedSpace {
+            let report = self.analyse(&red.s);
+            return Ok(SizingResult {
+                area: red.s.iter().sum(),
+                objective: red.objective,
+                s: red.s,
+                delay: report.delay,
+                outer_iterations: 0,
+                inner_iterations: red.iterations,
+                c_norm: red.violation,
+                seconds: start.elapsed().as_secs_f64(),
+            });
+        }
+
+        // Full-space augmented-Lagrangian solve from the warm start.
+        let problem = SizingProblem::build_with_arrivals(
+            self.circuit,
+            self.lib,
+            self.objective.clone(),
+            self.delay_spec.clone(),
+            self.input_arrivals.as_deref(),
+        );
+        let x0 = problem.initial_point(&red.s);
+        let result = auglag::solve(&problem, &x0, &self.al_options);
+        let s_full = problem.extract_s(&result.x);
+
+        // The constraint system is triangular in S: re-propagating the
+        // extracted speed factors through a clean SSTA gives an exactly
+        // feasible point. Judge both candidates (full-space result and
+        // reduced-space warm start) by their clean objective and delay-spec
+        // violation, and keep the better feasible one — AL residuals on the
+        // intermediate variables then never corrupt the reported sizing.
+        let full_cand = self.evaluate(&s_full);
+        let red_cand = self.evaluate(&red.s);
+        let spec_tol = self.spec_tolerance();
+        let pick_full = match (full_cand.1 <= spec_tol, red_cand.1 <= spec_tol) {
+            (true, true) => full_cand.0 <= red_cand.0,
+            (true, false) => true,
+            (false, true) => false,
+            (false, false) => {
+                return Err(SizeError::SolverFailed {
+                    status: format!("{:?}", result.status),
+                    c_norm: full_cand.1.min(red_cand.1),
+                })
+            }
+        };
+        let s = if pick_full { s_full } else { red.s };
+        let objective = if pick_full { full_cand.0 } else { red_cand.0 };
+
+        let report = self.analyse(&s);
+        Ok(SizingResult {
+            area: s.iter().sum(),
+            objective,
+            s,
+            delay: report.delay,
+            outer_iterations: result.outer_iterations,
+            inner_iterations: result.inner_iterations,
+            c_norm: result.c_norm,
+            seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Clean SSTA at `s`, honouring configured input arrivals.
+    fn analyse(&self, s: &[f64]) -> sgs_ssta::SstaReport {
+        sgs_ssta::analysis::ssta_with_arrivals(
+            self.circuit,
+            self.lib,
+            s,
+            self.input_arrivals.as_deref(),
+        )
+    }
+
+    /// Clean-SSTA objective value and delay-spec violation at `s`.
+    fn evaluate(&self, s: &[f64]) -> (f64, f64) {
+        let report = self.analyse(s);
+        let mu = report.delay.mean();
+        let sigma = report.delay.sigma();
+        let obj = match &self.objective {
+            Objective::Area => s.iter().sum(),
+            Objective::WeightedArea(w) => s.iter().zip(w).map(|(a, b)| a * b).sum(),
+            Objective::MeanDelay => mu,
+            Objective::MeanPlusKSigma(k) => mu + k * sigma,
+            Objective::Sigma => sigma,
+            Objective::NegSigma => -sigma,
+        };
+        let viol = match &self.delay_spec {
+            DelaySpec::None => 0.0,
+            DelaySpec::MaxMean(d) => (mu - d).max(0.0),
+            DelaySpec::MaxMeanPlusKSigma { k, d } => (mu + k * sigma - d).max(0.0),
+            DelaySpec::ExactMean(d) => (mu - d).abs(),
+            DelaySpec::PerOutput { k, d } => self
+                .circuit
+                .outputs()
+                .iter()
+                .zip(d)
+                .map(|(&o, &d_o)| {
+                    let a = report.arrivals[o.index()];
+                    (a.mean() + k * a.sigma() - d_o).max(0.0)
+                })
+                .fold(0.0, f64::max),
+        };
+        (obj, viol)
+    }
+
+    /// Acceptable delay-spec violation, scaled to the deadline magnitude.
+    fn spec_tolerance(&self) -> f64 {
+        match &self.delay_spec {
+            DelaySpec::None => f64::INFINITY,
+            DelaySpec::MaxMean(d)
+            | DelaySpec::MaxMeanPlusKSigma { d, .. }
+            | DelaySpec::ExactMean(d) => 1e-3 * (1.0 + d.abs()),
+            DelaySpec::PerOutput { d, .. } => {
+                1e-3 * (1.0 + d.iter().fold(f64::INFINITY, |a, &b| a.min(b)).abs())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_netlist::generate;
+
+    fn lib() -> Library {
+        Library::paper_default()
+    }
+
+    #[test]
+    fn min_mean_delay_tree() {
+        let c = generate::tree7();
+        let r = Sizer::new(&c, &lib()).solve().unwrap();
+        let baseline_mu = sgs_ssta::ssta(&c, &lib(), &[1.0; 7]).delay.mean();
+        assert!(r.delay.mean() < baseline_mu - 1.0, "{} vs {}", r.delay.mean(), baseline_mu);
+        assert!(r.c_norm < 1e-5);
+    }
+
+    #[test]
+    fn full_and_reduced_agree_on_min_delay() {
+        let c = generate::tree7();
+        let full = Sizer::new(&c, &lib()).solve().unwrap();
+        let red = Sizer::new(&c, &lib())
+            .solver(SolverChoice::ReducedSpace)
+            .solve()
+            .unwrap();
+        assert!(
+            (full.delay.mean() - red.delay.mean()).abs() < 0.02,
+            "full {} vs reduced {}",
+            full.delay.mean(),
+            red.delay.mean()
+        );
+    }
+
+    #[test]
+    fn min_area_unconstrained_is_all_ones() {
+        let c = generate::tree7();
+        let r = Sizer::new(&c, &lib())
+            .objective(Objective::Area)
+            .solve()
+            .unwrap();
+        assert!((r.area - 7.0).abs() < 1e-4, "area {}", r.area);
+    }
+
+    #[test]
+    fn area_with_mean_cap_meets_deadline() {
+        let c = generate::tree7();
+        let r = Sizer::new(&c, &lib())
+            .objective(Objective::Area)
+            .delay_spec(DelaySpec::MaxMean(6.5))
+            .solve()
+            .unwrap();
+        assert!(r.delay.mean() <= 6.5 + 1e-3, "mu {}", r.delay.mean());
+        assert!(r.area < 21.0);
+    }
+
+    #[test]
+    fn sigma_objectives_bracket_area_objective() {
+        // Paper Table 2: at a pinned mean, min-sigma and max-sigma bracket
+        // the min-area solution's sigma.
+        let c = generate::tree7();
+        let d = 6.5;
+        let area = Sizer::new(&c, &lib())
+            .objective(Objective::Area)
+            .delay_spec(DelaySpec::ExactMean(d))
+            .solve()
+            .unwrap();
+        let min_sigma = Sizer::new(&c, &lib())
+            .objective(Objective::Sigma)
+            .delay_spec(DelaySpec::ExactMean(d))
+            .solve()
+            .unwrap();
+        let max_sigma = Sizer::new(&c, &lib())
+            .objective(Objective::NegSigma)
+            .delay_spec(DelaySpec::ExactMean(d))
+            .solve()
+            .unwrap();
+        for r in [&area, &min_sigma, &max_sigma] {
+            assert!((r.delay.mean() - d).abs() < 5e-3, "pin broken: {}", r.delay.mean());
+        }
+        assert!(min_sigma.delay.sigma() <= area.delay.sigma() + 1e-3);
+        assert!(max_sigma.delay.sigma() >= area.delay.sigma() - 1e-3);
+        assert!(max_sigma.delay.sigma() > min_sigma.delay.sigma() + 1e-3);
+    }
+
+    #[test]
+    fn k_sigma_objective_trades_mean_for_sigma() {
+        let c = generate::tree7();
+        let mu_only = Sizer::new(&c, &lib()).solve().unwrap();
+        let robust = Sizer::new(&c, &lib())
+            .objective(Objective::MeanPlusKSigma(3.0))
+            .solve()
+            .unwrap();
+        // mu+3sigma optimum has the better mu+3sigma, mu-only has the
+        // better mu.
+        assert!(robust.mean_plus_k_sigma(3.0) <= mu_only.mean_plus_k_sigma(3.0) + 1e-4);
+        assert!(mu_only.delay.mean() <= robust.delay.mean() + 1e-4);
+    }
+}

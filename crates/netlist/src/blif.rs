@@ -1,0 +1,420 @@
+//! BLIF-subset reader and writer.
+//!
+//! Supports the structural subset needed to import mapped combinational
+//! MCNC benchmarks: `.model`, `.inputs`, `.outputs`, `.names`, `.end`,
+//! line continuations (`\`) and comments (`#`). Cover rows under `.names`
+//! are skipped — gate sizing only needs topology and gate footprints, not
+//! logic functions. Latches and subcircuits are rejected.
+//!
+//! A `.names` block with `k` inputs maps to the NAND-family gate of arity
+//! `k` ([`GateKind::nand_of_arity`]); wider blocks are decomposed into a
+//! balanced tree of 4/2-input gates. The writer emits a
+//! `# sgs-kind <KIND>` comment before each `.names` block, which the reader
+//! uses to restore exact gate kinds, so `write -> parse` round-trips a
+//! circuit.
+
+use crate::circuit::{Circuit, CircuitBuilder, NetlistError, Signal};
+use crate::library::GateKind;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parses a BLIF-subset string into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for unsupported constructs or malformed
+/// text, [`NetlistError::Cycle`] for combinational loops.
+///
+/// ```
+/// use sgs_netlist::blif;
+/// let text = "\
+/// .model tiny
+/// .inputs a b
+/// .outputs y
+/// .names a b n1
+/// 11 1
+/// .names n1 y
+/// 0 1
+/// .end
+/// ";
+/// let c = blif::parse(text)?;
+/// assert_eq!(c.num_gates(), 2);
+/// # Ok::<(), sgs_netlist::NetlistError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
+    let mut model = String::from("blif");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    // name -> (fanin names, kind hint)
+    struct Node {
+        fanins: Vec<String>,
+        kind: Option<GateKind>,
+    }
+    let mut nodes: HashMap<String, Node> = HashMap::new();
+    let mut order: Vec<String> = Vec::new(); // declaration order of gates
+    let mut pending_kind: Option<GateKind> = None;
+
+    // Join continuation lines first.
+    let mut logical_lines: Vec<String> = Vec::new();
+    let mut acc = String::new();
+    for raw in text.lines() {
+        let line = raw.trim_end();
+        if let Some(stripped) = line.strip_suffix('\\') {
+            acc.push_str(stripped);
+            acc.push(' ');
+        } else {
+            acc.push_str(line);
+            logical_lines.push(std::mem::take(&mut acc));
+        }
+    }
+    if !acc.trim().is_empty() {
+        logical_lines.push(acc);
+    }
+
+    for line in &logical_lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            // Kind annotation written by `to_blif`.
+            let mut it = comment.split_whitespace();
+            if it.next() == Some("sgs-kind") {
+                pending_kind = it.next().and_then(kind_from_str);
+            }
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().expect("non-empty line has a token");
+        match head {
+            ".model" => {
+                if let Some(n) = tokens.next() {
+                    model = n.to_string();
+                }
+            }
+            ".inputs" => inputs.extend(tokens.map(str::to_string)),
+            ".outputs" => outputs.extend(tokens.map(str::to_string)),
+            ".names" => {
+                let names: Vec<String> = tokens.map(str::to_string).collect();
+                if names.is_empty() {
+                    return Err(NetlistError::Parse(".names with no signals".into()));
+                }
+                let out = names.last().expect("nonempty").clone();
+                let fanins = names[..names.len() - 1].to_vec();
+                if fanins.is_empty() {
+                    // Constant node: unsupported for sizing.
+                    return Err(NetlistError::Parse(format!(
+                        "constant .names node `{out}` is not supported"
+                    )));
+                }
+                if nodes
+                    .insert(out.clone(), Node { fanins, kind: pending_kind.take() })
+                    .is_some()
+                {
+                    return Err(NetlistError::DuplicateName(out));
+                }
+                order.push(out);
+            }
+            ".end" => break,
+            ".latch" | ".subckt" | ".gate" | ".mlatch" => {
+                return Err(NetlistError::Parse(format!(
+                    "unsupported BLIF construct `{head}`"
+                )));
+            }
+            _ if head.starts_with('.') => {
+                return Err(NetlistError::Parse(format!(
+                    "unknown BLIF directive `{head}`"
+                )));
+            }
+            // Anything else is a cover row ("11 1" etc.) — topology only,
+            // skip it.
+            _ => {}
+        }
+    }
+
+    // Kahn topological sort over gate nodes.
+    let mut indeg: HashMap<&str, usize> = HashMap::new();
+    let mut dependents: HashMap<&str, Vec<&str>> = HashMap::new();
+    for name in &order {
+        let node = &nodes[name];
+        let mut deg = 0;
+        for f in &node.fanins {
+            if nodes.contains_key(f.as_str()) {
+                deg += 1;
+                dependents.entry(f.as_str()).or_default().push(name.as_str());
+            } else if !inputs.iter().any(|i| i == f) {
+                return Err(NetlistError::Parse(format!(
+                    "signal `{f}` feeding `{name}` is neither an input nor a gate"
+                )));
+            }
+        }
+        indeg.insert(name.as_str(), deg);
+    }
+    let mut ready: Vec<&str> = order
+        .iter()
+        .map(String::as_str)
+        .filter(|n| indeg[n] == 0)
+        .collect();
+    let mut topo: Vec<&str> = Vec::with_capacity(order.len());
+    while let Some(n) = ready.pop() {
+        topo.push(n);
+        if let Some(deps) = dependents.get(n) {
+            for &d in deps {
+                let e = indeg.get_mut(d).expect("dependent is a node");
+                *e -= 1;
+                if *e == 0 {
+                    ready.push(d);
+                }
+            }
+        }
+    }
+    if topo.len() != order.len() {
+        let stuck = order
+            .iter()
+            .find(|n| !topo.contains(&n.as_str()))
+            .cloned()
+            .unwrap_or_default();
+        return Err(NetlistError::Cycle(stuck));
+    }
+
+    // Elaborate into a CircuitBuilder, decomposing wide nodes.
+    let mut b = CircuitBuilder::new(model);
+    let mut sig: HashMap<String, Signal> = HashMap::new();
+    for i in &inputs {
+        if sig.contains_key(i) {
+            return Err(NetlistError::DuplicateName(i.clone()));
+        }
+        sig.insert(i.clone(), b.add_input(i.clone()));
+    }
+    for name in topo {
+        let node = &nodes[name];
+        let fanin_sigs: Vec<Signal> = node
+            .fanins
+            .iter()
+            .map(|f| sig[f.as_str()])
+            .collect();
+        let out_sig = elaborate_node(&mut b, name, node.kind, &fanin_sigs)?;
+        sig.insert(name.to_string(), out_sig);
+    }
+    for o in &outputs {
+        let s = *sig.get(o).ok_or_else(|| {
+            NetlistError::Parse(format!("output `{o}` is never defined"))
+        })?;
+        b.mark_output(s)?;
+    }
+    b.build()
+}
+
+/// Adds one logical node, decomposing fan-in wider than 4 into a balanced
+/// tree of NAND4/NAND2 gates named `<name>`, `<name>__t0`, `<name>__t1`, ...
+fn elaborate_node(
+    b: &mut CircuitBuilder,
+    name: &str,
+    kind: Option<GateKind>,
+    fanins: &[Signal],
+) -> Result<Signal, NetlistError> {
+    if fanins.len() <= 4 {
+        let k = match kind {
+            Some(k) if k.arity() == fanins.len() => k,
+            _ => GateKind::nand_of_arity(fanins.len()),
+        };
+        return b.add_gate(k, name, fanins);
+    }
+    let mut frontier: Vec<Signal> = fanins.to_vec();
+    let mut tmp = 0usize;
+    while frontier.len() > 4 {
+        let mut next = Vec::with_capacity(frontier.len() / 4 + 1);
+        for chunk in frontier.chunks(4) {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+            } else {
+                let g = b.add_gate(
+                    GateKind::nand_of_arity(chunk.len()),
+                    format!("{name}__t{tmp}"),
+                    chunk,
+                )?;
+                tmp += 1;
+                next.push(g);
+            }
+        }
+        frontier = next;
+    }
+    b.add_gate(GateKind::nand_of_arity(frontier.len()), name, &frontier)
+}
+
+fn kind_from_str(s: &str) -> Option<GateKind> {
+    GateKind::all().iter().copied().find(|k| k.to_string() == s)
+}
+
+/// Serialises a circuit to the BLIF subset understood by [`parse`].
+///
+/// Cover rows are emitted as the all-ones AND row, which preserves topology
+/// (what sizing needs) but not logic functions; gate kinds are preserved
+/// via `# sgs-kind` comments.
+pub fn to_blif(c: &Circuit) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, ".model {}", c.name());
+    let _ = writeln!(s, ".inputs {}", c.input_names().join(" "));
+    let out_names: Vec<&str> = c
+        .outputs()
+        .iter()
+        .map(|&g| c.gate(g).name.as_str())
+        .collect();
+    let _ = writeln!(s, ".outputs {}", out_names.join(" "));
+    for (_, g) in c.gates() {
+        let mut names: Vec<&str> = g
+            .inputs
+            .iter()
+            .map(|&sig| match sig {
+                Signal::Pi(p) => c.input_names()[p].as_str(),
+                Signal::Gate(src) => c.gate(src).name.as_str(),
+            })
+            .collect();
+        names.push(g.name.as_str());
+        let _ = writeln!(s, "# sgs-kind {}", g.kind);
+        let _ = writeln!(s, ".names {}", names.join(" "));
+        let _ = writeln!(s, "{} 1", "1".repeat(g.inputs.len()));
+    }
+    s.push_str(".end\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn parse_minimal() {
+        let text = "\
+.model tiny
+.inputs a b
+.outputs y
+.names a b n1
+11 1
+.names n1 y
+0 1
+.end
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.name(), "tiny");
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.outputs().len(), 1);
+    }
+
+    #[test]
+    fn parse_out_of_order_names() {
+        // y is declared before its fan-in n1.
+        let text = "\
+.model ooo
+.inputs a
+.outputs y
+.names n1 y
+1 1
+.names a n1
+1 1
+.end
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.num_gates(), 2);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        for circuit in [generate::tree7(), generate::fig2(), generate::ripple_carry_adder(4)] {
+            let text = to_blif(&circuit);
+            let back = parse(&text).unwrap();
+            assert_eq!(back.num_gates(), circuit.num_gates());
+            assert_eq!(back.num_inputs(), circuit.num_inputs());
+            assert_eq!(back.outputs().len(), circuit.outputs().len());
+            assert_eq!(back.depth(), circuit.depth());
+            // Kinds preserved via annotations.
+            let kinds: Vec<_> = circuit.gates().map(|(_, g)| g.kind).collect();
+            let back_kinds: Vec<_> = back.gates().map(|(_, g)| g.kind).collect();
+            let mut a = kinds.clone();
+            let mut b = back_kinds.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn wide_names_decomposed() {
+        let text = "\
+.model wide
+.inputs a b c d e f g h i
+.outputs y
+.names a b c d e f g h i y
+111111111 1
+.end
+";
+        let c = parse(text).unwrap();
+        c.validate().unwrap();
+        // 9 inputs -> tree of NAND gates; output gate exists and all gate
+        // arities are <= 4.
+        assert!(c.num_gates() >= 3);
+        for (_, g) in c.gates() {
+            assert!(g.inputs.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        // x depends on y and y depends on x.
+        let text = "\
+.model loopy
+.inputs a
+.outputs y
+.names y x
+1 1
+.names x y
+1 1
+.end
+";
+        let err = parse(text).unwrap_err();
+        assert!(matches!(err, NetlistError::Cycle(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn latch_rejected() {
+        let text = ".model l\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n";
+        assert!(matches!(parse(text), Err(NetlistError::Parse(_))));
+    }
+
+    #[test]
+    fn undriven_signal_rejected() {
+        let text = "\
+.model u
+.inputs a
+.outputs y
+.names ghost y
+1 1
+.end
+";
+        assert!(matches!(parse(text), Err(NetlistError::Parse(_))));
+    }
+
+    #[test]
+    fn undefined_output_rejected() {
+        let text = ".model u\n.inputs a\n.outputs nope\n.names a y\n1 1\n.end\n";
+        assert!(matches!(parse(text), Err(NetlistError::Parse(_))));
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let text = "\
+.model cont
+.inputs a \\
+b
+.outputs y
+.names a b y
+11 1
+.end
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.num_inputs(), 2);
+    }
+}

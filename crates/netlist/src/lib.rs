@@ -1,0 +1,41 @@
+//! Gate-level combinational netlists for statistical gate sizing.
+//!
+//! Provides the circuit substrate the DATE 2000 gate-sizing paper operates
+//! on:
+//!
+//! * [`circuit`] — a combinational DAG of sized gates with primary inputs
+//!   and outputs, topological ordering, levelisation and fan-out queries;
+//! * [`library`] — the sizable-gate delay model of Berkelaar & Jess 1990
+//!   used by the paper (Eq. 14): `t = t_int + c (C_load + sum C_in S_i) / S`;
+//! * [`blif`] — a BLIF-subset reader/writer so real MCNC benchmark netlists
+//!   (apex1, apex2, k2) can be dropped in when available;
+//! * [`verilog`] — a structural-Verilog-subset reader/writer for the
+//!   gate-level netlists synthesis tools emit;
+//! * [`iscas`] — an ISCAS-85 reader/writer (the c17/.../c6288 benchmark
+//!   format);
+//! * [`generate`] — deterministic constructors for the paper's example
+//!   circuits (Fig. 2, the Fig. 3 tree) and seeded synthetic benchmark
+//!   circuits matched to the paper's cell counts, used because the original
+//!   MCNC netlists are not redistributable here.
+//!
+//! # Example
+//!
+//! ```
+//! use sgs_netlist::generate;
+//! let tree = generate::tree7();
+//! assert_eq!(tree.num_gates(), 7);
+//! assert_eq!(tree.outputs().len(), 1);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod blif;
+pub mod circuit;
+pub mod generate;
+pub mod iscas;
+pub mod library;
+pub mod verilog;
+
+pub use circuit::{Circuit, CircuitBuilder, Gate, GateId, NetlistError, Signal};
+pub use library::{GateKind, GateParams, Library};

@@ -1,0 +1,435 @@
+//! Augmented-Lagrangian outer loop (the LANCELOT algorithm).
+//!
+//! Solves `min f(x) s.t. c(x) = 0, l <= x <= u` by repeatedly minimising
+//! the augmented Lagrangian
+//!
+//! ```text
+//! L_A(x; lambda, rho) = f(x) - lambda' c(x) + (rho/2) |c(x)|^2
+//! ```
+//!
+//! over the bound box with the trust-region Newton-CG solver of
+//! [`crate::tr`], then updating multipliers (`lambda <- lambda - rho c`)
+//! when feasibility improves on schedule and increasing `rho` otherwise —
+//! the classic Conn-Gould-Toint safeguarded scheme LANCELOT implements.
+
+use crate::problem::NlpProblem;
+use crate::sparse::{CsrMatrix, SymTriplets};
+use crate::tr::{self, SmoothFn, TrOptions};
+
+/// Options for [`solve`].
+#[derive(Debug, Clone)]
+pub struct AugLagOptions {
+    /// Feasibility tolerance on the constraint infinity norm.
+    pub tol_feas: f64,
+    /// Optimality tolerance on the projected gradient of the augmented
+    /// Lagrangian.
+    pub tol_opt: f64,
+    /// Initial penalty parameter.
+    pub rho0: f64,
+    /// Penalty multiplication factor when feasibility stalls.
+    pub rho_mult: f64,
+    /// Maximum outer (multiplier/penalty) iterations.
+    pub max_outer: usize,
+    /// Cap on the penalty parameter (beyond it the run is declared stalled).
+    pub rho_max: f64,
+    /// Inner trust-region settings (tolerance is overridden by the outer
+    /// schedule; `max_iter` applies per inner solve).
+    pub inner: TrOptions,
+    /// Print one progress line per outer iteration to stderr.
+    pub trace: bool,
+}
+
+impl Default for AugLagOptions {
+    fn default() -> Self {
+        AugLagOptions {
+            tol_feas: 1e-7,
+            tol_opt: 1e-6,
+            rho0: 10.0,
+            rho_mult: 10.0,
+            max_outer: 40,
+            rho_max: 1e12,
+            inner: TrOptions { max_iter: 200, ..Default::default() },
+            trace: false,
+        }
+    }
+}
+
+/// Termination status of [`solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// First-order optimal within tolerances.
+    Converged,
+    /// Outer-iteration budget exhausted; the returned point is the best
+    /// found.
+    MaxIterations,
+    /// The penalty parameter reached its cap without achieving
+    /// feasibility — the problem is likely infeasible or badly scaled.
+    PenaltyCap,
+}
+
+impl SolveStatus {
+    /// True for [`SolveStatus::Converged`].
+    pub fn is_success(self) -> bool {
+        self == SolveStatus::Converged
+    }
+}
+
+/// Result of [`solve`].
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Objective at `x`.
+    pub f: f64,
+    /// Constraint infinity norm at `x`.
+    pub c_norm: f64,
+    /// Final multiplier estimates.
+    pub lambda: Vec<f64>,
+    /// Final penalty parameter.
+    pub rho: f64,
+    /// Outer iterations used.
+    pub outer_iterations: usize,
+    /// Total inner trust-region iterations.
+    pub inner_iterations: usize,
+    /// Total inner CG iterations.
+    pub cg_iterations: usize,
+    /// Termination status.
+    pub status: SolveStatus,
+}
+
+/// The augmented Lagrangian of an [`NlpProblem`] as a [`SmoothFn`].
+struct AugLagFn<'a, P: NlpProblem> {
+    p: &'a P,
+    lambda: Vec<f64>,
+    rho: f64,
+    // Scratch.
+    c: Vec<f64>,
+    jac_vals: Vec<f64>,
+    jac: CsrMatrix,
+    hess_vals: Vec<f64>,
+    hess: SymTriplets,
+    jv: Vec<f64>,
+    lambda_eff: Vec<f64>,
+}
+
+impl<'a, P: NlpProblem> AugLagFn<'a, P> {
+    fn new(p: &'a P, lambda: Vec<f64>, rho: f64) -> Self {
+        let m = p.num_constraints();
+        let n = p.num_vars();
+        let jstruct = p.jacobian_structure();
+        let hstruct = p.hessian_structure();
+        AugLagFn {
+            p,
+            lambda,
+            rho,
+            c: vec![0.0; m],
+            jac_vals: vec![0.0; jstruct.len()],
+            jac: CsrMatrix::from_structure(m, n, &jstruct),
+            hess_vals: vec![0.0; hstruct.len()],
+            hess: SymTriplets::from_structure(n, &hstruct),
+            jv: vec![0.0; m],
+            lambda_eff: vec![0.0; m],
+        }
+    }
+}
+
+impl<P: NlpProblem> SmoothFn for AugLagFn<'_, P> {
+    fn n(&self) -> usize {
+        self.p.num_vars()
+    }
+
+    fn value(&mut self, x: &[f64]) -> f64 {
+        let f = self.p.objective(x);
+        self.p.constraints(x, &mut self.c);
+        let mut v = f;
+        for (i, &ci) in self.c.iter().enumerate() {
+            v += -self.lambda[i] * ci + 0.5 * self.rho * ci * ci;
+        }
+        v
+    }
+
+    fn grad(&mut self, x: &[f64], g: &mut [f64]) {
+        self.p.gradient(x, g);
+        self.p.constraints(x, &mut self.c);
+        self.p.jacobian_values(x, &mut self.jac_vals);
+        self.jac.set_values(&self.jac_vals);
+        // g += J' (rho c - lambda)
+        for i in 0..self.c.len() {
+            self.jv[i] = self.rho * self.c[i] - self.lambda[i];
+        }
+        self.jac.mul_transpose_vec_add(&self.jv, g);
+    }
+
+    fn prepare_hess(&mut self, x: &[f64]) {
+        self.p.constraints(x, &mut self.c);
+        self.p.jacobian_values(x, &mut self.jac_vals);
+        self.jac.set_values(&self.jac_vals);
+        // Lagrangian part with effective multipliers rho c - lambda
+        // (trait convention: H = sigma H_f + sum lambda_i H_ci).
+        for i in 0..self.c.len() {
+            self.lambda_eff[i] = self.rho * self.c[i] - self.lambda[i];
+        }
+        self.p.hessian_values(x, 1.0, &self.lambda_eff, &mut self.hess_vals);
+        self.hess.set_values(&self.hess_vals);
+    }
+
+    fn hess_vec(&self, v: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+        self.hess.mul_vec_add(v, out);
+        // Gauss-Newton term rho J' (J v).
+        let mut jv = vec![0.0; self.c.len()];
+        self.jac.mul_vec(v, &mut jv);
+        for e in jv.iter_mut() {
+            *e *= self.rho;
+        }
+        self.jac.mul_transpose_vec_add(&jv, out);
+    }
+}
+
+fn c_inf_norm(c: &[f64]) -> f64 {
+    c.iter().fold(0.0f64, |a, &v| a.max(v.abs()))
+}
+
+/// Solves the problem with the augmented-Lagrangian method starting from
+/// `x0` (projected into the bounds).
+///
+/// Unconstrained problems (`m == 0`) collapse to a single bound-constrained
+/// trust-region solve.
+///
+/// # Panics
+///
+/// Panics if `x0.len() != problem.num_vars()`.
+pub fn solve<P: NlpProblem>(problem: &P, x0: &[f64], opts: &AugLagOptions) -> SolveResult {
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+    assert_eq!(x0.len(), n, "x0 length mismatch");
+    let (l, u) = problem.bounds();
+
+    let mut x = x0.to_vec();
+    tr::project(&mut x, &l, &u);
+    let mut lambda = vec![0.0; m];
+    let mut rho = opts.rho0;
+    // Conn-Gould-Toint tolerance schedules.
+    let mut omega = 1.0 / rho;
+    let mut eta = 1.0 / rho.powf(0.1);
+    let mut inner_total = 0usize;
+    let mut cg_total = 0usize;
+
+    let mut c = vec![0.0; m];
+    let mut last_pg = f64::INFINITY;
+
+    for outer in 0..opts.max_outer {
+        let mut al = AugLagFn::new(problem, lambda.clone(), rho);
+        let inner_opts = TrOptions {
+            tol: omega.max(opts.tol_opt * 0.1),
+            ..opts.inner.clone()
+        };
+        let x_prev = x.clone();
+        let r = tr::minimize(&mut al, &x, &l, &u, &inner_opts);
+        x = r.x;
+        inner_total += r.iterations;
+        cg_total += r.cg_iterations;
+        last_pg = r.pg_norm;
+
+        problem.constraints(&x, &mut c);
+        let cn = c_inf_norm(&c);
+
+        if opts.trace {
+            eprintln!(
+                "auglag outer {outer}: f = {:.6}, |c| = {cn:.3e}, pg = {:.3e}, rho = {rho:.1e}, inner = {} (cg {}), converged = {}",
+                problem.objective(&x),
+                r.pg_norm,
+                r.iterations,
+                r.cg_iterations,
+                r.converged,
+            );
+        }
+
+        // Stall detection: feasible and the inner solve cannot move the
+        // iterate any further — no better point is reachable at this
+        // arithmetic, so stop rather than spin to the iteration cap.
+        let moved = x
+            .iter()
+            .zip(&x_prev)
+            .any(|(a, b)| (a - b).abs() > 1e-12 * (1.0 + a.abs()));
+        if cn <= opts.tol_feas && !moved && outer > 0 {
+            return SolveResult {
+                f: problem.objective(&x),
+                c_norm: cn,
+                x,
+                lambda,
+                rho,
+                outer_iterations: outer + 1,
+                inner_iterations: inner_total,
+                cg_iterations: cg_total,
+                status: SolveStatus::Converged,
+            };
+        }
+
+        if m == 0 || cn <= eta.max(opts.tol_feas) {
+            if cn <= opts.tol_feas && last_pg <= opts.tol_opt {
+                return SolveResult {
+                    f: problem.objective(&x),
+                    c_norm: cn,
+                    x,
+                    lambda,
+                    rho,
+                    outer_iterations: outer + 1,
+                    inner_iterations: inner_total,
+                    cg_iterations: cg_total,
+                    status: SolveStatus::Converged,
+                };
+            }
+            // First-order multiplier update; tighten both tolerances.
+            for i in 0..m {
+                lambda[i] -= rho * c[i];
+            }
+            eta /= rho.powf(0.9);
+            omega /= rho;
+        } else {
+            rho *= opts.rho_mult;
+            if rho > opts.rho_max {
+                return SolveResult {
+                    f: problem.objective(&x),
+                    c_norm: cn,
+                    x,
+                    lambda,
+                    rho,
+                    outer_iterations: outer + 1,
+                    inner_iterations: inner_total,
+                    cg_iterations: cg_total,
+                    status: SolveStatus::PenaltyCap,
+                };
+            }
+            eta = 1.0 / rho.powf(0.1);
+            omega = 1.0 / rho;
+        }
+    }
+
+    problem.constraints(&x, &mut c);
+    let cn = c_inf_norm(&c);
+    let converged = cn <= opts.tol_feas && last_pg <= opts.tol_opt;
+    SolveResult {
+        f: problem.objective(&x),
+        c_norm: cn,
+        x,
+        lambda,
+        rho,
+        outer_iterations: opts.max_outer,
+        inner_iterations: inner_total,
+        cg_iterations: cg_total,
+        status: if converged { SolveStatus::Converged } else { SolveStatus::MaxIterations },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_problems::*;
+
+    #[test]
+    fn unconstrained_rosenbrock() {
+        let r = solve(&Rosenbrock, &[-1.2, 1.0], &AugLagOptions::default());
+        assert!(r.status.is_success(), "{r:?}");
+        assert!((r.x[0] - 1.0).abs() < 1e-5);
+        assert!((r.x[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn linear_equality_quadratic() {
+        // min x^2 + y^2 s.t. x + y = 1 -> (0.5, 0.5), lambda = 1.
+        let r = solve(&SumToOne, &[3.0, -2.0], &AugLagOptions::default());
+        assert!(r.status.is_success(), "{r:?}");
+        assert!((r.x[0] - 0.5).abs() < 1e-5, "{:?}", r.x);
+        assert!((r.x[1] - 0.5).abs() < 1e-5, "{:?}", r.x);
+        assert!((r.lambda[0] - 1.0).abs() < 1e-3, "lambda {:?}", r.lambda);
+    }
+
+    #[test]
+    fn hs6() {
+        let r = solve(&Hs6, &[-1.2, 1.0], &AugLagOptions::default());
+        assert!(r.status.is_success(), "{r:?}");
+        assert!(r.f < 1e-8, "f = {}", r.f);
+        assert!((r.x[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn hs7() {
+        let r = solve(&Hs7, &[2.0, 2.0], &AugLagOptions::default());
+        assert!(r.status.is_success(), "{r:?}");
+        let want = -(3.0f64.sqrt());
+        assert!((r.f - want).abs() < 1e-5, "f = {} want {}", r.f, want);
+    }
+
+    #[test]
+    fn hs28() {
+        let r = solve(&Hs28, &[-4.0, 1.0, 1.0], &AugLagOptions::default());
+        assert!(r.status.is_success(), "{r:?}");
+        assert!(r.f.abs() < 1e-7, "f = {}", r.f);
+        assert!(r.c_norm < 1e-7);
+    }
+
+    #[test]
+    fn hs48_and_hs51() {
+        let r = solve(&Hs48, &[3.0, 5.0, -3.0, 2.0, -2.0], &AugLagOptions::default());
+        assert!(r.status.is_success(), "{r:?}");
+        assert!(r.f < 1e-8, "f = {}", r.f);
+        for &xi in &r.x {
+            assert!((xi - 1.0).abs() < 1e-4, "{:?}", r.x);
+        }
+        let r = solve(&Hs51, &[2.5, 0.5, 2.0, -1.0, 0.5], &AugLagOptions::default());
+        assert!(r.status.is_success(), "{r:?}");
+        assert!(r.f < 1e-8, "f = {}", r.f);
+    }
+
+    #[test]
+    fn solutions_satisfy_kkt() {
+        use crate::problem::kkt_residual;
+        let r = solve(&SumToOne, &[3.0, -2.0], &AugLagOptions::default());
+        assert!(kkt_residual(&SumToOne, &r.x, &r.lambda).within(1e-4));
+        let r = solve(&Hs7, &[2.0, 2.0], &AugLagOptions::default());
+        assert!(kkt_residual(&Hs7, &r.x, &r.lambda).within(1e-4));
+        let r = solve(&Hs48, &[3.0, 5.0, -3.0, 2.0, -2.0], &AugLagOptions::default());
+        let k = kkt_residual(&Hs48, &r.x, &r.lambda);
+        assert!(k.within(1e-4), "{k:?}");
+    }
+
+    #[test]
+    fn bounded_equality() {
+        // min x + y s.t. x * y = 4, 1 <= x <= 10, 1 <= y <= 10.
+        // Optimum x = y = 2, f = 4.
+        let r = solve(&ProductBound, &[5.0, 5.0], &AugLagOptions::default());
+        assert!(r.status.is_success(), "{r:?}");
+        assert!((r.x[0] - 2.0).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] - 2.0).abs() < 1e-4, "{:?}", r.x);
+    }
+
+    #[test]
+    fn active_bound_with_constraint() {
+        // min x + y s.t. x * y = 4, x >= 4 forces x = 4, y = 1.
+        let p = ProductBoundTight;
+        let r = solve(&p, &[5.0, 2.0], &AugLagOptions::default());
+        assert!(r.status.is_success(), "{r:?}");
+        assert!((r.x[0] - 4.0).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-4, "{:?}", r.x);
+    }
+
+    #[test]
+    fn infeasible_detected_by_penalty_cap() {
+        // c(x) = x^2 + 1 = 0 has no real solution.
+        let r = solve(
+            &Infeasible,
+            &[0.5],
+            &AugLagOptions { max_outer: 60, ..Default::default() },
+        );
+        assert!(!r.status.is_success());
+    }
+
+    #[test]
+    fn slack_inequality_pattern() {
+        // min (x-3)^2 s.t. x <= 1 encoded as x + s - 1 = 0, s >= 0.
+        let r = solve(&SlackIneq, &[0.0, 0.0], &AugLagOptions::default());
+        assert!(r.status.is_success(), "{r:?}");
+        assert!((r.x[0] - 1.0).abs() < 1e-5, "{:?}", r.x);
+    }
+}

@@ -1,0 +1,277 @@
+//! Projected L-BFGS for bound-constrained minimisation.
+//!
+//! Used for reduced-space gate sizing (the objective as a function of the
+//! speed factors only, with adjoint gradients) and to warm-start the
+//! full-space augmented-Lagrangian solves. Search directions come from the
+//! standard two-loop recursion; steps are projected onto the box and
+//! accepted under an Armijo condition on the projected path.
+
+use crate::tr::project;
+use std::collections::VecDeque;
+
+/// A function with gradient only (no Hessian), for quasi-Newton methods.
+pub trait GradFn {
+    /// Dimension.
+    fn n(&self) -> usize;
+    /// Value at `x`.
+    fn value(&mut self, x: &[f64]) -> f64;
+    /// Gradient at `x`.
+    fn grad(&mut self, x: &[f64], g: &mut [f64]);
+}
+
+/// Options for [`minimize`].
+#[derive(Debug, Clone)]
+pub struct LbfgsOptions {
+    /// Convergence tolerance on the projected-gradient infinity norm.
+    pub tol: f64,
+    /// Maximum iterations.
+    pub max_iter: usize,
+    /// History length.
+    pub memory: usize,
+}
+
+impl Default for LbfgsOptions {
+    fn default() -> Self {
+        LbfgsOptions { tol: 1e-7, max_iter: 500, memory: 10 }
+    }
+}
+
+/// Result of [`minimize`].
+#[derive(Debug, Clone)]
+pub struct LbfgsResult {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Final value.
+    pub f: f64,
+    /// Final projected-gradient infinity norm.
+    pub pg_norm: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Minimises `f` over the box `[l, u]` from `x0`.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree or bounds are inverted.
+pub fn minimize<F: GradFn>(
+    f: &mut F,
+    x0: &[f64],
+    l: &[f64],
+    u: &[f64],
+    opts: &LbfgsOptions,
+) -> LbfgsResult {
+    let n = f.n();
+    assert_eq!(x0.len(), n);
+    assert_eq!(l.len(), n);
+    assert_eq!(u.len(), n);
+    for i in 0..n {
+        assert!(l[i] <= u[i], "bound {i} inverted");
+    }
+
+    let mut x = x0.to_vec();
+    project(&mut x, l, u);
+    let mut fx = f.value(&x);
+    let mut g = vec![0.0; n];
+    f.grad(&x, &mut g);
+
+    let mut hist: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new(); // (s, y, 1/y's)
+    let mut pg = pg_norm(&x, &g, l, u);
+    let mut resets = 0u32;
+
+    for iter in 0..opts.max_iter {
+        if pg <= opts.tol {
+            return LbfgsResult { x, f: fx, pg_norm: pg, iterations: iter, converged: true };
+        }
+
+        // Two-loop recursion on the raw gradient.
+        let mut d: Vec<f64> = g.iter().map(|v| -v).collect();
+        let mut alphas = Vec::with_capacity(hist.len());
+        for (s, y, rho) in hist.iter().rev() {
+            let a = rho * dot(s, &d);
+            alphas.push(a);
+            axpy(&mut d, -a, y);
+        }
+        if let Some((s, y, _)) = hist.back() {
+            let gamma = dot(s, y) / dot(y, y).max(1e-300);
+            for e in d.iter_mut() {
+                *e *= gamma.max(1e-12);
+            }
+        }
+        for ((s, y, rho), a) in hist.iter().zip(alphas.into_iter().rev()) {
+            let b = rho * dot(y, &d);
+            axpy(&mut d, a - b, s);
+        }
+        // Safeguard: ensure descent, else fall back to steepest descent.
+        if dot(&d, &g) >= 0.0 {
+            for i in 0..n {
+                d[i] = -g[i];
+            }
+        }
+
+        // Backtracking Armijo on the projected path x(t) = P(x + t d).
+        let mut t = 1.0;
+        let mut accepted = false;
+        let mut xn = vec![0.0; n];
+        let mut fn_ = fx;
+        for _ in 0..60 {
+            for i in 0..n {
+                xn[i] = (x[i] + t * d[i]).max(l[i]).min(u[i]);
+            }
+            fn_ = f.value(&xn);
+            // Armijo with the projected step as the reference direction.
+            let gs: f64 = (0..n).map(|i| g[i] * (xn[i] - x[i])).sum();
+            if fn_ <= fx + 1e-4 * gs && gs < 0.0 {
+                accepted = true;
+                break;
+            }
+            // Also accept a plain decrease when the directional term
+            // degenerates (fully active set).
+            if gs >= 0.0 && fn_ < fx {
+                accepted = true;
+                break;
+            }
+            t *= 0.5;
+        }
+        if !accepted {
+            // A stale quasi-Newton model can defeat the line search far
+            // from convergence; drop the history and retry from steepest
+            // descent before giving up.
+            if !hist.is_empty() && resets < 8 {
+                hist.clear();
+                resets += 1;
+                continue;
+            }
+            return LbfgsResult {
+                x,
+                f: fx,
+                pg_norm: pg,
+                iterations: iter,
+                converged: pg <= opts.tol,
+            };
+        }
+
+        let mut gn = vec![0.0; n];
+        f.grad(&xn, &mut gn);
+        let s: Vec<f64> = (0..n).map(|i| xn[i] - x[i]).collect();
+        let y: Vec<f64> = (0..n).map(|i| gn[i] - g[i]).collect();
+        let ys = dot(&y, &s);
+        if ys > 1e-12 * dot(&y, &y).sqrt() * dot(&s, &s).sqrt() {
+            if hist.len() == opts.memory {
+                hist.pop_front();
+            }
+            hist.push_back((s, y.clone(), 1.0 / ys));
+        }
+        x = xn;
+        fx = fn_;
+        g = gn;
+        pg = pg_norm(&x, &g, l, u);
+    }
+
+    LbfgsResult {
+        x,
+        f: fx,
+        pg_norm: pg,
+        iterations: opts.max_iter,
+        converged: pg <= opts.tol,
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
+    for i in 0..y.len() {
+        y[i] += a * x[i];
+    }
+}
+
+fn pg_norm(x: &[f64], g: &[f64], l: &[f64], u: &[f64]) -> f64 {
+    let mut worst: f64 = 0.0;
+    for i in 0..x.len() {
+        let t = (x[i] - g[i]).max(l[i]).min(u[i]);
+        worst = worst.max((x[i] - t).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Rosen;
+    impl GradFn for Rosen {
+        fn n(&self) -> usize {
+            2
+        }
+        fn value(&mut self, x: &[f64]) -> f64 {
+            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+        }
+        fn grad(&mut self, x: &[f64], g: &mut [f64]) {
+            g[0] = -2.0 * (1.0 - x[0]) - 400.0 * x[0] * (x[1] - x[0] * x[0]);
+            g[1] = 200.0 * (x[1] - x[0] * x[0]);
+        }
+    }
+
+    struct Quad {
+        center: Vec<f64>,
+    }
+    impl GradFn for Quad {
+        fn n(&self) -> usize {
+            self.center.len()
+        }
+        fn value(&mut self, x: &[f64]) -> f64 {
+            x.iter()
+                .zip(&self.center)
+                .map(|(a, c)| (a - c) * (a - c))
+                .sum()
+        }
+        fn grad(&mut self, x: &[f64], g: &mut [f64]) {
+            for i in 0..x.len() {
+                g[i] = 2.0 * (x[i] - self.center[i]);
+            }
+        }
+    }
+
+    const INF: f64 = f64::INFINITY;
+
+    #[test]
+    fn rosenbrock_unbounded() {
+        let r = minimize(
+            &mut Rosen,
+            &[-1.2, 1.0],
+            &[-INF; 2],
+            &[INF; 2],
+            &LbfgsOptions { tol: 1e-9, max_iter: 2000, memory: 10 },
+        );
+        assert!(r.converged, "{r:?}");
+        assert!((r.x[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quadratic_with_active_bounds() {
+        let mut q = Quad { center: vec![5.0, -5.0, 0.5] };
+        let r = minimize(
+            &mut q,
+            &[0.0; 3],
+            &[0.0, 0.0, 0.0],
+            &[1.0, 1.0, 1.0],
+            &LbfgsOptions::default(),
+        );
+        assert!(r.converged, "{r:?}");
+        assert!((r.x[0] - 1.0).abs() < 1e-8);
+        assert!(r.x[1].abs() < 1e-8);
+        assert!((r.x[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn already_optimal() {
+        let mut q = Quad { center: vec![0.3] };
+        let r = minimize(&mut q, &[0.3], &[0.0], &[1.0], &LbfgsOptions::default());
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+    }
+}

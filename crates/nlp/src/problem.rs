@@ -1,0 +1,232 @@
+//! The nonlinear-programming problem trait and derivative checking.
+
+/// An equality-constrained, bound-constrained smooth optimisation problem:
+///
+/// ```text
+/// minimize    f(x)
+/// subject to  c(x) = 0          (m equality constraints)
+///             l <= x <= u       (simple bounds; +-inf allowed)
+/// ```
+///
+/// Inequality constraints are expected to be rewritten with bounded slack
+/// variables by the modelling layer, exactly as LANCELOT's input format
+/// requires.
+///
+/// Derivatives are exact and sparse: the Jacobian uses a fixed triplet
+/// structure, and the Hessian of the Lagrangian
+/// `sigma * f(x) + sum_i lambda_i * c_i(x)` uses a fixed **lower-triangle**
+/// triplet structure (diagonal included, `row >= col`). Duplicate triplets
+/// are allowed and are summed.
+pub trait NlpProblem {
+    /// Number of variables `n`.
+    fn num_vars(&self) -> usize;
+
+    /// Number of equality constraints `m` (may be 0).
+    fn num_constraints(&self) -> usize;
+
+    /// Lower and upper variable bounds, each of length `n`. Use
+    /// `f64::NEG_INFINITY` / `f64::INFINITY` for free variables.
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>);
+
+    /// Objective value.
+    fn objective(&self, x: &[f64]) -> f64;
+
+    /// Objective gradient, written to `grad` (length `n`).
+    fn gradient(&self, x: &[f64], grad: &mut [f64]);
+
+    /// Constraint values, written to `c` (length `m`).
+    fn constraints(&self, x: &[f64], c: &mut [f64]);
+
+    /// Fixed sparsity of the constraint Jacobian as `(constraint, var)`
+    /// pairs.
+    fn jacobian_structure(&self) -> Vec<(usize, usize)>;
+
+    /// Jacobian values in the order of [`NlpProblem::jacobian_structure`].
+    fn jacobian_values(&self, x: &[f64], vals: &mut [f64]);
+
+    /// Fixed sparsity of the Lagrangian Hessian, lower triangle
+    /// (`row >= col`), as `(row, col)` pairs.
+    fn hessian_structure(&self) -> Vec<(usize, usize)>;
+
+    /// Lagrangian Hessian values `sigma * H_f + sum_i lambda_i * H_{c_i}`
+    /// in the order of [`NlpProblem::hessian_structure`].
+    fn hessian_values(&self, x: &[f64], sigma: f64, lambda: &[f64], vals: &mut [f64]);
+}
+
+/// Result of [`check_derivatives`]: the worst absolute discrepancy found in
+/// each derivative block, for assertions in tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivativeReport {
+    /// Worst gradient error vs central differences.
+    pub grad: f64,
+    /// Worst Jacobian error vs central differences.
+    pub jac: f64,
+    /// Worst Lagrangian-Hessian error vs central differences of the exact
+    /// Lagrangian gradient.
+    pub hess: f64,
+}
+
+impl DerivativeReport {
+    /// True when every block agrees within `tol`.
+    pub fn within(&self, tol: f64) -> bool {
+        self.grad <= tol && self.jac <= tol && self.hess <= tol
+    }
+}
+
+/// Compares a problem's exact derivatives against central finite
+/// differences at `x` (step `h`, scaled per component). `lambda` is used
+/// for the Lagrangian Hessian check.
+///
+/// Intended for tests: cost is `O(n)` full evaluations.
+pub fn check_derivatives<P: NlpProblem>(
+    p: &P,
+    x: &[f64],
+    lambda: &[f64],
+    h: f64,
+) -> DerivativeReport {
+    let n = p.num_vars();
+    let m = p.num_constraints();
+    assert_eq!(x.len(), n);
+    assert_eq!(lambda.len(), m);
+
+    // Gradient check.
+    let mut grad = vec![0.0; n];
+    p.gradient(x, &mut grad);
+    let mut worst_g: f64 = 0.0;
+    for i in 0..n {
+        let step = h * (1.0 + x[i].abs());
+        let mut xp = x.to_vec();
+        let mut xm = x.to_vec();
+        xp[i] += step;
+        xm[i] -= step;
+        let num = (p.objective(&xp) - p.objective(&xm)) / (2.0 * step);
+        worst_g = worst_g.max((grad[i] - num).abs() / (1.0 + num.abs()));
+    }
+
+    // Jacobian check (dense reconstruction).
+    let structure = p.jacobian_structure();
+    let mut vals = vec![0.0; structure.len()];
+    p.jacobian_values(x, &mut vals);
+    let mut jac_dense = vec![0.0; m * n];
+    for (k, &(ci, vi)) in structure.iter().enumerate() {
+        jac_dense[ci * n + vi] += vals[k];
+    }
+    let mut worst_j: f64 = 0.0;
+    let mut cp = vec![0.0; m];
+    let mut cm = vec![0.0; m];
+    for i in 0..n {
+        let step = h * (1.0 + x[i].abs());
+        let mut xp = x.to_vec();
+        let mut xm = x.to_vec();
+        xp[i] += step;
+        xm[i] -= step;
+        p.constraints(&xp, &mut cp);
+        p.constraints(&xm, &mut cm);
+        for ci in 0..m {
+            let num = (cp[ci] - cm[ci]) / (2.0 * step);
+            worst_j = worst_j.max((jac_dense[ci * n + i] - num).abs() / (1.0 + num.abs()));
+        }
+    }
+
+    // Lagrangian Hessian check against differences of the exact Lagrangian
+    // gradient (sigma = 1).
+    let lag_grad = |x: &[f64], out: &mut [f64]| {
+        p.gradient(x, out);
+        let mut jv = vec![0.0; structure.len()];
+        p.jacobian_values(x, &mut jv);
+        for (k, &(ci, vi)) in structure.iter().enumerate() {
+            out[vi] += lambda[ci] * jv[k];
+        }
+    };
+    let hstructure = p.hessian_structure();
+    let mut hvals = vec![0.0; hstructure.len()];
+    p.hessian_values(x, 1.0, lambda, &mut hvals);
+    let mut hess_dense = vec![0.0; n * n];
+    for (k, &(r, c)) in hstructure.iter().enumerate() {
+        assert!(r >= c, "hessian structure must be lower triangle");
+        hess_dense[r * n + c] += hvals[k];
+        if r != c {
+            hess_dense[c * n + r] += hvals[k];
+        }
+    }
+    let mut worst_h: f64 = 0.0;
+    let mut gp = vec![0.0; n];
+    let mut gm = vec![0.0; n];
+    for i in 0..n {
+        let step = h * (1.0 + x[i].abs());
+        let mut xp = x.to_vec();
+        let mut xm = x.to_vec();
+        xp[i] += step;
+        xm[i] -= step;
+        lag_grad(&xp, &mut gp);
+        lag_grad(&xm, &mut gm);
+        for r in 0..n {
+            let num = (gp[r] - gm[r]) / (2.0 * step);
+            worst_h = worst_h.max((hess_dense[r * n + i] - num).abs() / (1.0 + num.abs()));
+        }
+    }
+
+    DerivativeReport { grad: worst_g, jac: worst_j, hess: worst_h }
+}
+
+/// First-order (KKT) residuals at a candidate solution, using the
+/// augmented-Lagrangian sign convention of [`crate::auglag`]:
+/// `L = f - lambda' c`, so stationarity is the projected norm of
+/// `grad f - J' lambda` over the bound box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KktReport {
+    /// Infinity norm of the projected Lagrangian gradient.
+    pub stationarity: f64,
+    /// Infinity norm of the constraint values.
+    pub feasibility: f64,
+}
+
+impl KktReport {
+    /// True when both residuals are within `tol`.
+    pub fn within(&self, tol: f64) -> bool {
+        self.stationarity <= tol && self.feasibility <= tol
+    }
+}
+
+/// Evaluates the KKT residuals of `(x, lambda)` for a problem — the
+/// standard certificate that a solver output is a first-order optimum.
+pub fn kkt_residual<P: NlpProblem>(p: &P, x: &[f64], lambda: &[f64]) -> KktReport {
+    let n = p.num_vars();
+    let m = p.num_constraints();
+    assert_eq!(x.len(), n);
+    assert_eq!(lambda.len(), m);
+    let (l, u) = p.bounds();
+    let mut g = vec![0.0; n];
+    p.gradient(x, &mut g);
+    let structure = p.jacobian_structure();
+    let mut jv = vec![0.0; structure.len()];
+    p.jacobian_values(x, &mut jv);
+    for (k, &(ci, vi)) in structure.iter().enumerate() {
+        g[vi] -= lambda[ci] * jv[k];
+    }
+    let mut stationarity: f64 = 0.0;
+    for i in 0..n {
+        let t = (x[i] - g[i]).max(l[i]).min(u[i]);
+        stationarity = stationarity.max((x[i] - t).abs());
+    }
+    let mut c = vec![0.0; m];
+    p.constraints(x, &mut c);
+    let feasibility = c.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+    KktReport { stationarity, feasibility }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_problems::{Hs6, Hs7, Rosenbrock};
+
+    #[test]
+    fn check_derivatives_passes_on_correct_problems() {
+        let r = check_derivatives(&Rosenbrock, &[-1.2, 1.0], &[], 1e-5);
+        assert!(r.within(1e-5), "{r:?}");
+        let r = check_derivatives(&Hs6, &[-1.2, 1.0], &[0.7], 1e-5);
+        assert!(r.within(1e-5), "{r:?}");
+        let r = check_derivatives(&Hs7, &[2.0, 2.0], &[-0.3], 1e-5);
+        assert!(r.within(1e-4), "{r:?}");
+    }
+}

@@ -1,0 +1,214 @@
+//! Minimal sparse kernels: CSR Jacobian and symmetric triplet Hessian
+//! products. These are the only linear-algebra operations the matrix-free
+//! trust-region Newton-CG solver needs.
+
+// Index-form loops mirror the textbook kernels; iterator chains obscure
+// the row/column structure here.
+#![allow(clippy::needless_range_loop)]
+
+/// A sparse matrix in CSR form built from `(row, col)` triplets with a
+/// fixed structure and refreshable values — the shape of an NLP Jacobian.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    /// Permutation from triplet order to CSR storage order.
+    perm: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds the CSR skeleton from a triplet structure. Duplicate entries
+    /// are kept (products sum them naturally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a triplet index is out of range.
+    pub fn from_structure(nrows: usize, ncols: usize, structure: &[(usize, usize)]) -> Self {
+        let nnz = structure.len();
+        let mut row_counts = vec![0usize; nrows];
+        for &(r, c) in structure {
+            assert!(r < nrows && c < ncols, "triplet ({r},{c}) out of range");
+            row_counts[r] += 1;
+        }
+        let mut row_ptr = vec![0usize; nrows + 1];
+        for r in 0..nrows {
+            row_ptr[r + 1] = row_ptr[r] + row_counts[r];
+        }
+        let mut next = row_ptr[..nrows].to_vec();
+        let mut col_idx = vec![0usize; nnz];
+        let mut perm = vec![0usize; nnz];
+        for (k, &(r, c)) in structure.iter().enumerate() {
+            let slot = next[r];
+            next[r] += 1;
+            col_idx[slot] = c;
+            perm[k] = slot;
+        }
+        CsrMatrix { nrows, ncols, row_ptr, col_idx, perm, vals: vec![0.0; nnz] }
+    }
+
+    /// Refreshes the values from triplet-ordered `vals`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals.len()` differs from the structure size.
+    pub fn set_values(&mut self, vals: &[f64]) {
+        assert_eq!(vals.len(), self.perm.len(), "value count mismatch");
+        for (k, &v) in vals.iter().enumerate() {
+            self.vals[self.perm[k]] = v;
+        }
+    }
+
+    /// `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for r in 0..self.nrows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.vals[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// `y += A^T x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_transpose_vec_add(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows);
+        assert_eq!(y.len(), self.ncols);
+        for r in 0..self.nrows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                y[self.col_idx[k]] += self.vals[k] * xr;
+            }
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+}
+
+/// A symmetric matrix stored as lower-triangle triplets (`row >= col`),
+/// with a fixed structure and refreshable values — the shape of a
+/// Lagrangian Hessian.
+#[derive(Debug, Clone)]
+pub struct SymTriplets {
+    n: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl SymTriplets {
+    /// Builds the skeleton from a lower-triangle structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry has `row < col` or is out of range.
+    pub fn from_structure(n: usize, structure: &[(usize, usize)]) -> Self {
+        let mut rows = Vec::with_capacity(structure.len());
+        let mut cols = Vec::with_capacity(structure.len());
+        for &(r, c) in structure {
+            assert!(r < n && c < n, "triplet ({r},{c}) out of range");
+            assert!(r >= c, "structure must be lower triangle, got ({r},{c})");
+            rows.push(r);
+            cols.push(c);
+        }
+        let vals = vec![0.0; structure.len()];
+        SymTriplets { n, rows, cols, vals }
+    }
+
+    /// Refreshes the values (triplet order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals.len()` differs from the structure size.
+    pub fn set_values(&mut self, vals: &[f64]) {
+        assert_eq!(vals.len(), self.vals.len(), "value count mismatch");
+        self.vals.copy_from_slice(vals);
+    }
+
+    /// `y += H x` for the full symmetric matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_vec_add(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for k in 0..self.vals.len() {
+            let (r, c, v) = (self.rows[k], self.cols[k], self.vals[k]);
+            y[r] += v * x[c];
+            if r != c {
+                y[c] += v * x[r];
+            }
+        }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_matches_dense() {
+        // A = [[1, 0, 2], [0, 3, 0]] with a duplicate on (0,2): 2 = 1.5+0.5.
+        let structure = [(0, 0), (0, 2), (1, 1), (0, 2)];
+        let mut a = CsrMatrix::from_structure(2, 3, &structure);
+        a.set_values(&[1.0, 1.5, 3.0, 0.5]);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 2];
+        a.mul_vec(&x, &mut y);
+        assert_eq!(y, [1.0 + 6.0, 6.0]);
+        let mut z = [0.0; 3];
+        a.mul_transpose_vec_add(&[1.0, 1.0], &mut z);
+        assert_eq!(z, [1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn sym_matches_dense() {
+        // H = [[2, 1], [1, 4]] stored as lower triangle.
+        let mut h = SymTriplets::from_structure(2, &[(0, 0), (1, 0), (1, 1)]);
+        h.set_values(&[2.0, 1.0, 4.0]);
+        let mut y = [0.0; 2];
+        h.mul_vec_add(&[1.0, 2.0], &mut y);
+        assert_eq!(y, [4.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower triangle")]
+    fn sym_rejects_upper() {
+        let _ = SymTriplets::from_structure(2, &[(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn csr_rejects_out_of_range() {
+        let _ = CsrMatrix::from_structure(2, 2, &[(5, 0)]);
+    }
+}

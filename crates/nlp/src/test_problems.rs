@@ -1,0 +1,465 @@
+//! Classic optimisation test problems with known solutions.
+//!
+//! Used by the crate's test-suite and by `sgs-bench` to validate and
+//! benchmark the solver independently of the gate-sizing application.
+//! `Hs*` problems are from the Hock-Schittkowski collection.
+
+use crate::problem::NlpProblem;
+
+const INF: f64 = f64::INFINITY;
+
+/// Unconstrained Rosenbrock: `min (1-x)^2 + 100 (y-x^2)^2`, optimum
+/// `(1, 1)` with value 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rosenbrock;
+
+impl NlpProblem for Rosenbrock {
+    fn num_vars(&self) -> usize {
+        2
+    }
+    fn num_constraints(&self) -> usize {
+        0
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![-INF; 2], vec![INF; 2])
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        g[0] = -2.0 * (1.0 - x[0]) - 400.0 * x[0] * (x[1] - x[0] * x[0]);
+        g[1] = 200.0 * (x[1] - x[0] * x[0]);
+    }
+    fn constraints(&self, _x: &[f64], _c: &mut [f64]) {}
+    fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+        Vec::new()
+    }
+    fn jacobian_values(&self, _x: &[f64], _vals: &mut [f64]) {}
+    fn hessian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0), (1, 0), (1, 1)]
+    }
+    fn hessian_values(&self, x: &[f64], sigma: f64, _lambda: &[f64], vals: &mut [f64]) {
+        vals[0] = sigma * (2.0 - 400.0 * (x[1] - 3.0 * x[0] * x[0]));
+        vals[1] = sigma * (-400.0 * x[0]);
+        vals[2] = sigma * 200.0;
+    }
+}
+
+/// `min x^2 + y^2 s.t. x + y = 1`; optimum `(1/2, 1/2)`, multiplier 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumToOne;
+
+impl NlpProblem for SumToOne {
+    fn num_vars(&self) -> usize {
+        2
+    }
+    fn num_constraints(&self) -> usize {
+        1
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![-INF; 2], vec![INF; 2])
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        x[0] * x[0] + x[1] * x[1]
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        g[0] = 2.0 * x[0];
+        g[1] = 2.0 * x[1];
+    }
+    fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        c[0] = x[0] + x[1] - 1.0;
+    }
+    fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0), (0, 1)]
+    }
+    fn jacobian_values(&self, _x: &[f64], vals: &mut [f64]) {
+        vals[0] = 1.0;
+        vals[1] = 1.0;
+    }
+    fn hessian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0), (1, 1)]
+    }
+    fn hessian_values(&self, _x: &[f64], sigma: f64, _lambda: &[f64], vals: &mut [f64]) {
+        vals[0] = 2.0 * sigma;
+        vals[1] = 2.0 * sigma;
+    }
+}
+
+/// Hock-Schittkowski 6: `min (1-x1)^2 s.t. 10 (x2 - x1^2) = 0`; optimum
+/// `(1, 1)` with value 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hs6;
+
+impl NlpProblem for Hs6 {
+    fn num_vars(&self) -> usize {
+        2
+    }
+    fn num_constraints(&self) -> usize {
+        1
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![-INF; 2], vec![INF; 2])
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        (1.0 - x[0]).powi(2)
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        g[0] = -2.0 * (1.0 - x[0]);
+        g[1] = 0.0;
+    }
+    fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        c[0] = 10.0 * (x[1] - x[0] * x[0]);
+    }
+    fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0), (0, 1)]
+    }
+    fn jacobian_values(&self, x: &[f64], vals: &mut [f64]) {
+        vals[0] = -20.0 * x[0];
+        vals[1] = 10.0;
+    }
+    fn hessian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0)]
+    }
+    fn hessian_values(&self, _x: &[f64], sigma: f64, lambda: &[f64], vals: &mut [f64]) {
+        vals[0] = 2.0 * sigma + lambda[0] * (-20.0);
+    }
+}
+
+/// Hock-Schittkowski 7: `min ln(1+x1^2) - x2 s.t. (1+x1^2)^2 + x2^2 = 4`;
+/// optimum `(0, sqrt 3)` with value `-sqrt 3`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hs7;
+
+impl NlpProblem for Hs7 {
+    fn num_vars(&self) -> usize {
+        2
+    }
+    fn num_constraints(&self) -> usize {
+        1
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![-INF; 2], vec![INF; 2])
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        (1.0 + x[0] * x[0]).ln() - x[1]
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        g[0] = 2.0 * x[0] / (1.0 + x[0] * x[0]);
+        g[1] = -1.0;
+    }
+    fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        c[0] = (1.0 + x[0] * x[0]).powi(2) + x[1] * x[1] - 4.0;
+    }
+    fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0), (0, 1)]
+    }
+    fn jacobian_values(&self, x: &[f64], vals: &mut [f64]) {
+        vals[0] = 4.0 * x[0] * (1.0 + x[0] * x[0]);
+        vals[1] = 2.0 * x[1];
+    }
+    fn hessian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0), (1, 1)]
+    }
+    fn hessian_values(&self, x: &[f64], sigma: f64, lambda: &[f64], vals: &mut [f64]) {
+        let t = 1.0 + x[0] * x[0];
+        vals[0] = sigma * (2.0 - 2.0 * x[0] * x[0]) / (t * t)
+            + lambda[0] * (4.0 + 12.0 * x[0] * x[0]);
+        vals[1] = lambda[0] * 2.0;
+    }
+}
+
+/// Hock-Schittkowski 28: `min (x1+x2)^2 + (x2+x3)^2 s.t. x1 + 2 x2 +
+/// 3 x3 = 1`; optimum `(0.5, -0.5, 0.5)` with value 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hs28;
+
+impl NlpProblem for Hs28 {
+    fn num_vars(&self) -> usize {
+        3
+    }
+    fn num_constraints(&self) -> usize {
+        1
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![-INF; 3], vec![INF; 3])
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        (x[0] + x[1]).powi(2) + (x[1] + x[2]).powi(2)
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        g[0] = 2.0 * (x[0] + x[1]);
+        g[1] = 2.0 * (x[0] + x[1]) + 2.0 * (x[1] + x[2]);
+        g[2] = 2.0 * (x[1] + x[2]);
+    }
+    fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        c[0] = x[0] + 2.0 * x[1] + 3.0 * x[2] - 1.0;
+    }
+    fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0), (0, 1), (0, 2)]
+    }
+    fn jacobian_values(&self, _x: &[f64], vals: &mut [f64]) {
+        vals.copy_from_slice(&[1.0, 2.0, 3.0]);
+    }
+    fn hessian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]
+    }
+    fn hessian_values(&self, _x: &[f64], sigma: f64, _lambda: &[f64], vals: &mut [f64]) {
+        vals.copy_from_slice(&[2.0 * sigma, 2.0 * sigma, 4.0 * sigma, 2.0 * sigma, 2.0 * sigma]);
+    }
+}
+
+/// `min x + y s.t. x y = 4`, box `[1, 10]^2`; optimum `(2, 2)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProductBound;
+
+/// Like [`ProductBound`] but with `x >= 4`, forcing the bound-active
+/// optimum `(4, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProductBoundTight;
+
+macro_rules! product_impl {
+    ($ty:ty, $xlo:expr) => {
+        impl NlpProblem for $ty {
+            fn num_vars(&self) -> usize {
+                2
+            }
+            fn num_constraints(&self) -> usize {
+                1
+            }
+            fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+                (vec![$xlo, 1.0], vec![10.0, 10.0])
+            }
+            fn objective(&self, x: &[f64]) -> f64 {
+                x[0] + x[1]
+            }
+            fn gradient(&self, _x: &[f64], g: &mut [f64]) {
+                g[0] = 1.0;
+                g[1] = 1.0;
+            }
+            fn constraints(&self, x: &[f64], c: &mut [f64]) {
+                c[0] = x[0] * x[1] - 4.0;
+            }
+            fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+                vec![(0, 0), (0, 1)]
+            }
+            fn jacobian_values(&self, x: &[f64], vals: &mut [f64]) {
+                vals[0] = x[1];
+                vals[1] = x[0];
+            }
+            fn hessian_structure(&self) -> Vec<(usize, usize)> {
+                vec![(1, 0)]
+            }
+            fn hessian_values(
+                &self,
+                _x: &[f64],
+                _sigma: f64,
+                lambda: &[f64],
+                vals: &mut [f64],
+            ) {
+                vals[0] = lambda[0];
+            }
+        }
+    };
+}
+
+product_impl!(ProductBound, 1.0);
+product_impl!(ProductBoundTight, 4.0);
+
+/// Hock-Schittkowski 48: `min (x1-1)^2 + (x2-x3)^2 + (x4-x5)^2` subject
+/// to `sum x = 5` and `x3 - 2(x4 + x5) = -3`; optimum all-ones, value 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hs48;
+
+impl NlpProblem for Hs48 {
+    fn num_vars(&self) -> usize {
+        5
+    }
+    fn num_constraints(&self) -> usize {
+        2
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![-INF; 5], vec![INF; 5])
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        (x[0] - 1.0).powi(2) + (x[1] - x[2]).powi(2) + (x[3] - x[4]).powi(2)
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        g[0] = 2.0 * (x[0] - 1.0);
+        g[1] = 2.0 * (x[1] - x[2]);
+        g[2] = -2.0 * (x[1] - x[2]);
+        g[3] = 2.0 * (x[3] - x[4]);
+        g[4] = -2.0 * (x[3] - x[4]);
+    }
+    fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        c[0] = x.iter().sum::<f64>() - 5.0;
+        c[1] = x[2] - 2.0 * (x[3] + x[4]) + 3.0;
+    }
+    fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+        let mut s: Vec<(usize, usize)> = (0..5).map(|i| (0, i)).collect();
+        s.extend([(1, 2), (1, 3), (1, 4)]);
+        s
+    }
+    fn jacobian_values(&self, _x: &[f64], vals: &mut [f64]) {
+        vals.copy_from_slice(&[1.0, 1.0, 1.0, 1.0, 1.0, 1.0, -2.0, -2.0]);
+    }
+    fn hessian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0), (1, 1), (2, 1), (2, 2), (3, 3), (4, 3), (4, 4)]
+    }
+    fn hessian_values(&self, _x: &[f64], sigma: f64, _l: &[f64], vals: &mut [f64]) {
+        let t = 2.0 * sigma;
+        vals.copy_from_slice(&[t, t, -t, t, t, -t, t]);
+    }
+}
+
+/// Hock-Schittkowski 51: `min (x1-x2)^2 + (x2+x3-2)^2 + (x4-1)^2 +
+/// (x5-1)^2` subject to `x1 + 3 x2 = 4`, `x3 + x4 - 2 x5 = 0`,
+/// `x2 - x5 = 0`; optimum all-ones, value 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hs51;
+
+impl NlpProblem for Hs51 {
+    fn num_vars(&self) -> usize {
+        5
+    }
+    fn num_constraints(&self) -> usize {
+        3
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![-INF; 5], vec![INF; 5])
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        (x[0] - x[1]).powi(2)
+            + (x[1] + x[2] - 2.0).powi(2)
+            + (x[3] - 1.0).powi(2)
+            + (x[4] - 1.0).powi(2)
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        g[0] = 2.0 * (x[0] - x[1]);
+        g[1] = -2.0 * (x[0] - x[1]) + 2.0 * (x[1] + x[2] - 2.0);
+        g[2] = 2.0 * (x[1] + x[2] - 2.0);
+        g[3] = 2.0 * (x[3] - 1.0);
+        g[4] = 2.0 * (x[4] - 1.0);
+    }
+    fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        c[0] = x[0] + 3.0 * x[1] - 4.0;
+        c[1] = x[2] + x[3] - 2.0 * x[4];
+        c[2] = x[1] - x[4];
+    }
+    fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0), (0, 1), (1, 2), (1, 3), (1, 4), (2, 1), (2, 4)]
+    }
+    fn jacobian_values(&self, _x: &[f64], vals: &mut [f64]) {
+        vals.copy_from_slice(&[1.0, 3.0, 1.0, 1.0, -2.0, 1.0, -1.0]);
+    }
+    fn hessian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 3), (4, 4)]
+    }
+    fn hessian_values(&self, _x: &[f64], sigma: f64, _l: &[f64], vals: &mut [f64]) {
+        let t = 2.0 * sigma;
+        vals.copy_from_slice(&[t, -t, 2.0 * t, t, t, t, t]);
+    }
+}
+
+/// Infeasible problem: `min x^2 s.t. x^2 + 1 = 0`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Infeasible;
+
+impl NlpProblem for Infeasible {
+    fn num_vars(&self) -> usize {
+        1
+    }
+    fn num_constraints(&self) -> usize {
+        1
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![-INF], vec![INF])
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        x[0] * x[0]
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        g[0] = 2.0 * x[0];
+    }
+    fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        c[0] = x[0] * x[0] + 1.0;
+    }
+    fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0)]
+    }
+    fn jacobian_values(&self, x: &[f64], vals: &mut [f64]) {
+        vals[0] = 2.0 * x[0];
+    }
+    fn hessian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0)]
+    }
+    fn hessian_values(&self, _x: &[f64], sigma: f64, lambda: &[f64], vals: &mut [f64]) {
+        vals[0] = 2.0 * sigma + 2.0 * lambda[0];
+    }
+}
+
+/// Inequality via slack: `min (x-3)^2 s.t. x <= 1`, written as
+/// `x + s - 1 = 0, s >= 0`; optimum `x = 1`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlackIneq;
+
+impl NlpProblem for SlackIneq {
+    fn num_vars(&self) -> usize {
+        2
+    }
+    fn num_constraints(&self) -> usize {
+        1
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![-INF, 0.0], vec![INF, INF])
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        (x[0] - 3.0).powi(2)
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        g[0] = 2.0 * (x[0] - 3.0);
+        g[1] = 0.0;
+    }
+    fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        c[0] = x[0] + x[1] - 1.0;
+    }
+    fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0), (0, 1)]
+    }
+    fn jacobian_values(&self, _x: &[f64], vals: &mut [f64]) {
+        vals[0] = 1.0;
+        vals[1] = 1.0;
+    }
+    fn hessian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0)]
+    }
+    fn hessian_values(&self, _x: &[f64], sigma: f64, _lambda: &[f64], vals: &mut [f64]) {
+        vals[0] = 2.0 * sigma;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::check_derivatives;
+
+    #[test]
+    fn all_test_problem_derivatives_exact() {
+        let tol = 2e-4;
+        assert!(check_derivatives(&Rosenbrock, &[0.3, -0.7], &[], 1e-5).within(tol));
+        assert!(check_derivatives(&SumToOne, &[0.3, -0.7], &[0.4], 1e-5).within(tol));
+        assert!(check_derivatives(&Hs6, &[0.3, -0.7], &[0.4], 1e-5).within(tol));
+        assert!(check_derivatives(&Hs7, &[0.8, 1.1], &[-0.2], 1e-5).within(tol));
+        assert!(check_derivatives(&Hs28, &[1.0, 2.0, -0.5], &[0.3], 1e-5).within(tol));
+        assert!(
+            check_derivatives(&Hs48, &[3.0, 5.0, -3.0, 2.0, -2.0], &[0.3, -0.4], 1e-5)
+                .within(tol)
+        );
+        assert!(
+            check_derivatives(&Hs51, &[2.5, 0.5, 2.0, -1.0, 0.5], &[0.3, -0.4, 0.1], 1e-5)
+                .within(tol)
+        );
+        assert!(check_derivatives(&ProductBound, &[2.0, 3.0], &[0.5], 1e-5).within(tol));
+        assert!(check_derivatives(&Infeasible, &[0.7], &[1.2], 1e-5).within(tol));
+        assert!(check_derivatives(&SlackIneq, &[0.7, 0.1], &[1.2], 1e-5).within(tol));
+    }
+}

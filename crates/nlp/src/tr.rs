@@ -1,0 +1,484 @@
+//! Bound-constrained trust-region Newton-CG minimisation.
+//!
+//! This is the SBMIN-style inner solver of the LANCELOT family: at each
+//! iterate the quadratic model (exact gradient, exact Hessian-vector
+//! products) is approximately minimised over the intersection of the trust
+//! region and the bound box by a **projected Steihaug-Toint conjugate
+//! gradient**: variables pinned at a bound with an outward-pointing
+//! gradient are frozen, and CG steps truncate at the first trust-region or
+//! bound crossing (which preserves the Cauchy-decrease property that global
+//! convergence rests on).
+
+/// A smooth function with exact derivatives, evaluated through mutable
+/// state so implementations can cache factorisations or constraint values.
+pub trait SmoothFn {
+    /// Dimension.
+    fn n(&self) -> usize;
+    /// Function value at `x`.
+    fn value(&mut self, x: &[f64]) -> f64;
+    /// Gradient at `x`, written to `g`.
+    fn grad(&mut self, x: &[f64], g: &mut [f64]);
+    /// Evaluates and caches the Hessian at `x` for subsequent
+    /// [`SmoothFn::hess_vec`] calls.
+    fn prepare_hess(&mut self, x: &[f64]);
+    /// `out = H v` using the Hessian cached by the last `prepare_hess`.
+    fn hess_vec(&self, v: &[f64], out: &mut [f64]);
+}
+
+/// Options for [`minimize`].
+#[derive(Debug, Clone)]
+pub struct TrOptions {
+    /// Convergence tolerance on the infinity norm of the projected
+    /// gradient.
+    pub tol: f64,
+    /// Maximum trust-region iterations.
+    pub max_iter: usize,
+    /// Maximum CG iterations per subproblem (0 means `2 n`).
+    pub max_cg: usize,
+    /// Initial trust-region radius (0 means automatic).
+    pub delta0: f64,
+}
+
+impl Default for TrOptions {
+    fn default() -> Self {
+        TrOptions { tol: 1e-8, max_iter: 500, max_cg: 0, delta0: 0.0 }
+    }
+}
+
+/// Result of a trust-region minimisation.
+#[derive(Debug, Clone)]
+pub struct TrResult {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Final function value.
+    pub f: f64,
+    /// Final projected-gradient infinity norm.
+    pub pg_norm: f64,
+    /// Trust-region iterations used.
+    pub iterations: usize,
+    /// Total CG iterations used.
+    pub cg_iterations: usize,
+    /// Whether `pg_norm <= tol` was reached.
+    pub converged: bool,
+}
+
+/// Projects `x` into `[l, u]` component-wise, in place.
+pub fn project(x: &mut [f64], l: &[f64], u: &[f64]) {
+    for i in 0..x.len() {
+        x[i] = x[i].max(l[i]).min(u[i]);
+    }
+}
+
+/// Infinity norm of the projected gradient `x - P(x - g)`.
+pub fn projected_gradient_norm(x: &[f64], g: &[f64], l: &[f64], u: &[f64]) -> f64 {
+    let mut worst: f64 = 0.0;
+    for i in 0..x.len() {
+        let t = (x[i] - g[i]).max(l[i]).min(u[i]);
+        worst = worst.max((x[i] - t).abs());
+    }
+    worst
+}
+
+/// Minimises `f` over the box `[l, u]` starting from `x0` (projected into
+/// the box first).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `f.n()` or if any `l[i] > u[i]`.
+pub fn minimize<F: SmoothFn>(
+    f: &mut F,
+    x0: &[f64],
+    l: &[f64],
+    u: &[f64],
+    opts: &TrOptions,
+) -> TrResult {
+    let n = f.n();
+    assert_eq!(x0.len(), n);
+    assert_eq!(l.len(), n);
+    assert_eq!(u.len(), n);
+    for i in 0..n {
+        assert!(l[i] <= u[i], "bound {i} inverted: [{}, {}]", l[i], u[i]);
+    }
+    let max_cg = if opts.max_cg == 0 { (2 * n).max(10) } else { opts.max_cg };
+
+    let mut x = x0.to_vec();
+    project(&mut x, l, u);
+    let mut fx = f.value(&x);
+    let mut g = vec![0.0; n];
+    f.grad(&x, &mut g);
+    let gnorm = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let mut delta = if opts.delta0 > 0.0 {
+        opts.delta0
+    } else {
+        (0.1 * gnorm).max(1.0)
+    };
+    let delta_max = 1e10;
+
+    let mut cg_total = 0usize;
+    let mut pg = projected_gradient_norm(&x, &g, l, u);
+
+    for iter in 0..opts.max_iter {
+        if pg <= opts.tol {
+            return TrResult {
+                x,
+                f: fx,
+                pg_norm: pg,
+                iterations: iter,
+                cg_iterations: cg_total,
+                converged: true,
+            };
+        }
+        f.prepare_hess(&x);
+
+        // Retry with shrinking radius until a step is accepted or the
+        // radius collapses.
+        let mut accepted = false;
+        while !accepted {
+            let (p, pred, ncg, hit_boundary) =
+                solve_subproblem(f, &x, &g, l, u, delta, max_cg);
+            cg_total += ncg;
+            if pred <= f64::EPSILON * (1.0 + fx.abs()) {
+                delta *= 0.5;
+                if delta < 1e-14 {
+                    // No decrease possible: declare convergence at the
+                    // achieved projected-gradient level.
+                    return TrResult {
+                        x,
+                        f: fx,
+                        pg_norm: pg,
+                        iterations: iter,
+                        cg_iterations: cg_total,
+                        converged: pg <= opts.tol,
+                    };
+                }
+                continue;
+            }
+            let mut xnew = x.clone();
+            for i in 0..n {
+                xnew[i] += p[i];
+            }
+            project(&mut xnew, l, u);
+            let fnew = f.value(&xnew);
+            let ared = fx - fnew;
+            let rho = ared / pred;
+            let pnorm = p.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if rho < 0.25 {
+                delta = 0.25 * pnorm.max(delta * 0.1).min(delta);
+            } else if rho > 0.75 && hit_boundary {
+                delta = (2.0 * delta).min(delta_max);
+            }
+            if rho > 1e-4 && ared > 0.0 {
+                x = xnew;
+                fx = fnew;
+                f.grad(&x, &mut g);
+                pg = projected_gradient_norm(&x, &g, l, u);
+                accepted = true;
+            } else if delta < 1e-14 {
+                return TrResult {
+                    x,
+                    f: fx,
+                    pg_norm: pg,
+                    iterations: iter,
+                    cg_iterations: cg_total,
+                    converged: pg <= opts.tol,
+                };
+            }
+        }
+    }
+
+    TrResult {
+        x,
+        f: fx,
+        pg_norm: pg,
+        iterations: opts.max_iter,
+        cg_iterations: cg_total,
+        converged: pg <= opts.tol,
+    }
+}
+
+/// Approximately minimises the quadratic model `g'p + p'Hp/2` over the
+/// trust region and bounds with projected Steihaug-Toint CG.
+///
+/// Returns `(p, predicted_reduction, cg_iterations, hit_boundary)`.
+fn solve_subproblem<F: SmoothFn>(
+    f: &F,
+    x: &[f64],
+    g: &[f64],
+    l: &[f64],
+    u: &[f64],
+    delta: f64,
+    max_cg: usize,
+) -> (Vec<f64>, f64, usize, bool) {
+    let n = x.len();
+    let eps_act = 1e-12;
+    // Freeze variables pinned at a bound with the gradient pushing outward.
+    let mut free = vec![true; n];
+    for i in 0..n {
+        let at_lower = l[i].is_finite() && x[i] - l[i] <= eps_act * (1.0 + l[i].abs());
+        let at_upper = u[i].is_finite() && u[i] - x[i] <= eps_act * (1.0 + u[i].abs());
+        if (at_lower && g[i] >= 0.0) || (at_upper && g[i] <= 0.0) {
+            free[i] = false;
+        }
+    }
+
+    let mut p = vec![0.0; n];
+    let mut r: Vec<f64> = g
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| if free[i] { v } else { 0.0 })
+        .collect();
+    let mut rr: f64 = r.iter().map(|v| v * v).sum();
+    let rr0 = rr;
+    if rr0 == 0.0 {
+        return (p, 0.0, 0, false);
+    }
+    let ctol = 0.01f64.min(rr0.sqrt().sqrt()); // superlinear forcing term
+    let mut d: Vec<f64> = r.iter().map(|v| -v).collect();
+    let mut hd = vec![0.0; n];
+    let mut hit_boundary = false;
+    let mut ncg = 0usize;
+
+    while ncg < max_cg {
+        ncg += 1;
+        f.hess_vec(&d, &mut hd);
+        for i in 0..n {
+            if !free[i] {
+                hd[i] = 0.0;
+            }
+        }
+        let kappa: f64 = d.iter().zip(&hd).map(|(a, b)| a * b).sum();
+        let dd: f64 = d.iter().map(|v| v * v).sum();
+        if kappa <= 1e-16 * dd {
+            // Negative / zero curvature: go to the nearest boundary.
+            let tau = step_to_boundary(&p, &d, x, l, u, delta);
+            for i in 0..n {
+                p[i] += tau * d[i];
+            }
+            hit_boundary = true;
+            break;
+        }
+        let alpha = rr / kappa;
+        let tau = step_to_boundary(&p, &d, x, l, u, delta);
+        if alpha >= tau {
+            for i in 0..n {
+                p[i] += tau * d[i];
+            }
+            hit_boundary = true;
+            break;
+        }
+        for i in 0..n {
+            p[i] += alpha * d[i];
+            r[i] += alpha * hd[i];
+        }
+        let rr_new: f64 = r.iter().map(|v| v * v).sum();
+        if rr_new.sqrt() <= ctol * rr0.sqrt() {
+            break;
+        }
+        let beta = rr_new / rr;
+        for i in 0..n {
+            d[i] = -r[i] + beta * d[i];
+        }
+        rr = rr_new;
+    }
+
+    // Predicted reduction -m(p) = -(g'p + p'Hp/2).
+    f.hess_vec(&p, &mut hd);
+    let gp: f64 = g.iter().zip(&p).map(|(a, b)| a * b).sum();
+    let php: f64 = p.iter().zip(&hd).map(|(a, b)| a * b).sum();
+    let pred = -(gp + 0.5 * php);
+    (p, pred, ncg, hit_boundary)
+}
+
+/// Largest `tau >= 0` with `|p + tau d| <= delta` and
+/// `l <= x + p + tau d <= u`.
+fn step_to_boundary(
+    p: &[f64],
+    d: &[f64],
+    x: &[f64],
+    l: &[f64],
+    u: &[f64],
+    delta: f64,
+) -> f64 {
+    // Trust region: |p|^2 + 2 tau p'd + tau^2 |d|^2 = delta^2.
+    let pp: f64 = p.iter().map(|v| v * v).sum();
+    let pd: f64 = p.iter().zip(d).map(|(a, b)| a * b).sum();
+    let dd: f64 = d.iter().map(|v| v * v).sum();
+    let mut tau = if dd > 0.0 {
+        let disc = (pd * pd + dd * (delta * delta - pp)).max(0.0);
+        (-pd + disc.sqrt()) / dd
+    } else {
+        0.0
+    };
+    // Bounds.
+    for i in 0..d.len() {
+        let base = x[i] + p[i];
+        if d[i] > 0.0 {
+            tau = tau.min((u[i] - base) / d[i]);
+        } else if d[i] < 0.0 {
+            tau = tau.min((l[i] - base) / d[i]);
+        }
+    }
+    tau.max(0.0)
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    /// Dense-quadratic adapter for testing: f = g0'x + x'H x / 2 + c.
+    struct Quadratic {
+        h: Vec<Vec<f64>>,
+        g0: Vec<f64>,
+    }
+
+    impl SmoothFn for Quadratic {
+        fn n(&self) -> usize {
+            self.g0.len()
+        }
+        fn value(&mut self, x: &[f64]) -> f64 {
+            let n = self.n();
+            let mut v = 0.0;
+            for i in 0..n {
+                v += self.g0[i] * x[i];
+                for j in 0..n {
+                    v += 0.5 * x[i] * self.h[i][j] * x[j];
+                }
+            }
+            v
+        }
+        fn grad(&mut self, x: &[f64], g: &mut [f64]) {
+            let n = self.n();
+            for i in 0..n {
+                g[i] = self.g0[i];
+                for j in 0..n {
+                    g[i] += self.h[i][j] * x[j];
+                }
+            }
+        }
+        fn prepare_hess(&mut self, _x: &[f64]) {}
+        fn hess_vec(&self, v: &[f64], out: &mut [f64]) {
+            let n = self.n();
+            for i in 0..n {
+                out[i] = (0..n).map(|j| self.h[i][j] * v[j]).sum();
+            }
+        }
+    }
+
+    /// Rosenbrock as a SmoothFn.
+    struct Rosen {
+        hx: [f64; 2],
+    }
+
+    impl SmoothFn for Rosen {
+        fn n(&self) -> usize {
+            2
+        }
+        fn value(&mut self, x: &[f64]) -> f64 {
+            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+        }
+        fn grad(&mut self, x: &[f64], g: &mut [f64]) {
+            g[0] = -2.0 * (1.0 - x[0]) - 400.0 * x[0] * (x[1] - x[0] * x[0]);
+            g[1] = 200.0 * (x[1] - x[0] * x[0]);
+        }
+        fn prepare_hess(&mut self, x: &[f64]) {
+            self.hx = [x[0], x[1]];
+        }
+        fn hess_vec(&self, v: &[f64], out: &mut [f64]) {
+            let [x0, x1] = self.hx;
+            let h00 = 2.0 - 400.0 * (x1 - 3.0 * x0 * x0);
+            let h01 = -400.0 * x0;
+            let h11 = 200.0;
+            out[0] = h00 * v[0] + h01 * v[1];
+            out[1] = h01 * v[0] + h11 * v[1];
+        }
+    }
+
+    const INF: f64 = f64::INFINITY;
+
+    #[test]
+    fn unconstrained_quadratic_exact() {
+        // min (x - [1,2])' diag(2, 6) (x - [1,2]) / 2.
+        let mut q = Quadratic {
+            h: vec![vec![2.0, 0.0], vec![0.0, 6.0]],
+            g0: vec![-2.0, -12.0],
+        };
+        let r = minimize(&mut q, &[0.0, 0.0], &[-INF, -INF], &[INF, INF], &TrOptions::default());
+        assert!(r.converged);
+        assert!((r.x[0] - 1.0).abs() < 1e-7, "{:?}", r.x);
+        assert!((r.x[1] - 2.0).abs() < 1e-7, "{:?}", r.x);
+    }
+
+    #[test]
+    fn active_bound_found() {
+        // Same quadratic but x0 <= 0.5 binds.
+        let mut q = Quadratic {
+            h: vec![vec![2.0, 0.0], vec![0.0, 6.0]],
+            g0: vec![-2.0, -12.0],
+        };
+        let r = minimize(&mut q, &[0.0, 0.0], &[-INF, -INF], &[0.5, INF], &TrOptions::default());
+        assert!(r.converged);
+        assert!((r.x[0] - 0.5).abs() < 1e-9, "{:?}", r.x);
+        assert!((r.x[1] - 2.0).abs() < 1e-7, "{:?}", r.x);
+    }
+
+    #[test]
+    fn rosenbrock_converges() {
+        let mut f = Rosen { hx: [0.0; 2] };
+        let r = minimize(
+            &mut f,
+            &[-1.2, 1.0],
+            &[-INF, -INF],
+            &[INF, INF],
+            &TrOptions { tol: 1e-10, ..Default::default() },
+        );
+        assert!(r.converged, "{r:?}");
+        assert!((r.x[0] - 1.0).abs() < 1e-6);
+        assert!((r.x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rosenbrock_with_box_excluding_optimum() {
+        // Optimum (1,1) excluded by u = (0.8, inf): solution on the bound
+        // x0 = 0.8, x1 = 0.64.
+        let mut f = Rosen { hx: [0.0; 2] };
+        let r = minimize(
+            &mut f,
+            &[0.0, 0.0],
+            &[-INF, -INF],
+            &[0.8, INF],
+            &TrOptions { tol: 1e-10, ..Default::default() },
+        );
+        assert!(r.converged, "{r:?}");
+        assert!((r.x[0] - 0.8).abs() < 1e-7, "{:?}", r.x);
+        assert!((r.x[1] - 0.64).abs() < 1e-6, "{:?}", r.x);
+    }
+
+    #[test]
+    fn start_outside_box_is_projected() {
+        let mut q = Quadratic {
+            h: vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            g0: vec![0.0, 0.0],
+        };
+        let r = minimize(&mut q, &[5.0, -7.0], &[1.0, -2.0], &[3.0, 2.0], &TrOptions::default());
+        assert!(r.converged);
+        // Unconstrained min is the origin; box forces (1, 0).
+        assert!((r.x[0] - 1.0).abs() < 1e-9);
+        assert!(r.x[1].abs() < 1e-7);
+    }
+
+    #[test]
+    fn projected_gradient_norm_zero_at_bound_optimum() {
+        let x = [1.0, 0.0];
+        let g = [2.0, 0.0]; // pushes below lower bound 1.0
+        let pg = projected_gradient_norm(&x, &g, &[1.0, -1.0], &[3.0, 1.0]);
+        assert_eq!(pg, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_bounds_rejected() {
+        let mut q = Quadratic { h: vec![vec![1.0]], g0: vec![0.0] };
+        let _ = minimize(&mut q, &[0.0], &[1.0], &[-1.0], &TrOptions::default());
+    }
+}

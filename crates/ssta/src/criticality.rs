@@ -1,0 +1,237 @@
+//! Analytic path-criticality analysis.
+//!
+//! The probability that a gate lies on the critical path is the classic
+//! diagnostic a statistical sizer offers over a deterministic one (a gate
+//! can be 40% critical — no deterministic slack number expresses that).
+//! This module computes criticality analytically from Clark **tightness
+//! probabilities**: at every two-operand max, `T = P(A > B)` is the chance
+//! the left operand propagates. Criticality then flows backward from the
+//! primary outputs, splitting at every max node according to its
+//! tightness. Reconvergence makes the result approximate (the same
+//! independence assumption the paper's SSTA makes); the Monte Carlo
+//! criticality of [`crate::monte_carlo()`] is the reference.
+
+use crate::delay::DelayModel;
+use sgs_netlist::{Circuit, GateId, Library, Signal};
+use sgs_statmath::{clark, Normal};
+
+/// Result of [`criticality`].
+#[derive(Debug, Clone)]
+pub struct CriticalityReport {
+    /// Per-gate probability of lying on the critical path.
+    pub criticality: Vec<f64>,
+    /// Per-gate arrival distributions (from the underlying SSTA pass).
+    pub arrivals: Vec<Normal>,
+    /// The circuit delay distribution.
+    pub delay: Normal,
+}
+
+impl CriticalityReport {
+    /// Gates sorted by decreasing criticality.
+    pub fn ranked(&self) -> Vec<(GateId, f64)> {
+        let mut v: Vec<(GateId, f64)> = self
+            .criticality
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (GateId(i), c))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+}
+
+/// Computes analytic gate criticalities under speed factors `s`.
+///
+/// # Panics
+///
+/// Panics if `s.len() != circuit.num_gates()`.
+pub fn criticality(circuit: &Circuit, lib: &Library, s: &[f64]) -> CriticalityReport {
+    assert_eq!(s.len(), circuit.num_gates(), "speed vector length mismatch");
+    let model = DelayModel::new(circuit, lib);
+    let n = circuit.num_gates();
+    let eps = clark::DEFAULT_EPS;
+
+    // Forward pass: arrivals plus, per gate, the probability that each
+    // fan-in is the one selected by the (left-fold) max chain.
+    let mut arrivals: Vec<Normal> = Vec::with_capacity(n);
+    let mut select_prob: Vec<Vec<(Signal, f64)>> = Vec::with_capacity(n);
+    for (id, gate) in circuit.gates() {
+        let at = |sig: Signal, arrivals: &[Normal]| -> Normal {
+            match sig {
+                Signal::Pi(_) => Normal::certain(0.0),
+                Signal::Gate(g) => arrivals[g.index()],
+            }
+        };
+        let mut acc = at(gate.inputs[0], &arrivals);
+        // probs[i] = P(input i selected so far).
+        let mut probs = vec![1.0f64];
+        for &sig in &gate.inputs[1..] {
+            let b = at(sig, &arrivals);
+            let t = clark::tightness(acc, b, 0.0);
+            for p in probs.iter_mut() {
+                *p *= t;
+            }
+            probs.push(1.0 - t);
+            acc = clark::max_eps(acc, b, eps);
+        }
+        select_prob.push(gate.inputs.iter().copied().zip(probs).collect());
+        arrivals.push(acc + model.gate_delay(id, s));
+    }
+
+    // Output max chain selection probabilities.
+    let outs = circuit.outputs();
+    let mut acc = arrivals[outs[0].index()];
+    let mut out_probs = vec![1.0f64];
+    for &o in &outs[1..] {
+        let b = arrivals[o.index()];
+        let t = clark::tightness(acc, b, 0.0);
+        for p in out_probs.iter_mut() {
+            *p *= t;
+        }
+        out_probs.push(1.0 - t);
+        acc = clark::max_eps(acc, b, eps);
+    }
+    let delay = acc;
+
+    // Backward pass: distribute criticality through the selection
+    // probabilities.
+    let mut crit = vec![0.0f64; n];
+    for (&o, &p) in outs.iter().zip(&out_probs) {
+        crit[o.index()] += p;
+    }
+    for (id, _) in circuit.gates().collect::<Vec<_>>().into_iter().rev() {
+        let c = crit[id.index()];
+        if c == 0.0 {
+            continue;
+        }
+        for &(sig, p) in &select_prob[id.index()] {
+            if let Signal::Gate(src) = sig {
+                crit[src.index()] += c * p;
+            }
+        }
+    }
+
+    CriticalityReport { criticality: crit, arrivals, delay }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monte_carlo::{monte_carlo, McOptions};
+    use sgs_netlist::generate;
+
+    fn lib() -> Library {
+        Library::paper_default()
+    }
+
+    #[test]
+    fn chain_is_fully_critical() {
+        let c = generate::inverter_chain(6);
+        let r = criticality(&c, &lib(), &[1.0; 6]);
+        for (i, &p) in r.criticality.iter().enumerate() {
+            assert!((p - 1.0).abs() < 1e-12, "gate {i}: {p}");
+        }
+    }
+
+    #[test]
+    fn balanced_tree_splits_evenly() {
+        let c = generate::tree7();
+        let r = criticality(&c, &lib(), &[1.0; 7]);
+        // Output gate certain; the two mid gates split ~50/50; leaves ~25%.
+        assert!((r.criticality[6] - 1.0).abs() < 1e-9);
+        assert!((r.criticality[2] - 0.5).abs() < 0.02, "C: {}", r.criticality[2]);
+        assert!((r.criticality[5] - 0.5).abs() < 0.02, "F: {}", r.criticality[5]);
+        for &leaf in &[0usize, 1, 3, 4] {
+            assert!(
+                (r.criticality[leaf] - 0.25).abs() < 0.03,
+                "leaf {leaf}: {}",
+                r.criticality[leaf]
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_monte_carlo_on_tree() {
+        // Trees have no reconvergence, so the analytic values should match
+        // sampled criticality closely.
+        let c = generate::tree7();
+        let s = vec![1.2, 1.0, 1.5, 1.2, 1.0, 1.5, 2.0];
+        let a = criticality(&c, &lib(), &s);
+        let m = monte_carlo(
+            &c,
+            &lib(),
+            &s,
+            &McOptions { samples: 60_000, seed: 21, criticality: true },
+        );
+        for i in 0..7 {
+            assert!(
+                (a.criticality[i] - m.criticality[i]).abs() < 0.03,
+                "gate {i}: analytic {} vs MC {}",
+                a.criticality[i],
+                m.criticality[i]
+            );
+        }
+    }
+
+    #[test]
+    fn ranks_gates_like_monte_carlo_on_reconvergent_circuit() {
+        // On reconvergent circuits the independence assumption skews the
+        // absolute probabilities (correlated arrivals share criticality
+        // differently), but the *ranking* — which gates matter — must
+        // still agree with Monte Carlo.
+        let c = generate::ripple_carry_adder(4);
+        let s = vec![1.0; c.num_gates()];
+        let a = criticality(&c, &lib(), &s);
+        let m = monte_carlo(
+            &c,
+            &lib(),
+            &s,
+            &McOptions { samples: 40_000, seed: 21, criticality: true },
+        );
+        // Spearman rank correlation between the two criticality vectors.
+        let rank = |v: &[f64]| -> Vec<f64> {
+            let mut idx: Vec<usize> = (0..v.len()).collect();
+            idx.sort_by(|&i, &j| v[i].total_cmp(&v[j]));
+            let mut r = vec![0.0; v.len()];
+            for (pos, &i) in idx.iter().enumerate() {
+                r[i] = pos as f64;
+            }
+            r
+        };
+        let ra = rank(&a.criticality);
+        let rm = rank(&m.criticality);
+        let n = ra.len() as f64;
+        let mean = (n - 1.0) / 2.0;
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut dm = 0.0;
+        for i in 0..ra.len() {
+            num += (ra[i] - mean) * (rm[i] - mean);
+            da += (ra[i] - mean).powi(2);
+            dm += (rm[i] - mean).powi(2);
+        }
+        let spearman = num / (da * dm).sqrt();
+        assert!(spearman > 0.6, "rank correlation {spearman}");
+    }
+
+    #[test]
+    fn ranked_is_sorted_and_complete() {
+        let c = generate::fig2();
+        let r = criticality(&c, &lib(), &[1.0; 4]);
+        let ranked = r.ranked();
+        assert_eq!(ranked.len(), 4);
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn arrival_and_delay_consistent_with_plain_ssta() {
+        let c = generate::tree7();
+        let s = vec![1.6; 7];
+        let a = criticality(&c, &lib(), &s);
+        let b = crate::analysis::ssta(&c, &lib(), &s);
+        assert!((a.delay.mean() - b.delay.mean()).abs() < 1e-12);
+        assert!((a.delay.var() - b.delay.var()).abs() < 1e-12);
+    }
+}

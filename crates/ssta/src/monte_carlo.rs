@@ -1,0 +1,276 @@
+//! Monte Carlo timing: the ground truth the analytical SSTA approximates.
+//!
+//! Each trial draws an independent delay for every gate from its
+//! `N(mu_t, sigma_t)` distribution and propagates exact (sample-wise) max
+//! arrivals. The paper cites Monte Carlo as the accurate-but-too-slow
+//! alternative that motivates the analytical treatment; here it validates
+//! the analytical results and measures yield.
+
+use crate::delay::DelayModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgs_netlist::{Circuit, Library, Signal};
+use sgs_statmath::{mc, Normal};
+
+/// Options for [`monte_carlo`].
+#[derive(Debug, Clone)]
+pub struct McOptions {
+    /// Number of trials.
+    pub samples: usize,
+    /// RNG seed (runs are deterministic given a seed).
+    pub seed: u64,
+    /// Record per-gate criticality (fraction of trials in which the gate
+    /// lies on the sample's critical path). Slightly slower.
+    pub criticality: bool,
+}
+
+impl Default for McOptions {
+    fn default() -> Self {
+        McOptions { samples: 20_000, seed: 0x5657, criticality: false }
+    }
+}
+
+/// Monte Carlo timing result.
+#[derive(Debug, Clone)]
+pub struct McReport {
+    /// Sample mean and variance of the circuit delay.
+    pub delay: Normal,
+    /// Sorted circuit-delay samples (for quantiles / yield curves).
+    samples: Vec<f64>,
+    /// Per-gate criticality, if requested (else empty).
+    pub criticality: Vec<f64>,
+}
+
+impl McReport {
+    /// Fraction of trials meeting the deadline `t` — the quantity the
+    /// paper's `mu + k sigma` constraints target (50% / 84.1% / 99.8% for
+    /// k = 0 / 1 / 3).
+    pub fn yield_at(&self, t: f64) -> f64 {
+        let idx = self.samples.partition_point(|&x| x <= t);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// The empirical `p`-quantile of the circuit delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        let n = self.samples.len();
+        let idx = ((p * n as f64) as usize).min(n - 1);
+        self.samples[idx]
+    }
+
+    /// Number of trials.
+    pub fn num_samples(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+/// Runs a Monte Carlo timing analysis of the circuit under speed factors
+/// `s`.
+///
+/// # Panics
+///
+/// Panics if `s.len() != circuit.num_gates()` or `opts.samples == 0`.
+pub fn monte_carlo(circuit: &Circuit, lib: &Library, s: &[f64], opts: &McOptions) -> McReport {
+    assert_eq!(s.len(), circuit.num_gates(), "speed vector length mismatch");
+    assert!(opts.samples > 0, "need at least one sample");
+    let model = DelayModel::new(circuit, lib);
+    let n = circuit.num_gates();
+    // Precompute per-gate delay distributions once.
+    let dists: Vec<Normal> = circuit.gates().map(|(id, _)| model.gate_delay(id, s)).collect();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut samples = Vec::with_capacity(opts.samples);
+    let mut crit_count = vec![0u64; if opts.criticality { n } else { 0 }];
+    let mut arrival = vec![0.0f64; n];
+    let mut argmax: Vec<Option<usize>> = vec![None; if opts.criticality { n } else { 0 }];
+
+    for _ in 0..opts.samples {
+        for (i, (id, gate)) in circuit.gates().enumerate() {
+            debug_assert_eq!(i, id.index());
+            let mut u = f64::NEG_INFINITY;
+            let mut from = None;
+            for &sig in &gate.inputs {
+                let a = match sig {
+                    Signal::Pi(_) => 0.0,
+                    Signal::Gate(g) => arrival[g.index()],
+                };
+                if a > u {
+                    u = a;
+                    from = match sig {
+                        Signal::Pi(_) => None,
+                        Signal::Gate(g) => Some(g.index()),
+                    };
+                }
+            }
+            arrival[i] = u + mc::sample(dists[i], &mut rng);
+            if opts.criticality {
+                argmax[i] = from;
+            }
+        }
+        let (worst_gate, worst) = circuit
+            .outputs()
+            .iter()
+            .map(|&o| (o.index(), arrival[o.index()]))
+            .fold((usize::MAX, f64::NEG_INFINITY), |acc, x| {
+                if x.1 > acc.1 {
+                    x
+                } else {
+                    acc
+                }
+            });
+        samples.push(worst);
+        if opts.criticality {
+            // Walk the sample's critical path back to the inputs.
+            let mut g = Some(worst_gate);
+            while let Some(i) = g {
+                crit_count[i] += 1;
+                g = argmax[i];
+            }
+        }
+    }
+
+    let (mean, var) = mc::moments(samples.iter().copied());
+    samples.sort_by(f64::total_cmp);
+    McReport {
+        delay: Normal::from_mean_var(mean, var.max(0.0)),
+        samples,
+        criticality: crit_count
+            .into_iter()
+            .map(|c| c as f64 / opts.samples as f64)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ssta;
+    use sgs_netlist::generate;
+
+    fn lib() -> Library {
+        Library::paper_default()
+    }
+
+    #[test]
+    fn mc_agrees_with_analytical_ssta_on_tree() {
+        let c = generate::tree7();
+        let s = vec![1.0; 7];
+        let analytical = ssta(&c, &lib(), &s).delay;
+        let mc = monte_carlo(
+            &c,
+            &lib(),
+            &s,
+            &McOptions { samples: 60_000, seed: 1, criticality: false },
+        );
+        assert!(
+            (mc.delay.mean() - analytical.mean()).abs() < 0.03 * analytical.mean(),
+            "mean {} vs analytical {}",
+            mc.delay.mean(),
+            analytical.mean()
+        );
+        assert!(
+            (mc.delay.sigma() - analytical.sigma()).abs() < 0.1 * analytical.sigma(),
+            "sigma {} vs analytical {}",
+            mc.delay.sigma(),
+            analytical.sigma()
+        );
+    }
+
+    #[test]
+    fn mc_agrees_on_random_dag() {
+        let c = generate::random_dag(&sgs_netlist::generate::RandomDagSpec {
+            name: "mc".into(),
+            cells: 120,
+            inputs: 12,
+            depth: 10,
+            seed: 5,
+            ..Default::default()
+        });
+        let s = vec![1.5; c.num_gates()];
+        let analytical = ssta(&c, &lib(), &s).delay;
+        let mc = monte_carlo(
+            &c,
+            &lib(),
+            &s,
+            &McOptions { samples: 40_000, seed: 2, criticality: false },
+        );
+        // Reconvergence makes the independence assumption approximate: the
+        // analytical mean sits a few percent above the sampled truth on a
+        // dense random DAG (correlated arrivals shrink the true max). The
+        // paper reports small errors on real circuits; we accept < 8% here
+        // and require the bias to be in the predicted (pessimistic)
+        // direction.
+        assert!(
+            (mc.delay.mean() - analytical.mean()).abs() < 0.08 * analytical.mean(),
+            "mean {} vs analytical {}",
+            mc.delay.mean(),
+            analytical.mean()
+        );
+        assert!(
+            analytical.mean() > mc.delay.mean() - 0.01 * analytical.mean(),
+            "independence approximation should not be optimistic"
+        );
+    }
+
+    #[test]
+    fn yield_matches_k_sigma_rule() {
+        let c = generate::tree7();
+        let s = vec![1.0; 7];
+        let analytical = ssta(&c, &lib(), &s).delay;
+        let mc = monte_carlo(
+            &c,
+            &lib(),
+            &s,
+            &McOptions { samples: 60_000, seed: 3, criticality: false },
+        );
+        // Paper: mu covers ~50%, mu + sigma ~84.1%, mu + 3 sigma ~99.8%.
+        let y0 = mc.yield_at(analytical.mean());
+        let y1 = mc.yield_at(analytical.mean_plus_k_sigma(1.0));
+        let y3 = mc.yield_at(analytical.mean_plus_k_sigma(3.0));
+        assert!((y0 - 0.5).abs() < 0.05, "yield at mu: {y0}");
+        assert!((y1 - 0.841).abs() < 0.04, "yield at mu+sigma: {y1}");
+        assert!(y3 > 0.99, "yield at mu+3sigma: {y3}");
+    }
+
+    #[test]
+    fn quantiles_sorted_and_consistent() {
+        let c = generate::fig2();
+        let s = vec![1.0; 4];
+        let mc = monte_carlo(&c, &lib(), &s, &McOptions::default());
+        assert!(mc.quantile(0.1) <= mc.quantile(0.5));
+        assert!(mc.quantile(0.5) <= mc.quantile(0.9));
+        let q = mc.quantile(0.75);
+        let y = mc.yield_at(q);
+        assert!((y - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn criticality_concentrates_on_output_gate() {
+        let c = generate::tree7();
+        let s = vec![1.0; 7];
+        let mc = monte_carlo(
+            &c,
+            &lib(),
+            &s,
+            &McOptions { samples: 5_000, seed: 4, criticality: true },
+        );
+        // G (index 6) is on every critical path.
+        assert!((mc.criticality[6] - 1.0).abs() < 1e-12);
+        // The four leaves split the path roughly evenly.
+        let leaf_sum: f64 =
+            [0usize, 1, 3, 4].iter().map(|&i| mc.criticality[i]).sum();
+        assert!((leaf_sum - 1.0).abs() < 0.05, "leaf criticality sum {leaf_sum}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = generate::fig2();
+        let s = vec![2.0; 4];
+        let a = monte_carlo(&c, &lib(), &s, &McOptions::default());
+        let b = monte_carlo(&c, &lib(), &s, &McOptions::default());
+        assert_eq!(a.delay, b.delay);
+    }
+}

@@ -1,0 +1,206 @@
+//! Switching power under the zero-delay model.
+//!
+//! The paper (Section 4) notes that with capacitances and switching
+//! activities folded into the weights, the weighted-sum-of-speed-factors
+//! objective models **power**, because dynamic power scales linearly with
+//! the speed factor just as area does. This module supplies those weights:
+//! signal probabilities propagate through the gate functions assuming
+//! spatially independent inputs, activities follow from temporal
+//! independence (`alpha = 2 p (1 - p)`), and each gate's input capacitance
+//! `C_in * S` is charged by its driving net's toggles.
+
+use crate::delay::DelayModel;
+use sgs_netlist::{Circuit, GateKind, Library, Signal};
+
+/// Static signal probability (probability of logic 1) at every gate
+/// output, propagated under the spatial-independence assumption.
+///
+/// `input_probs` gives `P(1)` per primary input; pass 0.5 for unbiased
+/// inputs.
+///
+/// # Panics
+///
+/// Panics if `input_probs.len() != circuit.num_inputs()` or a probability
+/// is outside `[0, 1]`.
+pub fn signal_probabilities(circuit: &Circuit, input_probs: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        input_probs.len(),
+        circuit.num_inputs(),
+        "one probability per primary input"
+    );
+    for &p in input_probs {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    }
+    let mut probs = Vec::with_capacity(circuit.num_gates());
+    for (_, gate) in circuit.gates() {
+        let at = |sig: Signal| -> f64 {
+            match sig {
+                Signal::Pi(p) => input_probs[p],
+                Signal::Gate(g) => probs[g.index()],
+            }
+        };
+        let ins: Vec<f64> = gate.inputs.iter().map(|&s| at(s)).collect();
+        let p = match gate.kind {
+            GateKind::Inv => 1.0 - ins[0],
+            GateKind::Buf => ins[0],
+            GateKind::Nand2 | GateKind::Nand3 | GateKind::Nand4 => {
+                1.0 - ins.iter().product::<f64>()
+            }
+            GateKind::And2 => ins.iter().product(),
+            GateKind::Nor2 | GateKind::Nor3 => ins.iter().map(|p| 1.0 - p).product(),
+            GateKind::Or2 => 1.0 - ins.iter().map(|p| 1.0 - p).product::<f64>(),
+            GateKind::Xor2 => ins[0] * (1.0 - ins[1]) + (1.0 - ins[0]) * ins[1],
+            // `GateKind` is non-exhaustive; fail loudly if a future kind
+            // reaches the power model without a probability rule.
+            other => panic!("no signal-probability rule for gate kind {other}"),
+        };
+        probs.push(p);
+    }
+    probs
+}
+
+/// Switching activity (expected toggles per cycle) of every gate output:
+/// `alpha = 2 p (1 - p)` under temporal independence.
+pub fn switching_activities(circuit: &Circuit, input_probs: &[f64]) -> Vec<f64> {
+    signal_probabilities(circuit, input_probs)
+        .into_iter()
+        .map(|p| 2.0 * p * (1.0 - p))
+        .collect()
+}
+
+/// Per-gate power weights `w_j` such that the size-dependent part of the
+/// dynamic power is `sum_j w_j S_j`: gate `j`'s input capacitance
+/// `C_in,j * S_j` loads each of its driving nets, whose toggles charge it.
+/// Primary-input nets are assigned activity `2 p (1 - p)` from
+/// `input_probs`. Use with [`sgs-core`'s weighted-area
+/// objective](https://docs.rs/) to size for minimum power.
+pub fn power_weights(circuit: &Circuit, lib: &Library, input_probs: &[f64]) -> Vec<f64> {
+    let act = switching_activities(circuit, input_probs);
+    let mut w = vec![0.0; circuit.num_gates()];
+    for (id, gate) in circuit.gates() {
+        let c_in = lib.params(gate.kind).c_in;
+        let mut driving_activity = 0.0;
+        for &sig in &gate.inputs {
+            driving_activity += match sig {
+                Signal::Pi(p) => 2.0 * input_probs[p] * (1.0 - input_probs[p]),
+                Signal::Gate(g) => act[g.index()],
+            };
+        }
+        w[id.index()] = c_in * driving_activity;
+    }
+    w
+}
+
+/// Total size-dependent dynamic power estimate (arbitrary units,
+/// `V^2 f = 1`): switched static load plus the `sum w_j S_j` term.
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn power_estimate(circuit: &Circuit, lib: &Library, s: &[f64], input_probs: &[f64]) -> f64 {
+    assert_eq!(s.len(), circuit.num_gates(), "speed vector length mismatch");
+    let act = switching_activities(circuit, input_probs);
+    let model = DelayModel::new(circuit, lib);
+    let mut total = 0.0;
+    for (id, _) in circuit.gates() {
+        // Every toggle of this gate's output charges its static load plus
+        // the (sized) input capacitance of its fan-out gates.
+        total += act[id.index()] * model.load_cap(id, s);
+    }
+    // Primary-input nets toggle too and charge the first-level gates'
+    // (sized) input capacitances plus their wire load.
+    for (id, gate) in circuit.gates() {
+        let c_in = lib.params(gate.kind).c_in;
+        for &sig in &gate.inputs {
+            if let Signal::Pi(p) = sig {
+                let a = 2.0 * input_probs[p] * (1.0 - input_probs[p]);
+                total += a * c_in * s[id.index()];
+            }
+        }
+    }
+    for p in input_probs {
+        total += 2.0 * p * (1.0 - p) * lib.wire_load;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_netlist::generate;
+
+    fn lib() -> Library {
+        Library::paper_default()
+    }
+
+    #[test]
+    fn probabilities_match_truth_tables() {
+        let c = generate::fig2(); // NAND2 x3 feeding NAND3
+        let p = signal_probabilities(&c, &[0.5, 0.5, 0.5]);
+        // NAND2 of two p=0.5 inputs: 1 - 0.25 = 0.75.
+        assert!((p[0] - 0.75).abs() < 1e-12);
+        assert!((p[1] - 0.75).abs() < 1e-12);
+        assert!((p[2] - 0.75).abs() < 1e-12);
+        // NAND3 of three p=0.75: 1 - 0.421875 = 0.578125.
+        assert!((p[3] - (1.0 - 0.75f64.powi(3))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_probability() {
+        let c = generate::ripple_carry_adder(1);
+        // First gate is XOR2 of two 0.5 inputs: p = 0.5.
+        let p = signal_probabilities(&c, &vec![0.5; c.num_inputs()]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activities_bounded() {
+        let c = generate::benchmark_suite().remove(1);
+        let act = switching_activities(&c, &vec![0.5; c.num_inputs()]);
+        for &a in &act {
+            assert!((0.0..=0.5).contains(&a), "activity {a} out of [0, 0.5]");
+        }
+    }
+
+    #[test]
+    fn constant_inputs_kill_activity() {
+        let c = generate::tree7();
+        let act = switching_activities(&c, &[1.0; 8]);
+        for &a in &act {
+            assert!(a.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn power_increases_with_sizing() {
+        let c = generate::tree7();
+        let probs = vec![0.5; 8];
+        let p1 = power_estimate(&c, &lib(), &[1.0; 7], &probs);
+        let p3 = power_estimate(&c, &lib(), &[3.0; 7], &probs);
+        assert!(p3 > p1, "{p3} vs {p1}");
+    }
+
+    #[test]
+    fn power_weights_are_linear_coefficients() {
+        // power(s) - power(1) == sum w_j (s_j - 1) exactly.
+        let c = generate::ripple_carry_adder(3);
+        let probs = vec![0.5; c.num_inputs()];
+        let w = power_weights(&c, &lib(), &probs);
+        let s1 = vec![1.0; c.num_gates()];
+        let mut s2 = s1.clone();
+        for (i, v) in s2.iter_mut().enumerate() {
+            *v = 1.0 + 0.1 * (i % 7) as f64;
+        }
+        let direct = power_estimate(&c, &lib(), &s2, &probs)
+            - power_estimate(&c, &lib(), &s1, &probs);
+        let linear: f64 = w.iter().zip(&s2).zip(&s1).map(|((wi, a), b)| wi * (a - b)).sum();
+        assert!((direct - linear).abs() < 1e-9, "{direct} vs {linear}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one probability per primary input")]
+    fn length_checked() {
+        let c = generate::tree7();
+        let _ = signal_probabilities(&c, &[0.5]);
+    }
+}

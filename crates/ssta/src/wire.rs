@@ -1,0 +1,233 @@
+//! Per-edge wire delays — the paper's general delay model (Fig. 1 /
+//! Eq. 2).
+//!
+//! The paper's model allows a distinct (statistical) wire delay on every
+//! fan-out edge: `T_w,i = T_out + t_w,i`. Its experiments then lump wiring
+//! into the output capacitance (as the default flows here do), but the
+//! general model is part of the formulation, so this module provides it:
+//! a [`WireModel`] assigns a delay distribution to any driver→sink edge,
+//! and [`ssta_with_wires`] / [`monte_carlo_with_wires`] run the analyses
+//! under it.
+
+use crate::delay::DelayModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgs_netlist::{Circuit, GateId, Library, Signal};
+use sgs_statmath::{clark, mc, Normal};
+use std::collections::HashMap;
+
+/// Per-edge wire-delay assignment. Edges not present delay by exactly 0.
+#[derive(Debug, Clone, Default)]
+pub struct WireModel {
+    edges: HashMap<(GateId, GateId), Normal>,
+}
+
+impl WireModel {
+    /// An empty model (all wire delays 0) — the paper's experimental
+    /// setting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the delay distribution of the `driver -> sink` edge
+    /// (builder-style).
+    pub fn with_edge(mut self, driver: GateId, sink: GateId, delay: Normal) -> Self {
+        self.edges.insert((driver, sink), delay);
+        self
+    }
+
+    /// The delay of an edge (exactly 0 when unset).
+    pub fn edge(&self, driver: GateId, sink: GateId) -> Normal {
+        self.edges
+            .get(&(driver, sink))
+            .copied()
+            .unwrap_or_else(|| Normal::certain(0.0))
+    }
+
+    /// Number of explicitly assigned edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edge has an assigned delay.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Statistical STA under the general delay model: each fan-in arrival is
+/// the driver's output arrival plus the edge's wire delay (paper Eq. 2),
+/// then the usual stochastic max and gate-delay add.
+///
+/// # Panics
+///
+/// Panics if `s.len() != circuit.num_gates()`.
+pub fn ssta_with_wires(
+    circuit: &Circuit,
+    lib: &Library,
+    s: &[f64],
+    wires: &WireModel,
+) -> (Vec<Normal>, Normal) {
+    assert_eq!(s.len(), circuit.num_gates(), "speed vector length mismatch");
+    let model = DelayModel::new(circuit, lib);
+    let mut arrivals: Vec<Normal> = Vec::with_capacity(circuit.num_gates());
+    for (id, gate) in circuit.gates() {
+        let u = gate
+            .inputs
+            .iter()
+            .map(|&sig| match sig {
+                Signal::Pi(_) => Normal::certain(0.0),
+                Signal::Gate(src) => arrivals[src.index()] + wires.edge(src, id),
+            })
+            .reduce(clark::max)
+            .expect("gates have at least one input");
+        arrivals.push(u + model.gate_delay(id, s));
+    }
+    let delay = circuit
+        .outputs()
+        .iter()
+        .map(|&o| arrivals[o.index()])
+        .reduce(clark::max)
+        .expect("validated circuits have outputs");
+    (arrivals, delay)
+}
+
+/// Monte Carlo timing under the general delay model (wire delays sampled
+/// independently per trial). Returns `(mean, var)` of the circuit delay.
+///
+/// # Panics
+///
+/// Panics if `s.len() != circuit.num_gates()` or `samples == 0`.
+pub fn monte_carlo_with_wires(
+    circuit: &Circuit,
+    lib: &Library,
+    s: &[f64],
+    wires: &WireModel,
+    samples: usize,
+    seed: u64,
+) -> Normal {
+    assert_eq!(s.len(), circuit.num_gates(), "speed vector length mismatch");
+    assert!(samples > 0, "need at least one sample");
+    let model = DelayModel::new(circuit, lib);
+    let dists: Vec<Normal> = circuit.gates().map(|(id, _)| model.gate_delay(id, s)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = circuit.num_gates();
+    let mut arrival = vec![0.0f64; n];
+    let (mean, var) = mc::moments((0..samples).map(|_| {
+        for (i, (id, gate)) in circuit.gates().enumerate() {
+            let mut u = f64::NEG_INFINITY;
+            for &sig in &gate.inputs {
+                let a = match sig {
+                    Signal::Pi(_) => 0.0,
+                    Signal::Gate(src) => {
+                        arrival[src.index()] + mc::sample(wires.edge(src, id), &mut rng)
+                    }
+                };
+                u = u.max(a);
+            }
+            arrival[i] = u + mc::sample(dists[i], &mut rng);
+        }
+        circuit
+            .outputs()
+            .iter()
+            .map(|&o| arrival[o.index()])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }));
+    Normal::from_mean_var(mean, var.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ssta;
+    use sgs_netlist::generate;
+
+    fn lib() -> Library {
+        Library::paper_default()
+    }
+
+    #[test]
+    fn empty_wire_model_matches_plain_ssta() {
+        let c = generate::ripple_carry_adder(4);
+        let s = vec![1.3; c.num_gates()];
+        let plain = ssta(&c, &lib(), &s).delay;
+        let (_, wired) = ssta_with_wires(&c, &lib(), &s, &WireModel::new());
+        assert!((plain.mean() - wired.mean()).abs() < 1e-12);
+        assert!((plain.var() - wired.var()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_wire_delays_add_exactly() {
+        let c = generate::inverter_chain(5);
+        let s = vec![1.0; 5];
+        let mut wires = WireModel::new();
+        let mut expect_mu = 0.0;
+        let mut expect_var = 0.0;
+        for i in 0..4 {
+            let w = Normal::new(0.5 + 0.1 * i as f64, 0.05);
+            wires = wires.with_edge(GateId(i), GateId(i + 1), w);
+            expect_mu += w.mean();
+            expect_var += w.var();
+        }
+        let base = ssta(&c, &lib(), &s).delay;
+        let (_, wired) = ssta_with_wires(&c, &lib(), &s, &wires);
+        assert!((wired.mean() - base.mean() - expect_mu).abs() < 1e-9);
+        assert!((wired.var() - base.var() - expect_var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_uncertainty_widens_distribution() {
+        let c = generate::tree7();
+        let s = vec![1.0; 7];
+        let mut wires = WireModel::new();
+        for (id, gate) in c.gates() {
+            for &sig in &gate.inputs {
+                if let Signal::Gate(src) = sig {
+                    wires = wires.with_edge(src, id, Normal::new(0.3, 0.3));
+                }
+            }
+        }
+        let plain = ssta(&c, &lib(), &s).delay;
+        let (_, wired) = ssta_with_wires(&c, &lib(), &s, &wires);
+        assert!(wired.mean() > plain.mean());
+        assert!(wired.sigma() > plain.sigma());
+    }
+
+    #[test]
+    fn analytic_matches_monte_carlo_with_wires() {
+        let c = generate::tree7();
+        let s = vec![1.0; 7];
+        let mut wires = WireModel::new();
+        for (id, gate) in c.gates() {
+            for &sig in &gate.inputs {
+                if let Signal::Gate(src) = sig {
+                    wires = wires.with_edge(src, id, Normal::new(0.4, 0.15));
+                }
+            }
+        }
+        let (_, analytic) = ssta_with_wires(&c, &lib(), &s, &wires);
+        let sampled = monte_carlo_with_wires(&c, &lib(), &s, &wires, 60_000, 17);
+        assert!(
+            (analytic.mean() - sampled.mean()).abs() < 0.02 * analytic.mean(),
+            "{} vs {}",
+            analytic.mean(),
+            sampled.mean()
+        );
+        assert!(
+            (analytic.sigma() - sampled.sigma()).abs() < 0.1 * analytic.sigma(),
+            "{} vs {}",
+            analytic.sigma(),
+            sampled.sigma()
+        );
+    }
+
+    #[test]
+    fn wire_model_accessors() {
+        let w = WireModel::new();
+        assert!(w.is_empty());
+        let w = w.with_edge(GateId(0), GateId(1), Normal::new(1.0, 0.1));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.edge(GateId(0), GateId(1)).mean(), 1.0);
+        assert_eq!(w.edge(GateId(1), GateId(0)).mean(), 0.0);
+    }
+}

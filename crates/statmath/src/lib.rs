@@ -1,0 +1,46 @@
+//! Statistical algebra for gate sizing under a statistical delay model.
+//!
+//! This crate implements the mathematical core of *"Gate Sizing Using a
+//! Statistical Delay Model"* (Jacobs & Berkelaar, DATE 2000):
+//!
+//! * normal-distribution primitives ([`Normal`], [`special`]),
+//! * the **analytical stochastic maximum** of two independent normal random
+//!   variables — the moment formulas of the paper's Eqs. 10/12/13 (originally
+//!   due to Clark, 1961) — together with **exact first and second
+//!   derivatives** with respect to the operand means and variances
+//!   ([`clark`]),
+//! * hyper-dual numbers ([`dual`]) used to cross-validate every hand-derived
+//!   derivative to machine precision, and
+//! * Monte Carlo moment estimation ([`mc`]) used to validate the analytical
+//!   moments themselves.
+//!
+//! The analytical max is what makes gate sizing under a statistical delay
+//! model tractable as a nonlinear program: a large-scale NLP solver needs
+//! exact gradients and Hessians of every constraint, and the paper's key
+//! enabling step is expressing the mean and standard deviation of
+//! `max(A, B)` in closed form so those derivatives exist.
+//!
+//! # Example
+//!
+//! ```
+//! use sgs_statmath::{Normal, clark};
+//!
+//! let a = Normal::new(10.0, 2.0); // mean 10, sigma 2
+//! let b = Normal::new(11.0, 1.0);
+//! let c = clark::max(a, b);
+//! assert!(c.mean() >= a.mean().max(b.mean()));
+//! assert!(c.sigma() > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod clark;
+pub mod dual;
+pub mod mc;
+pub mod normal;
+pub mod special;
+
+pub use clark::{max, max_hess, ClarkHess};
+pub use dual::Dual2;
+pub use normal::Normal;

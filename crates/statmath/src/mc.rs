@@ -1,0 +1,122 @@
+//! Monte Carlo moment estimation, used to validate the analytical Clark
+//! moments and (in `sgs-ssta`) whole-circuit delay distributions.
+
+use crate::normal::Normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws one sample from a normal variable using the Box-Muller transform.
+///
+/// Kept dependency-free (no `rand_distr`) on purpose; Box-Muller is exact.
+pub fn sample<R: Rng + ?Sized>(n: Normal, rng: &mut R) -> f64 {
+    n.mean() + n.sigma() * standard_normal(rng)
+}
+
+/// One standard-normal draw via Box-Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Sample mean and variance (with Bessel correction) of an iterator.
+///
+/// Returns `(mean, var)`; `(0, 0)` for fewer than two samples.
+pub fn moments<I: IntoIterator<Item = f64>>(samples: I) -> (f64, f64) {
+    // Welford's online algorithm: numerically stable single pass.
+    let mut n = 0u64;
+    let mut mean = 0.0;
+    let mut m2 = 0.0;
+    for x in samples {
+        n += 1;
+        let delta = x - mean;
+        mean += delta / n as f64;
+        m2 += delta * (x - mean);
+    }
+    if n < 2 {
+        (mean, 0.0)
+    } else {
+        (mean, m2 / (n - 1) as f64)
+    }
+}
+
+/// Estimates the distribution of `max(A, B)` by sampling.
+///
+/// ```
+/// use sgs_statmath::{clark, mc, Normal};
+/// let a = Normal::new(3.0, 1.0);
+/// let b = Normal::new(3.5, 0.8);
+/// let est = mc::max_moments(a, b, 200_000, 42);
+/// let exact = clark::max(a, b);
+/// assert!((est.mean() - exact.mean()).abs() < 0.02);
+/// ```
+pub fn max_moments(a: Normal, b: Normal, samples: usize, seed: u64) -> Normal {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mean, var) = moments(
+        (0..samples).map(|_| sample(a, &mut rng).max(sample(b, &mut rng))),
+    );
+    Normal::from_mean_var(mean, var.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clark;
+
+    #[test]
+    fn welford_matches_direct() {
+        let xs = [1.0, 2.0, 4.0, 8.0];
+        let (m, v) = moments(xs.iter().copied());
+        assert!((m - 3.75).abs() < 1e-12);
+        // Direct two-pass variance with Bessel correction.
+        let direct: f64 = xs.iter().map(|x| (x - 3.75f64).powi(2)).sum::<f64>() / 3.0;
+        assert!((v - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampler_moments() {
+        let n = Normal::new(-2.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let (m, v) = moments((0..200_000).map(|_| sample(n, &mut rng)));
+        assert!((m - -2.0).abs() < 0.05, "mean {m}");
+        assert!((v - 9.0).abs() < 0.2, "var {v}");
+    }
+
+    #[test]
+    fn clark_max_agrees_with_mc() {
+        let cases = [
+            (Normal::new(0.0, 1.0), Normal::new(0.0, 1.0)),
+            (Normal::new(5.0, 2.0), Normal::new(4.0, 0.5)),
+            (Normal::new(1.0, 0.1), Normal::new(1.05, 0.2)),
+            (Normal::new(-3.0, 1.0), Normal::new(3.0, 1.0)),
+        ];
+        for (i, &(a, b)) in cases.iter().enumerate() {
+            let exact = clark::max(a, b);
+            let est = max_moments(a, b, 400_000, 1000 + i as u64);
+            // MC standard error of the mean ~ sigma / sqrt(n) ~ 0.003; use a
+            // generous 5x band.
+            assert!(
+                (est.mean() - exact.mean()).abs() < 0.02,
+                "case {i}: mean {} vs {}",
+                est.mean(),
+                exact.mean()
+            );
+            assert!(
+                (est.var() - exact.var()).abs() < 0.05 * (1.0 + exact.var()),
+                "case {i}: var {} vs {}",
+                est.var(),
+                exact.var()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_moments() {
+        assert_eq!(moments(std::iter::empty()), (0.0, 0.0));
+        assert_eq!(moments([5.0]), (5.0, 0.0));
+    }
+}

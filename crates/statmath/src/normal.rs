@@ -1,0 +1,168 @@
+//! The [`Normal`] random-variable type used for arrival times and delays.
+
+use crate::special::{normal_cdf, normal_quantile};
+use std::fmt;
+use std::ops::Add;
+
+/// A normally distributed random variable, stored as `(mean, variance)`.
+///
+/// The gate sizing formulation carries *variances* (squared standard
+/// deviations) rather than standard deviations — exactly as the paper does —
+/// because it keeps the `add` operation linear. The constructor takes a
+/// standard deviation for ergonomics; use [`Normal::from_mean_var`] when you
+/// already have a variance.
+///
+/// ```
+/// use sgs_statmath::Normal;
+/// let t = Normal::new(5.0, 0.5);
+/// assert_eq!(t.mean(), 5.0);
+/// assert!((t.var() - 0.25).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    var: f64,
+}
+
+impl Normal {
+    /// Creates a variable with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either argument is not finite.
+    pub fn new(mean: f64, sigma: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite");
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be >= 0");
+        Self { mean, var: sigma * sigma }
+    }
+
+    /// Creates a variable from a mean and a *variance*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is negative or either argument is not finite.
+    pub fn from_mean_var(mean: f64, var: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite");
+        assert!(var.is_finite() && var >= 0.0, "variance must be >= 0");
+        Self { mean, var }
+    }
+
+    /// A deterministic (zero-variance) value.
+    pub fn certain(value: f64) -> Self {
+        Self::from_mean_var(value, 0.0)
+    }
+
+    /// The mean.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The variance.
+    #[inline]
+    pub fn var(&self) -> f64 {
+        self.var
+    }
+
+    /// The standard deviation.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.var.sqrt()
+    }
+
+    /// `mean + k * sigma` — the paper's robust delay metric. `k = 0`
+    /// covers 50% of circuits, `k = 1` 84.1%, `k = 3` 99.8%.
+    #[inline]
+    pub fn mean_plus_k_sigma(&self, k: f64) -> f64 {
+        self.mean + k * self.sigma()
+    }
+
+    /// `P(X <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.var == 0.0 {
+            return if x >= self.mean { 1.0 } else { 0.0 };
+        }
+        normal_cdf((x - self.mean) / self.sigma())
+    }
+
+    /// The `p`-quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mean + self.sigma() * normal_quantile(p)
+    }
+}
+
+impl Default for Normal {
+    fn default() -> Self {
+        Self::certain(0.0)
+    }
+}
+
+impl Add for Normal {
+    type Output = Normal;
+
+    /// Sum of independent normals: means and variances add (paper Eq. 4).
+    fn add(self, rhs: Normal) -> Normal {
+        Normal {
+            mean: self.mean + rhs.mean,
+            var: self.var + rhs.var,
+        }
+    }
+}
+
+impl fmt::Display for Normal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N(mu={:.6}, sigma={:.6})", self.mean, self.sigma())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_paper_eq4() {
+        let a = Normal::new(3.0, 1.0);
+        let b = Normal::new(4.0, 2.0);
+        let c = a + b;
+        assert_eq!(c.mean(), 7.0);
+        assert!((c.var() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn certain_has_zero_sigma() {
+        let x = Normal::certain(2.5);
+        assert_eq!(x.sigma(), 0.0);
+        assert_eq!(x.cdf(2.5), 1.0);
+        assert_eq!(x.cdf(2.4999), 0.0);
+    }
+
+    #[test]
+    fn mean_plus_k_sigma() {
+        let x = Normal::new(10.0, 2.0);
+        assert!((x.mean_plus_k_sigma(3.0) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_cdf_roundtrip() {
+        let x = Normal::new(-3.0, 0.7);
+        for &p in &[0.01, 0.25, 0.5, 0.75, 0.999] {
+            let q = x.quantile(p);
+            assert!((x.cdf(q) - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be >= 0")]
+    fn rejects_negative_sigma() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", Normal::default()).is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Area/delay trade-off curve under statistical delay constraints.
+//!
+//! Sweeps the deadline for an 8-bit ripple-carry adder and reports the
+//! minimum area that meets it at three confidence levels (mu, mu + sigma,
+//! mu + 3 sigma — i.e. 50%, 84.1% and 99.8% of circuits). The gap between
+//! the columns is the silicon price of timing confidence; it is what the
+//! statistical formulation lets a designer choose deliberately instead of
+//! paying blanket worst-case margins.
+//!
+//! Run with `cargo run -p sgs-core --example area_delay_tradeoff --release`.
+
+use sgs_core::{DelaySpec, Objective, Sizer};
+use sgs_netlist::{generate, Library};
+use sgs_ssta::ssta;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = generate::ripple_carry_adder(8);
+    let lib = Library::paper_default();
+    let n = circuit.num_gates();
+
+    let slow = ssta(&circuit, &lib, &vec![1.0; n]).delay;
+    let fast = Sizer::new(&circuit, &lib).objective(Objective::MeanDelay).solve()?;
+    println!(
+        "adder: {n} gates; mean delay range [{:.2}, {:.2}], unsized sigma {:.3}",
+        fast.delay.mean(),
+        slow.mean(),
+        slow.sigma()
+    );
+
+    println!(
+        "\n{:>9} | {:>12} {:>14} {:>16}",
+        "deadline", "area @ mu", "area @ mu+1s", "area @ mu+3s"
+    );
+    let lo = fast.delay.mean() * 1.08;
+    let hi = slow.mean() * 0.98;
+    for i in 0..6 {
+        let d = lo + (hi - lo) * f64::from(i) / 5.0;
+        let mut cells = Vec::new();
+        for spec in [
+            DelaySpec::MaxMean(d),
+            DelaySpec::MaxMeanPlusKSigma { k: 1.0, d },
+            DelaySpec::MaxMeanPlusKSigma { k: 3.0, d },
+        ] {
+            let r = Sizer::new(&circuit, &lib)
+                .objective(Objective::Area)
+                .delay_spec(spec)
+                .solve();
+            cells.push(match r {
+                Ok(r) => format!("{:.2}", r.area),
+                Err(_) => "infeas".to_string(),
+            });
+        }
+        println!(
+            "{:>9.3} | {:>12} {:>14} {:>16}",
+            d, cells[0], cells[1], cells[2]
+        );
+    }
+    println!("\nTighter confidence at the same deadline always costs area; the");
+    println!("premium shrinks as the deadline loosens.");
+    Ok(())
+}

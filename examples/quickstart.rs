@@ -1,0 +1,64 @@
+//! Quickstart: size a small circuit for minimum robust delay.
+//!
+//! Builds a full-adder circuit with the netlist builder, runs a
+//! statistical timing analysis, sizes it for minimum `mu + 3 sigma`
+//! (so 99.8% of manufactured circuits meet the reported delay), and
+//! cross-checks the result with Monte Carlo.
+//!
+//! Run with `cargo run -p sgs-core --example quickstart --release`.
+
+use sgs_core::{Objective, Sizer};
+use sgs_netlist::{CircuitBuilder, GateKind, Library};
+use sgs_ssta::{monte_carlo, ssta, McOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe a circuit.
+    let mut b = CircuitBuilder::new("quickstart");
+    let x = b.add_input("x");
+    let y = b.add_input("y");
+    let z = b.add_input("z");
+    let s1 = b.add_gate(GateKind::Xor2, "s1", &[x, y])?;
+    let sum = b.add_gate(GateKind::Xor2, "sum", &[s1, z])?;
+    let c1 = b.add_gate(GateKind::And2, "c1", &[x, y])?;
+    let c2 = b.add_gate(GateKind::And2, "c2", &[s1, z])?;
+    let carry = b.add_gate(GateKind::Or2, "carry", &[c1, c2])?;
+    b.mark_output(sum)?;
+    b.mark_output(carry)?;
+    let circuit = b.build()?;
+    println!("circuit: {circuit}");
+
+    // 2. Statistical timing at minimum size (every speed factor = 1).
+    let lib = Library::paper_default();
+    let baseline = ssta(&circuit, &lib, &vec![1.0; circuit.num_gates()]);
+    println!(
+        "unsized:  mu = {:.3}, sigma = {:.3}, mu + 3 sigma = {:.3}",
+        baseline.delay.mean(),
+        baseline.delay.sigma(),
+        baseline.mean_plus_k_sigma(3.0)
+    );
+
+    // 3. Size for minimum mu + 3 sigma.
+    let result = Sizer::new(&circuit, &lib)
+        .objective(Objective::MeanPlusKSigma(3.0))
+        .solve()?;
+    println!(
+        "sized:    mu = {:.3}, sigma = {:.3}, mu + 3 sigma = {:.3}  (area {:.2} -> {:.2})",
+        result.delay.mean(),
+        result.delay.sigma(),
+        result.mean_plus_k_sigma(3.0),
+        circuit.num_gates() as f64,
+        result.area
+    );
+    for ((_, gate), s) in circuit.gates().zip(&result.s) {
+        println!("  S_{} = {:.3}", gate.name, s);
+    }
+
+    // 4. Validate with Monte Carlo: ~99.8% of circuits should meet the
+    //    reported mu + 3 sigma deadline.
+    let mc = monte_carlo(&circuit, &lib, &result.s, &McOptions::default());
+    println!(
+        "Monte Carlo yield at mu + 3 sigma: {:.2}% (theory 99.8%)",
+        100.0 * mc.yield_at(result.mean_plus_k_sigma(3.0))
+    );
+    Ok(())
+}

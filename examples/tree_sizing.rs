@@ -1,0 +1,71 @@
+//! The paper's tree-circuit study (Tables 2 and 3): how different
+//! objectives shape the speed factors of the 7-NAND tree of Fig. 3.
+//!
+//! At a pinned mean delay there is still freedom in sigma; minimising or
+//! maximising it moves area and redistributes the speed factors in
+//! characteristic ways (symmetric gates stay symmetric for min-sigma,
+//! max-sigma deliberately unbalances the branches).
+//!
+//! Run with `cargo run -p sgs-core --example tree_sizing --release`.
+
+use sgs_core::{DelaySpec, Objective, Sizer};
+use sgs_netlist::{generate, Library};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = generate::tree7();
+    let lib = Library::paper_default();
+
+    // The feasible range of mean delay.
+    let slow = Sizer::new(&circuit, &lib).objective(Objective::Area).solve()?;
+    let fast = Sizer::new(&circuit, &lib).objective(Objective::MeanDelay).solve()?;
+    println!(
+        "feasible mean delay range: [{:.3}, {:.3}] (area {:.1} to {:.1})",
+        fast.delay.mean(),
+        slow.delay.mean(),
+        slow.area,
+        fast.area
+    );
+
+    // Sweep a pinned mean across the range; at each pin report the sigma
+    // interval and the area cost of shaping it.
+    println!(
+        "\n{:>6} | {:>11} {:>11} {:>11} | {:>9} {:>9} {:>9}",
+        "mu pin", "sig(minS)", "sig(min)", "sig(max)", "S(minS)", "S(minsig)", "S(maxsig)"
+    );
+    for pin in [5.8, 6.2, 6.5, 6.9, 7.2] {
+        let spec = DelaySpec::ExactMean(pin);
+        let a = Sizer::new(&circuit, &lib).objective(Objective::Area).delay_spec(spec.clone()).solve()?;
+        let lo = Sizer::new(&circuit, &lib).objective(Objective::Sigma).delay_spec(spec.clone()).solve()?;
+        let hi = Sizer::new(&circuit, &lib).objective(Objective::NegSigma).delay_spec(spec.clone()).solve()?;
+        println!(
+            "{:>6.2} | {:>11.4} {:>11.4} {:>11.4} | {:>9.2} {:>9.2} {:>9.2}",
+            pin,
+            a.delay.sigma(),
+            lo.delay.sigma(),
+            hi.delay.sigma(),
+            a.area,
+            lo.area,
+            hi.area
+        );
+    }
+
+    // Speed factors at the mid pin, as in the paper's Table 3.
+    println!("\nspeed factors at mu = 6.5:");
+    for (label, obj) in [
+        ("min area ", Objective::Area),
+        ("min sigma", Objective::Sigma),
+        ("max sigma", Objective::NegSigma),
+    ] {
+        let r = Sizer::new(&circuit, &lib)
+            .objective(obj)
+            .delay_spec(DelaySpec::ExactMean(6.5))
+            .solve()?;
+        let s: Vec<String> = circuit
+            .gates()
+            .zip(&r.s)
+            .map(|((_, g), s)| format!("{}={:.2}", g.name, s))
+            .collect();
+        println!("  {label}: {}", s.join(" "));
+    }
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Integration: Monte Carlo referees the analytical machinery end-to-end —
+//! sized circuits must deliver the yields the statistical model promises.
+
+use sgs_core::{DelaySpec, Objective, Sizer};
+use sgs_netlist::{generate, Library};
+use sgs_ssta::{monte_carlo, McOptions};
+
+fn lib() -> Library {
+    Library::paper_default()
+}
+
+#[test]
+fn sized_tree_meets_promised_yields() {
+    let c = generate::tree7();
+    let r = Sizer::new(&c, &lib())
+        .objective(Objective::MeanPlusKSigma(3.0))
+        .solve()
+        .expect("sizes");
+    let mc = monte_carlo(
+        &c,
+        &lib(),
+        &r.s,
+        &McOptions { samples: 120_000, seed: 31, criticality: false },
+    );
+    // Paper: mu covers 50%, mu + sigma 84.1%, mu + 3 sigma 99.8%.
+    let y0 = mc.yield_at(r.delay.mean());
+    let y1 = mc.yield_at(r.mean_plus_k_sigma(1.0));
+    let y3 = mc.yield_at(r.mean_plus_k_sigma(3.0));
+    assert!((y0 - 0.5).abs() < 0.04, "yield at mu: {y0}");
+    assert!((y1 - 0.841).abs() < 0.03, "yield at mu + sigma: {y1}");
+    assert!((y3 - 0.998).abs() < 0.004, "yield at mu + 3 sigma: {y3}");
+}
+
+#[test]
+fn area_constrained_sizing_hits_target_yield() {
+    // min area s.t. mu + 3 sigma <= D should produce a circuit whose MC
+    // yield at D is about 99.8% — the constraint is active at the optimum,
+    // so the yield should not be much higher either.
+    let c = generate::ripple_carry_adder(5);
+    let n = c.num_gates();
+    let baseline = sgs_ssta::ssta(&c, &lib(), &vec![1.0; n]).delay;
+    let d = baseline.mean() * 0.95;
+    let r = Sizer::new(&c, &lib())
+        .objective(Objective::Area)
+        .delay_spec(DelaySpec::MaxMeanPlusKSigma { k: 3.0, d })
+        .solve()
+        .expect("sizes");
+    assert!(r.mean_plus_k_sigma(3.0) <= d + 1e-2);
+    let mc = monte_carlo(
+        &c,
+        &lib(),
+        &r.s,
+        &McOptions { samples: 120_000, seed: 33, criticality: false },
+    );
+    let y = mc.yield_at(d);
+    assert!(y > 0.99, "yield {y} at deadline {d}");
+    // Active constraint: not gratuitously overdesigned.
+    assert!(y < 0.99999, "yield {y} suggests the bound was not active");
+}
+
+#[test]
+fn robust_sizing_beats_mean_sizing_on_tail_delay() {
+    // On the tree, compare empirical 99.8th percentiles: the mu + 3 sigma
+    // optimum should be at least as good as the mu optimum's.
+    let c = generate::tree7();
+    let mean_sized = Sizer::new(&c, &lib())
+        .objective(Objective::MeanDelay)
+        .solve()
+        .expect("sizes");
+    let robust = Sizer::new(&c, &lib())
+        .objective(Objective::MeanPlusKSigma(3.0))
+        .solve()
+        .expect("sizes");
+    let opts = McOptions { samples: 150_000, seed: 35, criticality: false };
+    let q_mean = monte_carlo(&c, &lib(), &mean_sized.s, &opts).quantile(0.998);
+    let q_rob = monte_carlo(&c, &lib(), &robust.s, &opts).quantile(0.998);
+    assert!(
+        q_rob <= q_mean + 0.02,
+        "robust tail {q_rob} worse than mean-sized tail {q_mean}"
+    );
+}
+
+#[test]
+fn criticality_follows_sizing_pressure() {
+    // After min-delay sizing of the tree every path is near-critical;
+    // criticality of the two mid gates should be roughly balanced.
+    let c = generate::tree7();
+    let r = Sizer::new(&c, &lib())
+        .objective(Objective::MeanDelay)
+        .solve()
+        .expect("sizes");
+    let mc = monte_carlo(
+        &c,
+        &lib(),
+        &r.s,
+        &McOptions { samples: 30_000, seed: 37, criticality: true },
+    );
+    // G always critical; C and F split the trials roughly evenly.
+    assert!((mc.criticality[6] - 1.0).abs() < 1e-9);
+    assert!((mc.criticality[2] - 0.5).abs() < 0.1, "C: {}", mc.criticality[2]);
+    assert!((mc.criticality[5] - 0.5).abs() < 0.1, "F: {}", mc.criticality[5]);
+}

@@ -1,0 +1,176 @@
+//! Integration: the qualitative results ("shapes") of the paper's three
+//! tables must hold on our calibrated library and circuits.
+
+use sgs_core::{DelaySpec, Objective, Sizer, SolverChoice};
+use sgs_netlist::{generate, Library};
+use sgs_ssta::ssta;
+
+fn lib() -> Library {
+    Library::paper_default()
+}
+
+/// Table 2 anchors: the tree circuit's delay range brackets the paper's
+/// pinned means and the endpoints land near the paper's values.
+#[test]
+fn table2_range_matches_paper() {
+    let c = generate::tree7();
+    let slow = ssta(&c, &lib(), &[1.0; 7]).delay;
+    let fast = Sizer::new(&c, &lib())
+        .objective(Objective::MeanDelay)
+        .solve()
+        .expect("sizes");
+    // Paper: baseline (7.4, 0.811, area 7), fully sized (5.4, 0.592, 21).
+    assert!((slow.mean() - 7.4).abs() < 0.25, "baseline mu {}", slow.mean());
+    assert!((slow.sigma() - 0.811).abs() < 0.1, "baseline sigma {}", slow.sigma());
+    assert!((fast.delay.mean() - 5.4).abs() < 0.25, "sized mu {}", fast.delay.mean());
+    assert!((fast.area - 21.0).abs() < 1.0, "sized area {}", fast.area);
+}
+
+/// Table 2: at every pinned mean, sigma(min) <= sigma(min area) <=
+/// sigma(max), with a strictly positive interval, and shaping sigma costs
+/// area.
+#[test]
+fn table2_sigma_intervals() {
+    let c = generate::tree7();
+    let mut widths = Vec::new();
+    for pin in [5.8, 6.5, 7.2] {
+        let spec = DelaySpec::ExactMean(pin);
+        let area = Sizer::new(&c, &lib())
+            .objective(Objective::Area)
+            .delay_spec(spec.clone())
+            .solve()
+            .expect("sizes");
+        let lo = Sizer::new(&c, &lib())
+            .objective(Objective::Sigma)
+            .delay_spec(spec.clone())
+            .solve()
+            .expect("sizes");
+        let hi = Sizer::new(&c, &lib())
+            .objective(Objective::NegSigma)
+            .delay_spec(spec.clone())
+            .solve()
+            .expect("sizes");
+        for r in [&area, &lo, &hi] {
+            assert!((r.delay.mean() - pin).abs() < 8e-3, "pin {pin} broken");
+        }
+        assert!(lo.delay.sigma() <= area.delay.sigma() + 1e-3);
+        assert!(area.delay.sigma() <= hi.delay.sigma() + 1e-3);
+        assert!(
+            hi.delay.sigma() - lo.delay.sigma() > 0.02,
+            "interval at {pin} collapsed"
+        );
+        // Minimal sigma costs more area than minimal area (paper's
+        // explicit observation).
+        assert!(lo.area > area.area - 1e-3);
+        widths.push(hi.delay.sigma() - lo.delay.sigma());
+    }
+    // Paper: the interval is largest for the middle pin.
+    assert!(widths[1] > widths[0] - 5e-3, "middle not widest: {widths:?}");
+    assert!(widths[1] > widths[2] - 5e-3, "middle not widest: {widths:?}");
+}
+
+/// Table 3: symmetric gates get identical speed factors and the output
+/// gate is maximal under the min-sigma objective.
+#[test]
+fn table3_symmetry_groups() {
+    let c = generate::tree7();
+    for obj in [Objective::Area, Objective::Sigma] {
+        let r = Sizer::new(&c, &lib())
+            .objective(obj.clone())
+            .delay_spec(DelaySpec::ExactMean(6.5))
+            .solve()
+            .expect("sizes");
+        let s = &r.s; // A B C D E F G
+        let tol = 0.02;
+        // {A, B, D, E} identical.
+        for &(i, j) in &[(0usize, 1usize), (0, 3), (0, 4)] {
+            assert!((s[i] - s[j]).abs() < tol, "{obj}: S{i} {} vs S{j} {}", s[i], s[j]);
+        }
+        // {C, F} identical.
+        assert!((s[2] - s[5]).abs() < tol, "{obj}: C {} vs F {}", s[2], s[5]);
+        // Output gate maximal.
+        let max_s = s.iter().cloned().fold(0.0f64, f64::max);
+        assert!(s[6] >= max_s - tol, "{obj}: G {} not maximal", s[6]);
+    }
+    // Min-sigma drives the pattern to the extremes: leaves small, late
+    // gates saturated (paper: 1.00 / 2.01 / 3.00).
+    let r = Sizer::new(&c, &lib())
+        .objective(Objective::Sigma)
+        .delay_spec(DelaySpec::ExactMean(6.5))
+        .solve()
+        .expect("sizes");
+    assert!(r.s[6] > 2.9, "G {}", r.s[6]);
+    assert!(r.s[0] < r.s[2], "leaves should be smaller than mid gates");
+}
+
+/// Table 1 shapes on the small synthetic benchmark (apex2-class): the
+/// relative behaviour of the seven rows.
+#[test]
+fn table1_shapes_apex2() {
+    let c = generate::benchmark_suite().remove(1);
+    assert_eq!(c.name(), "apex2");
+    let l = lib();
+    let n = c.num_gates();
+    let baseline = ssta(&c, &l, &vec![1.0; n]).delay;
+
+    let min_mu = Sizer::new(&c, &l).objective(Objective::MeanDelay).solve().expect("sizes");
+    let min_m3s = Sizer::new(&c, &l)
+        .objective(Objective::MeanPlusKSigma(3.0))
+        .solve()
+        .expect("sizes");
+
+    // Sizing speeds the circuit up substantially at an area premium.
+    assert!(min_mu.delay.mean() < 0.75 * baseline.mean());
+    assert!(min_mu.area > n as f64 * 1.1);
+    // The robust objective accepts a slightly larger mean for a clearly
+    // smaller sigma, and wins on its own metric.
+    assert!(min_m3s.delay.mean() >= min_mu.delay.mean() - 1e-3);
+    assert!(min_m3s.delay.sigma() < min_mu.delay.sigma() - 0.05);
+    assert!(min_m3s.mean_plus_k_sigma(3.0) <= min_mu.mean_plus_k_sigma(3.0) + 1e-3);
+
+    // Area-min rows under a deadline: tightening mu -> mu+sigma -> mu+3sigma
+    // lowers both mu and sigma while raising area.
+    let d = 29.0 * baseline.mean() / 31.50;
+    let r0 = Sizer::new(&c, &l)
+        .objective(Objective::Area)
+        .delay_spec(DelaySpec::MaxMean(d))
+        .solve()
+        .expect("sizes");
+    let r1 = Sizer::new(&c, &l)
+        .objective(Objective::Area)
+        .delay_spec(DelaySpec::MaxMeanPlusKSigma { k: 1.0, d })
+        .solve()
+        .expect("sizes");
+    let r3 = Sizer::new(&c, &l)
+        .objective(Objective::Area)
+        .delay_spec(DelaySpec::MaxMeanPlusKSigma { k: 3.0, d })
+        .solve()
+        .expect("sizes");
+    assert!(r0.delay.mean() <= d + 0.05);
+    assert!(r1.mean_plus_k_sigma(1.0) <= d + 0.05);
+    assert!(r3.mean_plus_k_sigma(3.0) <= d + 0.05);
+    assert!(r1.delay.mean() < r0.delay.mean());
+    assert!(r3.delay.mean() < r1.delay.mean());
+    assert!(r3.delay.sigma() < r0.delay.sigma());
+    assert!(r0.area < r1.area + 1e-6);
+    assert!(r1.area < r3.area + 1e-6);
+    // All well below the cost of full sizing.
+    assert!(r3.area < min_mu.area);
+}
+
+/// The solver handles the largest benchmark (k2-class, 1692 cells) with
+/// the reduced-space path — the paper's headline scalability claim.
+#[test]
+fn scales_to_k2() {
+    let c = generate::benchmark_suite().remove(2);
+    assert_eq!(c.name(), "k2");
+    let l = lib();
+    let n = c.num_gates();
+    let baseline = ssta(&c, &l, &vec![1.0; n]).delay;
+    let r = Sizer::new(&c, &l)
+        .objective(Objective::MeanDelay)
+        .solver(SolverChoice::ReducedSpace)
+        .solve()
+        .expect("sizes");
+    assert!(r.delay.mean() < 0.75 * baseline.mean(), "{}", r.delay.mean());
+}

@@ -1,0 +1,215 @@
+//! Integration: the full pipeline netlist -> SSTA -> sizing NLP -> solver
+//! -> extraction, across circuit families and solver paths.
+
+use sgs_core::{DelaySpec, Objective, SizeError, Sizer, SolverChoice};
+use sgs_netlist::generate::{self, RandomDagSpec};
+use sgs_netlist::{blif, Library};
+use sgs_ssta::ssta;
+
+fn lib() -> Library {
+    Library::paper_default()
+}
+
+#[test]
+fn blif_roundtrip_preserves_sizing_results() {
+    // Serialise a circuit to BLIF, parse it back, and check the sizing
+    // outcome is identical — I/O must not change the problem.
+    let original = generate::tree7();
+    let parsed = blif::parse(&blif::to_blif(&original)).expect("roundtrip parses");
+    let a = Sizer::new(&original, &lib()).solve().expect("sizes");
+    let b = Sizer::new(&parsed, &lib()).solve().expect("sizes");
+    assert!((a.delay.mean() - b.delay.mean()).abs() < 1e-9);
+    assert!((a.area - b.area).abs() < 1e-9);
+}
+
+#[test]
+fn sizing_result_is_consistent_with_fresh_ssta() {
+    let circuit = generate::ripple_carry_adder(6);
+    let r = Sizer::new(&circuit, &lib())
+        .objective(Objective::MeanPlusKSigma(1.0))
+        .solve()
+        .expect("sizes");
+    let fresh = ssta(&circuit, &lib(), &r.s);
+    assert!((fresh.delay.mean() - r.delay.mean()).abs() < 1e-12);
+    assert!((fresh.delay.sigma() - r.delay.sigma()).abs() < 1e-12);
+    assert!((r.area - r.s.iter().sum::<f64>()).abs() < 1e-12);
+}
+
+#[test]
+fn speed_factors_respect_bounds_everywhere() {
+    let circuit = generate::random_dag(&RandomDagSpec {
+        name: "bounds".into(),
+        cells: 150,
+        inputs: 15,
+        depth: 12,
+        seed: 17,
+        ..Default::default()
+    });
+    for obj in [Objective::MeanDelay, Objective::MeanPlusKSigma(3.0), Objective::Area] {
+        let r = Sizer::new(&circuit, &lib())
+            .objective(obj)
+            .solver(SolverChoice::ReducedSpace)
+            .solve()
+            .expect("sizes");
+        for &s in &r.s {
+            assert!((1.0 - 1e-9..=3.0 + 1e-9).contains(&s), "S = {s} out of bounds");
+        }
+    }
+}
+
+#[test]
+fn full_space_never_loses_to_warm_start() {
+    // The Sizer picks the better of (reduced warm start, full-space
+    // polish); the reported objective must therefore never be worse than
+    // a pure reduced-space run.
+    let circuit = generate::nand_tree(4);
+    for obj in [Objective::MeanDelay, Objective::MeanPlusKSigma(3.0)] {
+        let full = Sizer::new(&circuit, &lib()).objective(obj.clone()).solve().expect("sizes");
+        let red = Sizer::new(&circuit, &lib())
+            .objective(obj)
+            .solver(SolverChoice::ReducedSpace)
+            .solve()
+            .expect("sizes");
+        assert!(full.objective <= red.objective + 1e-6);
+    }
+}
+
+#[test]
+fn infeasible_deadline_is_reported() {
+    // A deadline below the fully-sized delay cannot be met.
+    let circuit = generate::tree7();
+    let fastest = Sizer::new(&circuit, &lib())
+        .objective(Objective::MeanDelay)
+        .solve()
+        .expect("sizes")
+        .delay
+        .mean();
+    let err = Sizer::new(&circuit, &lib())
+        .objective(Objective::Area)
+        .delay_spec(DelaySpec::MaxMean(fastest * 0.8))
+        .solve();
+    assert!(matches!(err, Err(SizeError::SolverFailed { .. })), "{err:?}");
+}
+
+#[test]
+fn chains_trees_and_adders_all_size() {
+    for circuit in [
+        generate::inverter_chain(12),
+        generate::nand_tree(3),
+        generate::ripple_carry_adder(4),
+        generate::fig2(),
+    ] {
+        let r = Sizer::new(&circuit, &lib()).solve().expect("sizes");
+        let baseline = ssta(&circuit, &lib(), &vec![1.0; circuit.num_gates()]);
+        assert!(
+            r.delay.mean() < baseline.delay.mean(),
+            "{}: no speedup",
+            circuit.name()
+        );
+    }
+}
+
+#[test]
+fn weighted_area_prefers_cheap_gates() {
+    // Penalise sizing gate G (the output gate) heavily; the optimiser
+    // should shift effort to other gates relative to uniform weights.
+    let circuit = generate::tree7();
+    let d = 6.0;
+    let uniform = Sizer::new(&circuit, &lib())
+        .objective(Objective::Area)
+        .delay_spec(DelaySpec::MaxMean(d))
+        .solve()
+        .expect("sizes");
+    let mut w = vec![1.0; 7];
+    w[6] = 25.0; // G
+    let weighted = Sizer::new(&circuit, &lib())
+        .objective(Objective::WeightedArea(w))
+        .delay_spec(DelaySpec::MaxMean(d))
+        .solve()
+        .expect("sizes");
+    assert!(
+        weighted.s[6] < uniform.s[6] - 0.05,
+        "S_G: weighted {} vs uniform {}",
+        weighted.s[6],
+        uniform.s[6]
+    );
+    assert!(weighted.delay.mean() <= d + 1e-2);
+}
+
+#[test]
+fn deterministic_results_across_runs() {
+    let circuit = generate::ripple_carry_adder(3);
+    let a = Sizer::new(&circuit, &lib()).solve().expect("sizes");
+    let b = Sizer::new(&circuit, &lib()).solve().expect("sizes");
+    assert_eq!(a.s, b.s);
+}
+
+#[test]
+fn custom_initial_point_converges_to_same_optimum() {
+    let circuit = generate::tree7();
+    let from_ones = Sizer::new(&circuit, &lib()).solve().expect("sizes");
+    let from_threes = Sizer::new(&circuit, &lib())
+        .initial_s(vec![3.0; 7])
+        .solve()
+        .expect("sizes");
+    assert!(
+        (from_ones.delay.mean() - from_threes.delay.mean()).abs() < 5e-3,
+        "{} vs {}",
+        from_ones.delay.mean(),
+        from_threes.delay.mean()
+    );
+}
+
+#[test]
+fn per_output_deadlines_hold_individually() {
+    // Give the adder's MSB sum a tight deadline and everything else a
+    // loose one; the sizer must speed up exactly the paths that need it.
+    let circuit = generate::ripple_carry_adder(5);
+    let l = lib();
+    let baseline = ssta(&circuit, &l, &vec![1.0; circuit.num_gates()]);
+    let n_out = circuit.outputs().len();
+    // Outputs are sum0..sum4, cout (in marking order); constrain each to
+    // 97% of its own unsized arrival, except the last sum which gets 85%.
+    let d: Vec<f64> = circuit
+        .outputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &o)| {
+            let a = baseline.arrivals[o.index()].mean();
+            if i == n_out - 2 {
+                a * 0.85
+            } else {
+                a * 0.97
+            }
+        })
+        .collect();
+    let r = Sizer::new(&circuit, &l)
+        .objective(Objective::Area)
+        .delay_spec(DelaySpec::PerOutput { k: 0.0, d: d.clone() })
+        .solve()
+        .expect("sizes");
+    let after = ssta(&circuit, &l, &r.s);
+    for (i, (&o, &d_o)) in circuit.outputs().iter().zip(&d).enumerate() {
+        assert!(
+            after.arrivals[o.index()].mean() <= d_o + 1e-2,
+            "output {i}: {} > {d_o}",
+            after.arrivals[o.index()].mean()
+        );
+    }
+    // The sizing is selective: area well below full sizing.
+    assert!(r.area < 1.5 * circuit.num_gates() as f64);
+}
+
+#[test]
+fn per_output_with_sigma_margin() {
+    let circuit = generate::nand_tree(3);
+    let l = lib();
+    let baseline = ssta(&circuit, &l, &vec![1.0; circuit.num_gates()]);
+    let d = vec![baseline.delay.mean_plus_k_sigma(3.0) * 0.9];
+    let r = Sizer::new(&circuit, &l)
+        .objective(Objective::Area)
+        .delay_spec(DelaySpec::PerOutput { k: 3.0, d: d.clone() })
+        .solve()
+        .expect("sizes");
+    assert!(r.mean_plus_k_sigma(3.0) <= d[0] + 1e-2);
+}
