@@ -1,0 +1,207 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! Implements the small API surface the workspace benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — backed by a simple calibrated timing loop instead of
+//! criterion's full statistical machinery. Each benchmark prints one
+//! `name ... time/iter` line.
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring each benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+/// Cap on calibrated iteration count (keeps ultra-cheap benches bounded).
+const MAX_ITERS: u64 = 50_000_000;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            _sample_size: 0,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    _sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the shim sizes its measurement
+    /// loop by wall-clock, so the sample count is unused.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self._sample_size = n;
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Benchmark `f` with an input value under `id` within this group.
+    pub fn bench_with_input<I, D, F>(&mut self, id: I, input: &D, mut f: F) -> &mut Self
+    where
+        I: std::fmt::Display,
+        F: FnMut(&mut Bencher, &D),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter, e.g.
+/// `BenchmarkId::new("ssta", 512)` displays as `ssta/512`.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            repr: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the routine.
+pub struct Bencher {
+    /// Measured nanoseconds per iteration, set by `iter`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `routine`: calibrate an iteration count targeting a fixed
+    /// measurement window, then measure.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up + calibration: double until the batch takes >= 1ms.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || iters >= MAX_ITERS {
+                break dt.as_secs_f64() / iters as f64;
+            }
+            iters = iters.saturating_mul(2);
+        };
+        // Measurement: enough iterations to fill the target window.
+        let measured =
+            ((TARGET_MEASURE.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, MAX_ITERS);
+        let t0 = Instant::now();
+        for _ in 0..measured {
+            black_box(routine());
+        }
+        self.ns_per_iter = t0.elapsed().as_secs_f64() * 1e9 / measured as f64;
+    }
+}
+
+fn run_one<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { ns_per_iter: 0.0 };
+    f(&mut b);
+    let ns = b.ns_per_iter;
+    let human = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!("{name:<50} {human}/iter");
+}
+
+/// Define a function running a list of benchmark targets, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 42), &42u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+    }
+}

@@ -62,7 +62,9 @@ fn bench_problem_eval(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("nlp_eval_400_cells");
     g.bench_function("build", |b| {
-        b.iter(|| SizingProblem::build(&circ, &lib, Objective::MeanPlusKSigma(3.0), DelaySpec::None))
+        b.iter(|| {
+            SizingProblem::build(&circ, &lib, Objective::MeanPlusKSigma(3.0), DelaySpec::None)
+        })
     });
     g.bench_function("constraints", |b| {
         let mut cvals = vec![0.0; m];

@@ -37,7 +37,12 @@ fn bench_ssta(c: &mut Criterion) {
                     &circuit,
                     &lib,
                     &s,
-                    &McOptions { samples: 1000, seed: 1, criticality: false },
+                    &McOptions {
+                        samples: 1000,
+                        seed: 1,
+                        criticality: false,
+                        ..Default::default()
+                    },
                 )
             })
         });

@@ -24,6 +24,16 @@ use sgs_statmath::{clark, mc, Normal};
 use std::time::Instant;
 
 fn main() {
+    if let Some(n) = std::env::args().skip(1).find_map(|a| {
+        a.strip_prefix("--threads=")
+            .and_then(|v| v.parse::<usize>().ok())
+    }) {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .ok();
+    }
+    println!("monte carlo threads: {}", rayon::current_num_threads());
     fold_order();
     eps_sensitivity();
     sigma_factor_sweep();
@@ -63,7 +73,9 @@ fn fold_order() {
             v.sqrt()
         );
     }
-    println!("(both orders are within MC noise of each other; the paper's left fold loses nothing)");
+    println!(
+        "(both orders are within MC noise of each other; the paper's left fold loses nothing)"
+    );
 }
 
 fn balanced_fold(ops: &[Normal]) -> Normal {
@@ -99,7 +111,9 @@ fn eps_sensitivity() {
         let d = arr[circuit.outputs()[0].index()];
         println!("{eps:>8.0e} {:>12.8} {:>12.8}", d.mean(), d.sigma());
     }
-    println!("(results identical to ~9 digits: the floor only matters at exactly-degenerate operands)");
+    println!(
+        "(results identical to ~9 digits: the floor only matters at exactly-degenerate operands)"
+    );
 }
 
 fn sigma_factor_sweep() {
@@ -187,12 +201,14 @@ fn correlation_handling() {
     println!("\n## Ablation 5: independence vs canonical correlation (paper's future work)\n");
     let lib = Library::paper_default();
     println!(
-        "{:<10} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
-        "circuit", "mu ind", "mu canon", "mu MC", "sig ind", "sig canon", "sig MC"
+        "{:<10} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>11}",
+        "circuit", "mu ind", "mu canon", "mu MC", "sig ind", "sig canon", "sig MC", "MC wall"
     );
-    for (name, cells, depth, seed) in
-        [("sparse", 120usize, 10usize, 5u64), ("dense", 300, 12, 7), ("wide", 400, 8, 9)]
-    {
+    for (name, cells, depth, seed) in [
+        ("sparse", 120usize, 10usize, 5u64),
+        ("dense", 300, 12, 7),
+        ("wide", 400, 8, 9),
+    ] {
         let c = generate::random_dag(&RandomDagSpec {
             name: name.into(),
             cells,
@@ -204,22 +220,30 @@ fn correlation_handling() {
         let s = vec![1.5; c.num_gates()];
         let ind = ssta(&c, &lib, &s).delay;
         let can = ssta_canonical(&c, &lib, &s).delay_normal();
+        let t0 = Instant::now();
         let mc = monte_carlo(
             &c,
             &lib,
             &s,
-            &McOptions { samples: 50_000, seed: 3, criticality: false },
+            &McOptions {
+                samples: 50_000,
+                seed: 3,
+                criticality: false,
+                ..Default::default()
+            },
         )
         .delay;
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         println!(
-            "{:<10} | {:>9.3} {:>9.3} {:>9.3} | {:>9.3} {:>9.3} {:>9.3}",
+            "{:<10} | {:>9.3} {:>9.3} {:>9.3} | {:>9.3} {:>9.3} {:>9.3} | {:>8.1} ms",
             name,
             ind.mean(),
             can.mean(),
             mc.mean(),
             ind.sigma(),
             can.sigma(),
-            mc.sigma()
+            mc.sigma(),
+            wall_ms
         );
     }
     println!("(canonical tracking removes most of the independence bias on reconvergent DAGs)");

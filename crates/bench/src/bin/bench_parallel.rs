@@ -1,0 +1,178 @@
+//! Parallel-engine benchmark: times the sequential vs the multi-threaded
+//! Monte Carlo and SSTA paths on large circuits, verifies the parallel
+//! results are bit-identical, and writes `BENCH_parallel.json`.
+//!
+//! Usage: `bench_parallel [--threads=N] [--samples=N] [--out=PATH]`
+
+use sgs_netlist::{generate, Circuit, Library};
+use sgs_ssta::{monte_carlo, ssta, ssta_levelized, McOptions, McReport};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Entry {
+    circuit: String,
+    gates: usize,
+    samples: usize,
+    mc_sequential_ms: f64,
+    mc_parallel_ms: f64,
+    mc_speedup: f64,
+    bit_identical: bool,
+    ssta_sequential_ms: f64,
+    ssta_levelized_ms: f64,
+}
+
+fn time_mc(
+    c: &Circuit,
+    lib: &Library,
+    s: &[f64],
+    samples: usize,
+    parallel: bool,
+) -> (f64, McReport) {
+    let opts = McOptions {
+        samples,
+        seed: 0xB0_0B5,
+        criticality: true,
+        parallel,
+    };
+    let t = Instant::now();
+    let r = monte_carlo(c, lib, s, &opts);
+    (t.elapsed().as_secs_f64() * 1e3, r)
+}
+
+fn identical(a: &McReport, b: &McReport) -> bool {
+    a.delay.mean().to_bits() == b.delay.mean().to_bits()
+        && a.delay.var().to_bits() == b.delay.var().to_bits()
+        && a.samples().len() == b.samples().len()
+        && a.samples()
+            .iter()
+            .zip(b.samples())
+            .all(|(p, q)| p.to_bits() == q.to_bits())
+        && a.criticality
+            .iter()
+            .zip(&b.criticality)
+            .all(|(p, q)| p.to_bits() == q.to_bits())
+}
+
+fn bench_circuit(c: &Circuit, lib: &Library, samples: usize) -> Entry {
+    let n = c.num_gates();
+    let s: Vec<f64> = (0..n).map(|i| 1.0 + 0.05 * (i % 37) as f64).collect();
+
+    let (seq_ms, seq) = time_mc(c, lib, &s, samples, false);
+    let (par_ms, par) = time_mc(c, lib, &s, samples, true);
+
+    let t = Instant::now();
+    let a = ssta(c, lib, &s);
+    let ssta_seq_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let b = ssta_levelized(c, lib, &s);
+    let ssta_lev_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        (a.delay.mean() - b.delay.mean()).abs() < 1e-12,
+        "levelized SSTA drifted"
+    );
+
+    Entry {
+        circuit: c.name().to_string(),
+        gates: n,
+        samples,
+        mc_sequential_ms: seq_ms,
+        mc_parallel_ms: par_ms,
+        mc_speedup: seq_ms / par_ms,
+        bit_identical: identical(&seq, &par),
+        ssta_sequential_ms: ssta_seq_ms,
+        ssta_levelized_ms: ssta_lev_ms,
+    }
+}
+
+fn usage(arg: &str) -> ! {
+    eprintln!("invalid argument: {arg}");
+    eprintln!("usage: bench_parallel [--threads=N] [--samples=N] [--out=PATH]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut samples = 100_000usize;
+    let mut out_path = String::from("BENCH_parallel.json");
+    for arg in std::env::args().skip(1) {
+        if let Some(n) = arg.strip_prefix("--threads=") {
+            let n: usize = n.parse().unwrap_or_else(|_| usage(&arg));
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .ok();
+        } else if let Some(n) = arg.strip_prefix("--samples=") {
+            samples = n.parse().unwrap_or_else(|_| usage(&arg));
+        } else if let Some(p) = arg.strip_prefix("--out=") {
+            out_path = p.to_string();
+        } else {
+            eprintln!("unknown argument: {arg}");
+            std::process::exit(2);
+        }
+    }
+    let threads = rayon::current_num_threads();
+    println!("parallel engine bench: {threads} thread(s), {samples} MC samples");
+
+    let lib = Library::paper_default();
+    let circuits = [
+        generate::ripple_carry_adder(128), // 641 gates, long carry chain
+        generate::random_dag(&generate::RandomDagSpec {
+            name: "dag2500".into(),
+            cells: 2500, // crosses the levelized-SSTA parallel threshold
+            inputs: 64,
+            depth: 25,
+            seed: 20,
+            ..Default::default()
+        }),
+    ];
+
+    let mut entries = Vec::new();
+    for c in &circuits {
+        // The big DAG gets fewer trials so the runner stays interactive.
+        let n = if c.num_gates() > 1000 {
+            samples / 2
+        } else {
+            samples
+        };
+        let e = bench_circuit(c, &lib, n);
+        println!(
+            "{:<12} {:>5} gates  {:>7} samples  MC seq {:>8.1} ms  par {:>8.1} ms  \
+             speedup {:>5.2}x  identical {}  SSTA {:.2}/{:.2} ms",
+            e.circuit,
+            e.gates,
+            e.samples,
+            e.mc_sequential_ms,
+            e.mc_parallel_ms,
+            e.mc_speedup,
+            e.bit_identical,
+            e.ssta_sequential_ms,
+            e.ssta_levelized_ms,
+        );
+        assert!(e.bit_identical, "parallel MC must be bit-identical");
+        entries.push(e);
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"circuit\": \"{}\", \"gates\": {}, \"samples\": {}, \
+             \"mc_sequential_ms\": {:.3}, \"mc_parallel_ms\": {:.3}, \"mc_speedup\": {:.3}, \
+             \"bit_identical\": {}, \"ssta_sequential_ms\": {:.3}, \"ssta_levelized_ms\": {:.3}}}{}",
+            e.circuit,
+            e.gates,
+            e.samples,
+            e.mc_sequential_ms,
+            e.mc_parallel_ms,
+            e.mc_speedup,
+            e.bit_identical,
+            e.ssta_sequential_ms,
+            e.ssta_levelized_ms,
+            if i + 1 < entries.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -9,17 +9,38 @@ fn main() {
     let lib = Library::paper_default();
     let s1 = vec![1.0; 7];
     let r1 = sgs_ssta::ssta(&c, &lib, &s1);
-    println!("unsized:   mu={:.3} sigma={:.3}  (paper 7.4 / 0.811)", r1.delay.mean(), r1.delay.sigma());
+    println!(
+        "unsized:   mu={:.3} sigma={:.3}  (paper 7.4 / 0.811)",
+        r1.delay.mean(),
+        r1.delay.sigma()
+    );
     let s3 = vec![3.0; 7];
     let r3 = sgs_ssta::ssta(&c, &lib, &s3);
-    println!("all S=3:   mu={:.3} sigma={:.3}", r3.delay.mean(), r3.delay.sigma());
-    let rmin = Sizer::new(&c, &lib).objective(Objective::MeanDelay).solve().unwrap();
-    println!("min mu:    mu={:.3} sigma={:.3} area={:.2}  (paper 5.4 / 0.592 / 21.0)",
-        rmin.delay.mean(), rmin.delay.sigma(), rmin.area);
+    println!(
+        "all S=3:   mu={:.3} sigma={:.3}",
+        r3.delay.mean(),
+        r3.delay.sigma()
+    );
+    let rmin = Sizer::new(&c, &lib)
+        .objective(Objective::MeanDelay)
+        .solve()
+        .unwrap();
+    println!(
+        "min mu:    mu={:.3} sigma={:.3} area={:.2}  (paper 5.4 / 0.592 / 21.0)",
+        rmin.delay.mean(),
+        rmin.delay.sigma(),
+        rmin.area
+    );
     for b in generate::benchmark_suite() {
         let s = vec![1.0; b.num_gates()];
         let r = sgs_ssta::ssta(&b, &lib, &s);
-        println!("{:6} unsized: mu={:.2} sigma={:.3} cells={} depth={}",
-            b.name(), r.delay.mean(), r.delay.sigma(), b.num_gates(), b.depth());
+        println!(
+            "{:6} unsized: mu={:.2} sigma={:.3} cells={} depth={}",
+            b.name(),
+            r.delay.mean(),
+            r.delay.sigma(),
+            b.num_gates(),
+            b.depth()
+        );
     }
 }

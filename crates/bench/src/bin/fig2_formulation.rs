@@ -25,20 +25,31 @@ fn main() {
     println!("variables:   {}", problem.num_vars());
     println!("constraints: {}", problem.num_constraints());
     println!("jacobian nonzeros: {}", problem.jacobian_structure().len());
-    println!("hessian nonzeros (lower triangle): {}", problem.hessian_structure().len());
+    println!(
+        "hessian nonzeros (lower triangle): {}",
+        problem.hessian_structure().len()
+    );
     println!();
     println!("per gate: mu_t S = t_int S + c (C_load + sum C_in,j S_j)   [18d]");
     println!("          var_t = (0.25 mu_t)^2                            [18e]");
     println!("          (mu_U, var_U) = repeated 2-operand max           [18b]");
     println!("          mu_T = mu_U + mu_t, var_T = var_U + var_t        [18c]");
-    println!("          1 <= S <= {}                                      [18f]", lib.s_limit);
+    println!(
+        "          1 <= S <= {}                                      [18f]",
+        lib.s_limit
+    );
 
     let r = Sizer::new(&circuit, &lib)
         .objective(Objective::MeanPlusKSigma(3.0))
         .solve()
         .expect("fig2 sizing converges");
     println!("\nsolution (99.8% of circuits meet this delay):");
-    println!("  mu_Tmax = {:.4}, sigma_Tmax = {:.4}, mu + 3 sigma = {:.4}", r.delay.mean(), r.delay.sigma(), r.mean_plus_k_sigma(3.0));
+    println!(
+        "  mu_Tmax = {:.4}, sigma_Tmax = {:.4}, mu + 3 sigma = {:.4}",
+        r.delay.mean(),
+        r.delay.sigma(),
+        r.mean_plus_k_sigma(3.0)
+    );
     for ((_, gate), s) in circuit.gates().zip(&r.s) {
         println!("  S_{} = {:.3}", gate.name, s);
     }

@@ -106,7 +106,9 @@ fn main() -> ExitCode {
         baseline.delay.sigma()
     );
 
-    let mut sizer = Sizer::new(&circuit, &lib).objective(objective).delay_spec(spec);
+    let mut sizer = Sizer::new(&circuit, &lib)
+        .objective(objective)
+        .delay_spec(spec);
     if reduced {
         sizer = sizer.solver(SolverChoice::ReducedSpace);
     }

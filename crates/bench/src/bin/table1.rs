@@ -102,7 +102,10 @@ fn main() {
             paper: Some(pref.rows[0]),
         });
 
-        let al = AugLagOptions { max_outer: 8, ..Default::default() };
+        let al = AugLagOptions {
+            max_outer: 8,
+            ..Default::default()
+        };
         let mut run = |obj: Objective, spec: DelaySpec, label: (&str, String), paper| {
             let r = Sizer::new(&circuit, &lib)
                 .objective(obj)
@@ -121,7 +124,12 @@ fn main() {
             });
         };
 
-        run(Objective::MeanDelay, DelaySpec::None, ("min mu", String::new()), Some(pref.rows[1]));
+        run(
+            Objective::MeanDelay,
+            DelaySpec::None,
+            ("min mu", String::new()),
+            Some(pref.rows[1]),
+        );
         run(
             Objective::MeanPlusKSigma(1.0),
             DelaySpec::None,

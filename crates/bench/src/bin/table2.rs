@@ -70,5 +70,8 @@ fn main() {
         }
     }
 
-    print_table("Table 2: results for the tree circuit (paper Fig. 3)", &rows);
+    print_table(
+        "Table 2: results for the tree circuit (paper Fig. 3)",
+        &rows,
+    );
 }

@@ -49,5 +49,7 @@ fn main() {
         }
         println!();
     }
-    println!("\nGate order A..G as in the paper's Fig. 3: {{A,B}} -> C, {{D,E}} -> F, {{C,F}} -> G.");
+    println!(
+        "\nGate order A..G as in the paper's Fig. 3: {{A,B}} -> C, {{D,E}} -> F, {{C,F}} -> G."
+    );
 }

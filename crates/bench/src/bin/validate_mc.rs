@@ -11,12 +11,26 @@
 //!
 //! Run with `cargo run -p sgs-bench --bin validate_mc --release`.
 
+use std::time::Instant;
+
 use sgs_core::{Objective, Sizer};
 use sgs_netlist::{generate, Library};
 use sgs_ssta::{monte_carlo, ssta, McOptions};
 use sgs_statmath::{clark, mc, Normal};
 
 fn main() {
+    // Honour an explicit thread request; otherwise rayon reads
+    // RAYON_NUM_THREADS / the machine's parallelism.
+    if let Some(n) = std::env::args().skip(1).find_map(|a| {
+        a.strip_prefix("--threads=")
+            .and_then(|v| v.parse::<usize>().ok())
+    }) {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .ok();
+    }
+    println!("monte carlo threads: {}", rayon::current_num_threads());
     println!("\n## Clark max vs Monte Carlo (400k samples per case)\n");
     println!(
         "{:>8} {:>8} {:>8} {:>8} | {:>9} {:>9} | {:>9} {:>9}",
@@ -50,24 +64,37 @@ fn main() {
     let lib = Library::paper_default();
     println!("\n## Circuit-level SSTA vs Monte Carlo (40k trials)\n");
     println!(
-        "{:<12} {:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>7}",
-        "circuit", "cells", "mu SSTA", "mu MC", "sig SSTA", "sig MC", "err mu"
+        "{:<12} {:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>7} | {:>11}",
+        "circuit", "cells", "mu SSTA", "mu MC", "sig SSTA", "sig MC", "err mu", "MC wall"
     );
     let mut circuits = vec![generate::tree7(), generate::ripple_carry_adder(8)];
     circuits.extend(generate::benchmark_suite());
     for c in &circuits {
         let s = vec![1.0; c.num_gates()];
         let a = ssta(c, &lib, &s);
-        let m = monte_carlo(c, &lib, &s, &McOptions { samples: 40_000, seed: 11, criticality: false });
+        let t0 = Instant::now();
+        let m = monte_carlo(
+            c,
+            &lib,
+            &s,
+            &McOptions {
+                samples: 40_000,
+                seed: 11,
+                criticality: false,
+                ..Default::default()
+            },
+        );
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         println!(
-            "{:<12} {:>6} | {:>9.3} {:>9.3} | {:>9.3} {:>9.3} | {:>6.2}%",
+            "{:<12} {:>6} | {:>9.3} {:>9.3} | {:>9.3} {:>9.3} | {:>6.2}% | {:>8.1} ms",
             c.name(),
             c.num_gates(),
             a.delay.mean(),
             m.delay.mean(),
             a.delay.sigma(),
             m.delay.sigma(),
-            100.0 * (a.delay.mean() - m.delay.mean()) / m.delay.mean()
+            100.0 * (a.delay.mean() - m.delay.mean()) / m.delay.mean(),
+            wall_ms
         );
     }
 
@@ -77,8 +104,26 @@ fn main() {
         .objective(Objective::MeanPlusKSigma(3.0))
         .solve()
         .expect("tree sizing converges");
-    let m = monte_carlo(&c, &lib, &r.s, &McOptions { samples: 200_000, seed: 12, criticality: false });
-    println!("{:>4} {:>12} {:>12} {:>12}", "k", "deadline", "yield MC", "theory");
+    let t0 = Instant::now();
+    let m = monte_carlo(
+        &c,
+        &lib,
+        &r.s,
+        &McOptions {
+            samples: 200_000,
+            seed: 12,
+            criticality: false,
+            ..Default::default()
+        },
+    );
+    println!(
+        "(200k trials in {:.1} ms)",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    println!(
+        "{:>4} {:>12} {:>12} {:>12}",
+        "k", "deadline", "yield MC", "theory"
+    );
     for (k, theory) in [(0.0, 0.5), (1.0, 0.841), (2.0, 0.977), (3.0, 0.998)] {
         let t = r.delay.mean_plus_k_sigma(k);
         println!(

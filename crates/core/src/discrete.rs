@@ -16,7 +16,7 @@
 
 use crate::spec::DelaySpec;
 use sgs_netlist::{Circuit, Library};
-use sgs_ssta::ssta;
+use sgs_ssta::{ssta_with_model, DelayModel};
 
 /// A discrete size grid (sorted ascending, within `[1, s_limit]`).
 #[derive(Debug, Clone, PartialEq)]
@@ -32,7 +32,10 @@ impl SizeGrid {
     /// Panics if the points are empty, unsorted, or below 1.
     pub fn new(points: Vec<f64>) -> Self {
         assert!(!points.is_empty(), "grid needs at least one point");
-        assert!(points.windows(2).all(|w| w[0] < w[1]), "grid must be sorted");
+        assert!(
+            points.windows(2).all(|w| w[0] < w[1]),
+            "grid must be sorted"
+        );
         assert!(points[0] >= 1.0, "grid points must be >= 1");
         SizeGrid { points }
     }
@@ -107,8 +110,8 @@ pub struct DiscreteResult {
     pub recovered_moves: usize,
 }
 
-fn violation(circuit: &Circuit, lib: &Library, s: &[f64], spec: &DelaySpec) -> f64 {
-    let report = ssta(circuit, lib, s);
+fn violation(circuit: &Circuit, model: &DelayModel, s: &[f64], spec: &DelaySpec) -> f64 {
+    let report = ssta_with_model(circuit, model, s);
     let mu = report.delay.mean();
     let sigma = report.delay.sigma();
     match spec {
@@ -145,6 +148,8 @@ pub fn discretize(
 ) -> DiscreteResult {
     let n = circuit.num_gates();
     assert_eq!(s_cont.len(), n, "one speed factor per gate");
+    // One model build serves every repair/recover evaluation below.
+    let model = DelayModel::new(circuit, lib);
     let mut s: Vec<f64> = s_cont.iter().map(|&v| grid.snap(v)).collect();
 
     // Without a delay spec there is nothing to repair against and the
@@ -163,14 +168,14 @@ pub fn discretize(
 
     // Repair: greedy upsizing until feasible.
     let mut repair_moves = 0usize;
-    let mut viol = violation(circuit, lib, &s, spec);
+    let mut viol = violation(circuit, &model, &s, spec);
     while viol > 1e-9 && repair_moves < 20 * n {
         let mut best: Option<(usize, f64, f64)> = None; // (gate, new_s, score)
         for g in 0..n {
             let Some(up) = grid.up(s[g]) else { continue };
             let old = s[g];
             s[g] = up;
-            let v = violation(circuit, lib, &s, spec);
+            let v = violation(circuit, &model, &s, spec);
             s[g] = old;
             let gain = viol - v;
             if gain > 1e-12 {
@@ -183,7 +188,7 @@ pub fn discretize(
         match best {
             Some((g, up, _)) => {
                 s[g] = up;
-                viol = violation(circuit, lib, &s, spec);
+                viol = violation(circuit, &model, &s, spec);
                 repair_moves += 1;
             }
             None => break,
@@ -200,10 +205,12 @@ pub fn discretize(
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&a, &b| s[b].total_cmp(&s[a]));
             for g in order {
-                let Some(down) = grid.down(s[g]) else { continue };
+                let Some(down) = grid.down(s[g]) else {
+                    continue;
+                };
                 let old = s[g];
                 s[g] = down;
-                if violation(circuit, lib, &s, spec) <= 1e-9 {
+                if violation(circuit, &model, &s, spec) <= 1e-9 {
                     recovered_moves += 1;
                     changed = true;
                 } else {
@@ -211,7 +218,7 @@ pub fn discretize(
                 }
             }
         }
-        viol = violation(circuit, lib, &s, spec);
+        viol = violation(circuit, &model, &s, spec);
     }
 
     DiscreteResult {
@@ -228,6 +235,7 @@ mod tests {
     use super::*;
     use crate::{Objective, Sizer};
     use sgs_netlist::generate;
+    use sgs_ssta::ssta;
 
     fn lib() -> Library {
         Library::paper_default()
@@ -259,7 +267,10 @@ mod tests {
         let disc = discretize(&circuit, &l, &spec, &cont.s, &grid);
         assert!(disc.feasible, "{disc:?}");
         for &si in &disc.s {
-            assert!(grid.points().iter().any(|&p| (p - si).abs() < 1e-12), "S {si} off grid");
+            assert!(
+                grid.points().iter().any(|&p| (p - si).abs() < 1e-12),
+                "S {si} off grid"
+            );
         }
         // Discretisation loss bounded: within one grid ratio of continuous.
         assert!(

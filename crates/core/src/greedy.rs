@@ -10,7 +10,7 @@
 
 use crate::spec::Objective;
 use sgs_netlist::{Circuit, GateId, Library, Signal};
-use sgs_ssta::{ssta, sta_deterministic};
+use sgs_ssta::{ssta_with_model, sta_deterministic_with_model, DelayModel};
 
 /// Options for [`greedy_size`].
 #[derive(Debug, Clone)]
@@ -25,7 +25,11 @@ pub struct GreedyOptions {
 
 impl Default for GreedyOptions {
     fn default() -> Self {
-        GreedyOptions { bump: 1.15, slack_window: 0.02, max_moves: 100_000 }
+        GreedyOptions {
+            bump: 1.15,
+            slack_window: 0.02,
+            max_moves: 100_000,
+        }
     }
 }
 
@@ -42,25 +46,26 @@ pub struct GreedyResult {
     pub evaluations: usize,
 }
 
-/// The delay metric the greedy sizer descends.
-fn metric_value(circuit: &Circuit, lib: &Library, s: &[f64], objective: &Objective) -> f64 {
+/// The delay metric the greedy sizer descends. Takes the prebuilt
+/// [`DelayModel`] so the thousands of candidate evaluations per run skip
+/// the per-call model construction.
+fn metric_value(circuit: &Circuit, model: &DelayModel, s: &[f64], objective: &Objective) -> f64 {
     match objective {
-        Objective::MeanDelay => ssta(circuit, lib, s).delay.mean(),
-        Objective::MeanPlusKSigma(k) => ssta(circuit, lib, s).mean_plus_k_sigma(*k),
+        Objective::MeanDelay => ssta_with_model(circuit, model, s).delay.mean(),
+        Objective::MeanPlusKSigma(k) => ssta_with_model(circuit, model, s).mean_plus_k_sigma(*k),
         // The pre-statistical baseline: deterministic worst case.
-        _ => sta_deterministic(circuit, lib, s, 0.0).0,
+        _ => sta_deterministic_with_model(circuit, model, s, 0.0).0,
     }
 }
 
 /// Gates within the slack window of the (deterministic) critical path.
-fn candidates(circuit: &Circuit, lib: &Library, s: &[f64], window: f64) -> Vec<GateId> {
-    let (worst, arrivals) = sta_deterministic(circuit, lib, s, 0.0);
+fn candidates(circuit: &Circuit, model: &DelayModel, s: &[f64], window: f64) -> Vec<GateId> {
+    let (worst, arrivals) = sta_deterministic_with_model(circuit, model, s, 0.0);
     // Required times by reverse sweep.
     let mut required = vec![f64::INFINITY; circuit.num_gates()];
     for &o in circuit.outputs() {
         required[o.index()] = worst;
     }
-    let model = sgs_ssta::DelayModel::new(circuit, lib);
     for (id, gate) in circuit.gates().collect::<Vec<_>>().into_iter().rev() {
         let req_here = required[id.index()];
         if !req_here.is_finite() {
@@ -80,8 +85,7 @@ fn candidates(circuit: &Circuit, lib: &Library, s: &[f64], window: f64) -> Vec<G
     circuit
         .gates()
         .filter(|(id, _)| {
-            required[id.index()].is_finite()
-                && required[id.index()] - arrivals[id.index()] <= tol
+            required[id.index()].is_finite() && required[id.index()] - arrivals[id.index()] <= tol
         })
         .map(|(id, _)| id)
         .collect()
@@ -103,13 +107,16 @@ pub fn greedy_size(
 ) -> GreedyResult {
     assert!(opts.bump > 1.0, "bump factor must exceed 1");
     let n = circuit.num_gates();
+    // One model build for the whole run: every candidate evaluation below
+    // reuses it.
+    let model = DelayModel::new(circuit, lib);
     let mut s = vec![1.0; n];
-    let mut best = metric_value(circuit, lib, &s, objective);
+    let mut best = metric_value(circuit, &model, &s, objective);
     let mut moves = 0usize;
     let mut evals = 1usize;
 
     while moves < opts.max_moves {
-        let cands = candidates(circuit, lib, &s, opts.slack_window);
+        let cands = candidates(circuit, &model, &s, opts.slack_window);
         let mut best_gate: Option<(GateId, f64, f64)> = None; // (gate, new_s, metric)
         for id in cands {
             let g = id.index();
@@ -118,13 +125,11 @@ pub fn greedy_size(
             }
             let old = s[g];
             s[g] = (old * opts.bump).min(lib.s_limit);
-            let m = metric_value(circuit, lib, &s, objective);
+            let m = metric_value(circuit, &model, &s, objective);
             evals += 1;
             let candidate_s = s[g];
             s[g] = old;
-            if m < best - 1e-12
-                && best_gate.is_none_or(|(_, _, bm)| m < bm)
-            {
+            if m < best - 1e-12 && best_gate.is_none_or(|(_, _, bm)| m < bm) {
                 best_gate = Some((id, candidate_s, m));
             }
         }
@@ -138,7 +143,12 @@ pub fn greedy_size(
         }
     }
 
-    GreedyResult { s, metric: best, moves, evaluations: evals }
+    GreedyResult {
+        s,
+        metric: best,
+        moves,
+        evaluations: evals,
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +156,7 @@ mod tests {
     use super::*;
     use crate::{Sizer, SolverChoice};
     use sgs_netlist::generate;
+    use sgs_ssta::{ssta, sta_deterministic};
 
     fn lib() -> Library {
         Library::paper_default()
@@ -200,7 +211,10 @@ mod tests {
             &c,
             &lib(),
             &Objective::MeanDelay,
-            &GreedyOptions { max_moves: 3, ..Default::default() },
+            &GreedyOptions {
+                max_moves: 3,
+                ..Default::default()
+            },
         );
         assert!(r.moves <= 3);
     }

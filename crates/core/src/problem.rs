@@ -24,14 +24,31 @@
 //! constant fold at build time. Every constraint has hand-coded exact
 //! first and second derivatives; the stochastic-max blocks come from
 //! [`sgs_statmath::clark::max_hess`].
+//!
+//! # Evaluation layout
+//!
+//! Each `(mu_U, var_U)` max node contributes an *adjacent* pair of
+//! constraints over the same operand pair. At build time those pairs are
+//! grouped so one [`clark::max_grad`] / [`clark::max_hess`] call (the
+//! dominant cost: Φ/φ evaluations) serves both the mu and the var slot of
+//! a pair. Per-constraint offsets into the Jacobian/Hessian value arrays
+//! are also precomputed, so every group owns a disjoint, contiguous slice
+//! of `vals`; on large formulations the groups are filled in parallel with
+//! rayon — race-free by construction, bit-identical to the sequential
+//! sweep because each group writes the same pure function of `x` to the
+//! same positions regardless of schedule.
 
 use crate::spec::{DelaySpec, Objective};
+use rayon::prelude::*;
 use sgs_netlist::{Circuit, Library, Signal};
 use sgs_nlp::NlpProblem;
 use sgs_ssta::DelayModel;
 use sgs_statmath::clark::{self, ClarkGrad, ClarkHess};
 
 const INF: f64 = f64::INFINITY;
+/// Minimum constraint count before constraint/derivative assembly fans
+/// out across threads; below this the sequential sweep wins.
+const PAR_CON_THRESHOLD: usize = 512;
 /// Lower bound applied to variance variables (keeps `sqrt` smooth).
 const VAR_LB: f64 = 1e-12;
 /// Floor inside `sqrt` when evaluating sigma terms.
@@ -133,6 +150,16 @@ pub struct SizingProblem {
     i_v_tmax: usize,
     eps: f64,
     num_gates: usize,
+    /// Evaluation groups `(first_con, count)`: an adjacent MaxMu/MaxVar
+    /// pair over the same operands forms one group of two (sharing a
+    /// single Clark evaluation), everything else is a singleton.
+    groups: Vec<(usize, usize)>,
+    /// Prefix offsets of each constraint's Jacobian-value block
+    /// (`len = cons.len() + 1`).
+    jac_off: Vec<usize>,
+    /// Prefix offsets of each constraint's Hessian-value block, excluding
+    /// the objective block at the front (`len = cons.len() + 1`).
+    hess_off: Vec<usize>,
 }
 
 impl SizingProblem {
@@ -227,17 +254,25 @@ impl SizingProblem {
                 load0: model.c() * model.static_load(id),
                 fanout,
             });
-            cons.push(Con::VarT { ivt: idx_vt[g], imt: idx_mt[g], kappa2 });
+            cons.push(Con::VarT {
+                ivt: idx_vt[g],
+                imt: idx_mt[g],
+                kappa2,
+            });
 
             // Fold the fan-in max tree.
             let operands: Vec<Operand> = gate
                 .inputs
                 .iter()
                 .map(|&sig| match sig {
-                    Signal::Pi(p) => input_arrivals.map_or(
-                        Operand::Const { mu: 0.0, var: 0.0 },
-                        |ia| Operand::Const { mu: ia[p].mean(), var: ia[p].var() },
-                    ),
+                    Signal::Pi(p) => {
+                        input_arrivals.map_or(Operand::Const { mu: 0.0, var: 0.0 }, |ia| {
+                            Operand::Const {
+                                mu: ia[p].mean(),
+                                var: ia[p].var(),
+                            }
+                        })
+                    }
                     Signal::Gate(src) => Operand::Vars {
                         mu: idx_m_arr[src.index()],
                         var: idx_v_arr[src.index()],
@@ -250,8 +285,16 @@ impl SizingProblem {
                 Operand::Const { mu, var } => (Term::Const(mu), Term::Const(var)),
                 Operand::Vars { mu, var } => (Term::Var(mu), Term::Var(var)),
             };
-            cons.push(Con::ArrMu { im_arr: idx_m_arr[g], u: u_mu, imt: idx_mt[g] });
-            cons.push(Con::ArrVar { iv_arr: idx_v_arr[g], u: u_var, ivt: idx_vt[g] });
+            cons.push(Con::ArrMu {
+                im_arr: idx_m_arr[g],
+                u: u_mu,
+                imt: idx_mt[g],
+            });
+            cons.push(Con::ArrVar {
+                iv_arr: idx_v_arr[g],
+                u: u_var,
+                ivt: idx_vt[g],
+            });
         }
 
         // --- circuit-output max chain ------------------------------------
@@ -311,7 +354,11 @@ impl SizingProblem {
                     let slack = push_var(0.0, INF, &mut lower, &mut upper);
                     cons.push(Con::DelayCap {
                         imu: idx_m_arr[o.index()],
-                        iv: if k != 0.0 { Some(idx_v_arr[o.index()]) } else { None },
+                        iv: if k != 0.0 {
+                            Some(idx_v_arr[o.index()])
+                        } else {
+                            None
+                        },
                         k,
                         slack: Some(slack),
                         d: d_o,
@@ -320,6 +367,7 @@ impl SizingProblem {
             }
         }
 
+        let (groups, jac_off, hess_off) = index_cons(&cons);
         SizingProblem {
             num_vars: lower.len(),
             cons,
@@ -331,6 +379,9 @@ impl SizingProblem {
             i_v_tmax,
             eps,
             num_gates: n,
+            groups,
+            jac_off,
+            hess_off,
         }
     }
 
@@ -379,7 +430,13 @@ impl SizingProblem {
         }
         for con in &self.cons {
             match con {
-                Con::Delay { imt, is, t_int, load0, fanout } => {
+                Con::Delay {
+                    imt,
+                    is,
+                    t_int,
+                    load0,
+                    fanout,
+                } => {
                     let mut load = *load0;
                     for &(j, coef) in fanout {
                         load += coef * x[j];
@@ -403,7 +460,13 @@ impl SizingProblem {
                 Con::ArrVar { iv_arr, u, ivt } => {
                     x[*iv_arr] = u.value(&x) + x[*ivt];
                 }
-                Con::DelayCap { imu, iv, k, slack, d } => {
+                Con::DelayCap {
+                    imu,
+                    iv,
+                    k,
+                    slack,
+                    d,
+                } => {
                     if let Some(sl) = slack {
                         let sigma = iv.map_or(0.0, |i| x[i].max(SQRT_FLOOR).sqrt());
                         x[*sl] = (d - (x[*imu] + k * sigma)).max(0.0);
@@ -416,6 +479,172 @@ impl SizingProblem {
 
     fn sigma_tmax(&self, x: &[f64]) -> f64 {
         x[self.i_v_tmax].max(SQRT_FLOOR).sqrt()
+    }
+
+    /// Whether constraint/derivative assembly should fan out over groups.
+    fn par_assembly(&self) -> bool {
+        self.cons.len() >= PAR_CON_THRESHOLD && rayon::current_num_threads() > 1
+    }
+
+    /// One shared Clark gradient per group whose leader is a max
+    /// constraint (a pair shares its leader's operands by construction).
+    fn group_grad(&self, start: usize, x: &[f64]) -> Option<ClarkGrad> {
+        match &self.cons[start] {
+            Con::MaxMu { a, b, .. } | Con::MaxVar { a, b, .. } => {
+                Some(clark_eval_grad(*a, *b, x, self.eps))
+            }
+            _ => None,
+        }
+    }
+
+    /// Constraint residuals of one group into its slice of `c`.
+    fn constraints_group(&self, x: &[f64], start: usize, len: usize, out: &mut [f64]) {
+        let shared = self.group_grad(start, x);
+        for (k, con) in self.cons[start..start + len].iter().enumerate() {
+            out[k] = match con {
+                Con::Delay {
+                    imt,
+                    is,
+                    t_int,
+                    load0,
+                    fanout,
+                } => {
+                    let mut r = x[*imt] * x[*is] - t_int * x[*is] - load0;
+                    for &(j, coef) in fanout {
+                        r -= coef * x[j];
+                    }
+                    r
+                }
+                Con::VarT { ivt, imt, kappa2 } => x[*ivt] - kappa2 * x[*imt] * x[*imt],
+                Con::MaxMu { out, .. } => x[*out] - shared.as_ref().unwrap().mu,
+                Con::MaxVar { out, .. } => x[*out] - shared.as_ref().unwrap().var,
+                Con::ArrMu { im_arr, u, imt } => x[*im_arr] - u.value(x) - x[*imt],
+                Con::ArrVar { iv_arr, u, ivt } => x[*iv_arr] - u.value(x) - x[*ivt],
+                Con::DelayCap {
+                    imu,
+                    iv,
+                    k,
+                    slack,
+                    d,
+                } => {
+                    let sigma = iv.map_or(0.0, |i| x[i].max(SQRT_FLOOR).sqrt());
+                    x[*imu] + k * sigma + slack.map_or(0.0, |s| x[s]) - d
+                }
+            };
+        }
+    }
+
+    /// Jacobian values of one group into its disjoint slice of `vals`.
+    fn jacobian_group(&self, x: &[f64], start: usize, len: usize, out: &mut [f64]) {
+        let shared = self.group_grad(start, x);
+        let mut k_out = 0usize;
+        let mut push = |out: &mut [f64], v: f64| {
+            out[k_out] = v;
+            k_out += 1;
+        };
+        for con in &self.cons[start..start + len] {
+            match con {
+                Con::Delay {
+                    imt,
+                    is,
+                    t_int,
+                    fanout,
+                    ..
+                } => {
+                    push(out, x[*is]);
+                    push(out, x[*imt] - t_int);
+                    for &(_, coef) in fanout {
+                        push(out, -coef);
+                    }
+                }
+                Con::VarT { imt, kappa2, .. } => {
+                    push(out, 1.0);
+                    push(out, -2.0 * kappa2 * x[*imt]);
+                }
+                Con::MaxMu { a, b, .. } => {
+                    let g = shared.as_ref().unwrap();
+                    push(out, 1.0);
+                    for (slot, _) in clark_slots(*a, *b) {
+                        push(out, -g.dmu[slot]);
+                    }
+                }
+                Con::MaxVar { a, b, .. } => {
+                    let g = shared.as_ref().unwrap();
+                    push(out, 1.0);
+                    for (slot, _) in clark_slots(*a, *b) {
+                        push(out, -g.dvar[slot]);
+                    }
+                }
+                Con::ArrMu { u, .. } | Con::ArrVar { u, .. } => {
+                    push(out, 1.0);
+                    if matches!(u, Term::Var(_)) {
+                        push(out, -1.0);
+                    }
+                    push(out, -1.0);
+                }
+                Con::DelayCap { iv, k, slack, .. } => {
+                    push(out, 1.0);
+                    if let Some(i) = iv {
+                        push(out, k / (2.0 * x[*i].max(SQRT_FLOOR).sqrt()));
+                    }
+                    if slack.is_some() {
+                        push(out, 1.0);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(k_out, out.len());
+    }
+
+    /// Lagrangian-Hessian values of one group into its disjoint slice of
+    /// `vals` (objective block excluded — the caller handles it).
+    fn hessian_group(&self, x: &[f64], lambda: &[f64], start: usize, len: usize, out: &mut [f64]) {
+        // One shared second-derivative evaluation per max pair.
+        let shared = match &self.cons[start] {
+            Con::MaxMu { a, b, .. } | Con::MaxVar { a, b, .. } => {
+                Some(clark_eval_hess(*a, *b, x, self.eps))
+            }
+            _ => None,
+        };
+        let mut k_out = 0usize;
+        let mut push = |out: &mut [f64], v: f64| {
+            out[k_out] = v;
+            k_out += 1;
+        };
+        for (ci, con) in self.cons[start..start + len].iter().enumerate() {
+            let lam = lambda[start + ci];
+            match con {
+                Con::Delay { .. } => push(out, lam),
+                Con::VarT { kappa2, .. } => push(out, lam * (-2.0 * kappa2)),
+                Con::MaxMu { a, b, .. } => {
+                    let h = shared.as_ref().unwrap();
+                    emit_clark_hess(&mut push, out, a, b, &h.hmu, lam);
+                }
+                Con::MaxVar { a, b, .. } => {
+                    let h = shared.as_ref().unwrap();
+                    emit_clark_hess(&mut push, out, a, b, &h.hvar, lam);
+                }
+                Con::ArrMu { .. } | Con::ArrVar { .. } => {}
+                Con::DelayCap { iv, k, .. } => {
+                    if let Some(i) = iv {
+                        if *k != 0.0 {
+                            let st = x[*i].max(SQRT_FLOOR).sqrt();
+                            push(out, lam * k * (-0.25) / (st * st * st));
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(k_out, out.len());
+    }
+
+    /// Hessian entries contributed by the objective (the leading block of
+    /// the value array).
+    fn obj_hess_len(&self) -> usize {
+        matches!(
+            self.objective,
+            Objective::MeanPlusKSigma(_) | Objective::Sigma | Objective::NegSigma
+        ) as usize
     }
 }
 
@@ -435,7 +664,10 @@ fn fold_max(
         if let (Operand::Const { mu: ma, var: va }, Operand::Const { mu: mb, var: vb }) = (acc, op)
         {
             let g = clark::max_grad(ma, va, mb, vb, eps);
-            acc = Operand::Const { mu: g.mu, var: g.var };
+            acc = Operand::Const {
+                mu: g.mu,
+                var: g.var,
+            };
             continue;
         }
         lower.push(0.0);
@@ -444,8 +676,16 @@ fn fold_max(
         lower.push(VAR_LB);
         upper.push(INF);
         let ivar = lower.len() - 1;
-        cons.push(Con::MaxMu { out: imu, a: acc, b: op });
-        cons.push(Con::MaxVar { out: ivar, a: acc, b: op });
+        cons.push(Con::MaxMu {
+            out: imu,
+            a: acc,
+            b: op,
+        });
+        cons.push(Con::MaxVar {
+            out: ivar,
+            a: acc,
+            b: op,
+        });
         acc = Operand::Vars { mu: imu, var: ivar };
     }
     acc
@@ -471,6 +711,81 @@ fn clark_eval_hess(a: Operand, b: Operand, x: &[f64], eps: f64) -> ClarkHess {
     clark::max_hess(a.mu(x), a.var(x), b.mu(x), b.var(x), eps)
 }
 
+/// Jacobian entries of one constraint — must mirror
+/// [`NlpProblem::jacobian_structure`] exactly.
+fn jac_width(con: &Con) -> usize {
+    match con {
+        Con::Delay { fanout, .. } => 2 + fanout.len(),
+        Con::VarT { .. } => 2,
+        Con::MaxMu { a, b, .. } | Con::MaxVar { a, b, .. } => 1 + clark_slots(*a, *b).len(),
+        Con::ArrMu { u, .. } | Con::ArrVar { u, .. } => 2 + matches!(u, Term::Var(_)) as usize,
+        Con::DelayCap { iv, slack, .. } => 1 + iv.is_some() as usize + slack.is_some() as usize,
+    }
+}
+
+/// Hessian entries of one constraint — must mirror
+/// [`NlpProblem::hessian_structure`] exactly (objective block excluded).
+fn hess_width(con: &Con) -> usize {
+    match con {
+        Con::Delay { .. } | Con::VarT { .. } => 1,
+        Con::MaxMu { a, b, .. } | Con::MaxVar { a, b, .. } => {
+            let k = clark_slots(*a, *b).len();
+            k * (k + 1) / 2
+        }
+        Con::ArrMu { .. } | Con::ArrVar { .. } => 0,
+        Con::DelayCap { iv, k, .. } => (iv.is_some() && *k != 0.0) as usize,
+    }
+}
+
+/// Computes the evaluation groups and per-constraint value-block prefix
+/// offsets (see the module docs on the evaluation layout).
+fn index_cons(cons: &[Con]) -> (Vec<(usize, usize)>, Vec<usize>, Vec<usize>) {
+    let mut jac_off = Vec::with_capacity(cons.len() + 1);
+    let mut hess_off = Vec::with_capacity(cons.len() + 1);
+    let (mut j, mut h) = (0usize, 0usize);
+    jac_off.push(0);
+    hess_off.push(0);
+    for con in cons {
+        j += jac_width(con);
+        h += hess_width(con);
+        jac_off.push(j);
+        hess_off.push(h);
+    }
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < cons.len() {
+        let len = match (&cons[i], cons.get(i + 1)) {
+            (Con::MaxMu { a, b, .. }, Some(Con::MaxVar { a: a2, b: b2, .. }))
+                if a == a2 && b == b2 =>
+            {
+                2
+            }
+            _ => 1,
+        };
+        groups.push((i, len));
+        i += len;
+    }
+    (groups, jac_off, hess_off)
+}
+
+/// Splits `vals` into one disjoint mutable slice per group (`width` maps
+/// `(first_con, count)` to the group's entry count). The slices partition
+/// `vals` in group order, which is what makes the parallel fill race-free.
+fn split_groups<'v>(
+    groups: &[(usize, usize)],
+    width: impl Fn(usize, usize) -> usize,
+    mut vals: &'v mut [f64],
+) -> Vec<(usize, usize, &'v mut [f64])> {
+    let mut parts = Vec::with_capacity(groups.len());
+    for &(start, len) in groups {
+        let (head, tail) = std::mem::take(&mut vals).split_at_mut(width(start, len));
+        parts.push((start, len, head));
+        vals = tail;
+    }
+    debug_assert!(vals.is_empty());
+    parts
+}
+
 impl NlpProblem for SizingProblem {
     fn num_vars(&self) -> usize {
         self.num_vars
@@ -487,9 +802,7 @@ impl NlpProblem for SizingProblem {
     fn objective(&self, x: &[f64]) -> f64 {
         match &self.objective {
             Objective::Area => self.idx_s.iter().map(|&i| x[i]).sum(),
-            Objective::WeightedArea(w) => {
-                self.idx_s.iter().zip(w).map(|(&i, &wi)| wi * x[i]).sum()
-            }
+            Objective::WeightedArea(w) => self.idx_s.iter().zip(w).map(|(&i, &wi)| wi * x[i]).sum(),
             Objective::MeanDelay => x[self.i_mu_tmax],
             Objective::MeanPlusKSigma(k) => x[self.i_mu_tmax] + k * self.sigma_tmax(x),
             Objective::Sigma => self.sigma_tmax(x),
@@ -523,29 +836,14 @@ impl NlpProblem for SizingProblem {
     }
 
     fn constraints(&self, x: &[f64], c: &mut [f64]) {
-        for (ci, con) in self.cons.iter().enumerate() {
-            c[ci] = match con {
-                Con::Delay { imt, is, t_int, load0, fanout } => {
-                    let mut r = x[*imt] * x[*is] - t_int * x[*is] - load0;
-                    for &(j, coef) in fanout {
-                        r -= coef * x[j];
-                    }
-                    r
-                }
-                Con::VarT { ivt, imt, kappa2 } => x[*ivt] - kappa2 * x[*imt] * x[*imt],
-                Con::MaxMu { out, a, b } => {
-                    x[*out] - clark_eval_grad(*a, *b, x, self.eps).mu
-                }
-                Con::MaxVar { out, a, b } => {
-                    x[*out] - clark_eval_grad(*a, *b, x, self.eps).var
-                }
-                Con::ArrMu { im_arr, u, imt } => x[*im_arr] - u.value(x) - x[*imt],
-                Con::ArrVar { iv_arr, u, ivt } => x[*iv_arr] - u.value(x) - x[*ivt],
-                Con::DelayCap { imu, iv, k, slack, d } => {
-                    let sigma = iv.map_or(0.0, |i| x[i].max(SQRT_FLOOR).sqrt());
-                    x[*imu] + k * sigma + slack.map_or(0.0, |s| x[s]) - d
-                }
-            };
+        if self.par_assembly() {
+            split_groups(&self.groups, |_, len| len, c)
+                .into_par_iter()
+                .for_each(|(start, len, out)| self.constraints_group(x, start, len, out));
+        } else {
+            for &(start, len) in &self.groups {
+                self.constraints_group(x, start, len, &mut c[start..start + len]);
+            }
         }
     }
 
@@ -553,7 +851,9 @@ impl NlpProblem for SizingProblem {
         let mut s = Vec::new();
         for (ci, con) in self.cons.iter().enumerate() {
             match con {
-                Con::Delay { imt, is, fanout, .. } => {
+                Con::Delay {
+                    imt, is, fanout, ..
+                } => {
                     s.push((ci, *imt));
                     s.push((ci, *is));
                     for &(j, _) in fanout {
@@ -599,57 +899,21 @@ impl NlpProblem for SizingProblem {
     }
 
     fn jacobian_values(&self, x: &[f64], vals: &mut [f64]) {
-        let mut k_out = 0usize;
-        let mut push = |vals: &mut [f64], v: f64| {
-            vals[k_out] = v;
-            k_out += 1;
-        };
-        for con in &self.cons {
-            match con {
-                Con::Delay { imt, is, t_int, fanout, .. } => {
-                    push(vals, x[*is]);
-                    push(vals, x[*imt] - t_int);
-                    for &(_, coef) in fanout {
-                        push(vals, -coef);
-                    }
-                }
-                Con::VarT { imt, kappa2, .. } => {
-                    push(vals, 1.0);
-                    push(vals, -2.0 * kappa2 * x[*imt]);
-                }
-                Con::MaxMu { a, b, .. } => {
-                    let g = clark_eval_grad(*a, *b, x, self.eps);
-                    push(vals, 1.0);
-                    for (slot, _) in clark_slots(*a, *b) {
-                        push(vals, -g.dmu[slot]);
-                    }
-                }
-                Con::MaxVar { a, b, .. } => {
-                    let g = clark_eval_grad(*a, *b, x, self.eps);
-                    push(vals, 1.0);
-                    for (slot, _) in clark_slots(*a, *b) {
-                        push(vals, -g.dvar[slot]);
-                    }
-                }
-                Con::ArrMu { u, .. } | Con::ArrVar { u, .. } => {
-                    push(vals, 1.0);
-                    if matches!(u, Term::Var(_)) {
-                        push(vals, -1.0);
-                    }
-                    push(vals, -1.0);
-                }
-                Con::DelayCap { iv, k, slack, .. } => {
-                    push(vals, 1.0);
-                    if let Some(i) = iv {
-                        push(vals, k / (2.0 * x[*i].max(SQRT_FLOOR).sqrt()));
-                    }
-                    if slack.is_some() {
-                        push(vals, 1.0);
-                    }
-                }
+        debug_assert_eq!(vals.len(), *self.jac_off.last().unwrap());
+        if self.par_assembly() {
+            split_groups(
+                &self.groups,
+                |start, len| self.jac_off[start + len] - self.jac_off[start],
+                vals,
+            )
+            .into_par_iter()
+            .for_each(|(start, len, out)| self.jacobian_group(x, start, len, out));
+        } else {
+            for &(start, len) in &self.groups {
+                let out = &mut vals[self.jac_off[start]..self.jac_off[start + len]];
+                self.jacobian_group(x, start, len, out);
             }
         }
-        debug_assert_eq!(k_out, vals.len());
     }
 
     fn hessian_structure(&self) -> Vec<(usize, usize)> {
@@ -689,51 +953,40 @@ impl NlpProblem for SizingProblem {
     }
 
     fn hessian_values(&self, x: &[f64], sigma: f64, lambda: &[f64], vals: &mut [f64]) {
-        let mut k_out = 0usize;
-        let mut push = |vals: &mut [f64], v: f64| {
-            vals[k_out] = v;
-            k_out += 1;
-        };
+        debug_assert_eq!(
+            vals.len(),
+            self.obj_hess_len() + *self.hess_off.last().unwrap()
+        );
+        let (obj, rest) = vals.split_at_mut(self.obj_hess_len());
         match self.objective {
             Objective::MeanPlusKSigma(k) => {
                 let st = self.sigma_tmax(x);
-                push(vals, sigma * k * (-0.25) / (st * st * st));
+                obj[0] = sigma * k * (-0.25) / (st * st * st);
             }
             Objective::Sigma => {
                 let st = self.sigma_tmax(x);
-                push(vals, sigma * (-0.25) / (st * st * st));
+                obj[0] = sigma * (-0.25) / (st * st * st);
             }
             Objective::NegSigma => {
                 let st = self.sigma_tmax(x);
-                push(vals, sigma * 0.25 / (st * st * st));
+                obj[0] = sigma * 0.25 / (st * st * st);
             }
             _ => {}
         }
-        for (ci, con) in self.cons.iter().enumerate() {
-            let lam = lambda[ci];
-            match con {
-                Con::Delay { .. } => push(vals, lam),
-                Con::VarT { kappa2, .. } => push(vals, lam * (-2.0 * kappa2)),
-                Con::MaxMu { a, b, .. } => {
-                    let h = clark_eval_hess(*a, *b, x, self.eps);
-                    emit_clark_hess(&mut push, vals, a, b, &h.hmu, lam);
-                }
-                Con::MaxVar { a, b, .. } => {
-                    let h = clark_eval_hess(*a, *b, x, self.eps);
-                    emit_clark_hess(&mut push, vals, a, b, &h.hvar, lam);
-                }
-                Con::ArrMu { .. } | Con::ArrVar { .. } => {}
-                Con::DelayCap { iv, k, .. } => {
-                    if let Some(i) = iv {
-                        if *k != 0.0 {
-                            let st = x[*i].max(SQRT_FLOOR).sqrt();
-                            push(vals, lam * k * (-0.25) / (st * st * st));
-                        }
-                    }
-                }
+        if self.par_assembly() {
+            split_groups(
+                &self.groups,
+                |start, len| self.hess_off[start + len] - self.hess_off[start],
+                rest,
+            )
+            .into_par_iter()
+            .for_each(|(start, len, out)| self.hessian_group(x, lambda, start, len, out));
+        } else {
+            for &(start, len) in &self.groups {
+                let out = &mut rest[self.hess_off[start]..self.hess_off[start + len]];
+                self.hessian_group(x, lambda, start, len, out);
             }
         }
-        debug_assert_eq!(k_out, vals.len());
     }
 }
 
@@ -785,9 +1038,21 @@ mod tests {
         // 3 fan-ins (2 nodes) and for the 2 outputs (1 node).
         let c = generate::fig2();
         let p = SizingProblem::build(&c, &lib(), Objective::MeanPlusKSigma(3.0), DelaySpec::None);
-        let n_delay = p.cons.iter().filter(|c| matches!(c, Con::Delay { .. })).count();
-        let n_vart = p.cons.iter().filter(|c| matches!(c, Con::VarT { .. })).count();
-        let n_maxmu = p.cons.iter().filter(|c| matches!(c, Con::MaxMu { .. })).count();
+        let n_delay = p
+            .cons
+            .iter()
+            .filter(|c| matches!(c, Con::Delay { .. }))
+            .count();
+        let n_vart = p
+            .cons
+            .iter()
+            .filter(|c| matches!(c, Con::VarT { .. }))
+            .count();
+        let n_maxmu = p
+            .cons
+            .iter()
+            .filter(|c| matches!(c, Con::MaxMu { .. }))
+            .count();
         assert_eq!(n_delay, 4);
         assert_eq!(n_vart, 4);
         // Gates A, B, C have PI-only fan-ins (folded to constants); D has
@@ -797,18 +1062,21 @@ mod tests {
 
     #[test]
     fn initial_point_is_feasible() {
-        for circuit in [generate::tree7(), generate::fig2(), generate::ripple_carry_adder(4)] {
-            let p = SizingProblem::build(
-                &circuit,
-                &lib(),
-                Objective::MeanDelay,
-                DelaySpec::None,
-            );
+        for circuit in [
+            generate::tree7(),
+            generate::fig2(),
+            generate::ripple_carry_adder(4),
+        ] {
+            let p = SizingProblem::build(&circuit, &lib(), Objective::MeanDelay, DelaySpec::None);
             let x = p.initial_point(&vec![1.0; circuit.num_gates()]);
             let mut c = vec![0.0; p.num_constraints()];
             p.constraints(&x, &mut c);
             let worst = c.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
-            assert!(worst < 1e-9, "initial infeasibility {worst} on {}", circuit.name());
+            assert!(
+                worst < 1e-9,
+                "initial infeasibility {worst} on {}",
+                circuit.name()
+            );
         }
     }
 
@@ -878,7 +1146,9 @@ mod tests {
             DelaySpec::None,
         );
         let x = p.initial_point(&[1.4, 2.1]);
-        let lambda: Vec<f64> = (0..p.num_constraints()).map(|i| 0.5 - 0.1 * i as f64).collect();
+        let lambda: Vec<f64> = (0..p.num_constraints())
+            .map(|i| 0.5 - 0.1 * i as f64)
+            .collect();
         let r = check_derivatives(&p, &x, &lambda, 1e-6);
         assert!(r.within(5e-5), "{r:?}");
     }
@@ -911,6 +1181,43 @@ mod tests {
     }
 
     #[test]
+    fn value_blocks_match_structures_and_pairs_group() {
+        let circuit = generate::random_dag(&sgs_netlist::generate::RandomDagSpec {
+            name: "blk".into(),
+            cells: 40,
+            inputs: 8,
+            depth: 6,
+            seed: 3,
+            ..Default::default()
+        });
+        let p = SizingProblem::build(
+            &circuit,
+            &lib(),
+            Objective::MeanPlusKSigma(3.0),
+            DelaySpec::MaxMeanPlusKSigma { k: 3.0, d: 25.0 },
+        );
+        // Precomputed offsets must agree with the sparse structures the
+        // solver allocates from.
+        assert_eq!(*p.jac_off.last().unwrap(), p.jacobian_structure().len());
+        assert_eq!(
+            p.obj_hess_len() + *p.hess_off.last().unwrap(),
+            p.hessian_structure().len()
+        );
+        // Every MaxMu is grouped with its MaxVar twin (one Clark
+        // evaluation per max node), and groups partition the constraints.
+        let n_maxmu = p
+            .cons
+            .iter()
+            .filter(|c| matches!(c, Con::MaxMu { .. }))
+            .count();
+        let n_pairs = p.groups.iter().filter(|&&(_, len)| len == 2).count();
+        assert!(n_maxmu > 0);
+        assert_eq!(n_pairs, n_maxmu);
+        let covered: usize = p.groups.iter().map(|&(_, len)| len).sum();
+        assert_eq!(covered, p.cons.len());
+    }
+
+    #[test]
     fn extract_s_roundtrip() {
         let circuit = generate::tree7();
         let p = SizingProblem::build(&circuit, &lib(), Objective::Area, DelaySpec::None);
@@ -939,7 +1246,9 @@ mod tests {
         assert!((x[p.mu_tmax_index()] - report.delay.mean()).abs() < 1e-9);
         assert!((x[p.var_tmax_index()] - report.delay.var()).abs() < 1e-9);
         // Derivatives stay exact with nonzero constant operands.
-        let lambda: Vec<f64> = (0..p.num_constraints()).map(|i| 0.2 + 0.05 * i as f64).collect();
+        let lambda: Vec<f64> = (0..p.num_constraints())
+            .map(|i| 0.2 + 0.05 * i as f64)
+            .collect();
         let r = sgs_nlp::problem::check_derivatives(&p, &x, &lambda, 1e-6);
         assert!(r.within(5e-5), "{r:?}");
     }

@@ -77,12 +77,7 @@ pub struct ReducedObjective<'a> {
 
 impl<'a> ReducedObjective<'a> {
     /// Builds the evaluator.
-    pub fn new(
-        circuit: &'a Circuit,
-        lib: &Library,
-        objective: Objective,
-        spec: DelaySpec,
-    ) -> Self {
+    pub fn new(circuit: &'a Circuit, lib: &Library, objective: Objective, spec: DelaySpec) -> Self {
         ReducedObjective {
             circuit,
             model: DelayModel::new(circuit, lib),
@@ -114,7 +109,10 @@ impl<'a> ReducedObjective<'a> {
     fn pi_ref(&self, p: usize) -> OpRef {
         match &self.input_arrivals {
             None => OpRef::Const { mu: 0.0, var: 0.0 },
-            Some(a) => OpRef::Const { mu: a[p].mean(), var: a[p].var() },
+            Some(a) => OpRef::Const {
+                mu: a[p].mean(),
+                var: a[p].var(),
+            },
         }
     }
 
@@ -154,10 +152,17 @@ impl<'a> ReducedObjective<'a> {
                 let (mb, vb) = value_of(op, &arr, &nodes);
                 if matches!(acc, OpRef::Const { .. }) && matches!(op, OpRef::Const { .. }) {
                     let gr = clark::max_grad(ma, va, mb, vb, self.eps);
-                    acc = OpRef::Const { mu: gr.mu, var: gr.var };
+                    acc = OpRef::Const {
+                        mu: gr.mu,
+                        var: gr.var,
+                    };
                 } else {
                     let gr = clark::max_grad(ma, va, mb, vb, self.eps);
-                    nodes.push(MaxNode { grad: gr, a: acc, b: op });
+                    nodes.push(MaxNode {
+                        grad: gr,
+                        a: acc,
+                        b: op,
+                    });
                     events.push(Event::Node(nodes.len() - 1));
                     acc = OpRef::Node(nodes.len() - 1);
                 }
@@ -175,13 +180,26 @@ impl<'a> ReducedObjective<'a> {
             let (ma, va) = value_of(acc, &arr, &nodes);
             let (mb, vb) = value_of(op, &arr, &nodes);
             let gr = clark::max_grad(ma, va, mb, vb, self.eps);
-            nodes.push(MaxNode { grad: gr, a: acc, b: op });
+            nodes.push(MaxNode {
+                grad: gr,
+                a: acc,
+                b: op,
+            });
             events.push(Event::Node(nodes.len() - 1));
             acc = OpRef::Node(nodes.len() - 1);
         }
         let (mu_tmax, var_tmax) = value_of(acc, &arr, &nodes);
 
-        Tape { mu_t, load, nodes, events, tmax: acc, mu_tmax, var_tmax, arr }
+        Tape {
+            mu_t,
+            load,
+            nodes,
+            events,
+            tmax: acc,
+            mu_tmax,
+            var_tmax,
+            arr,
+        }
     }
 
     /// Objective + penalty value from tape results.
@@ -421,7 +439,11 @@ pub struct ReducedOptions {
 impl Default for ReducedOptions {
     fn default() -> Self {
         ReducedOptions {
-            lbfgs: LbfgsOptions { tol: 1e-7, max_iter: 400, memory: 12 },
+            lbfgs: LbfgsOptions {
+                tol: 1e-7,
+                max_iter: 400,
+                memory: 12,
+            },
             tol_viol: 1e-4,
             penalty_mult: 10.0,
             max_rounds: 8,
@@ -525,7 +547,10 @@ pub fn solve_reduced_with_arrivals(
     }
     let violation = red.violation(&s);
     // Report the clean objective (no penalty).
-    let clean = apply_arrivals(ReducedObjective::new(circuit, lib, objective, DelaySpec::None), input_arrivals);
+    let clean = apply_arrivals(
+        ReducedObjective::new(circuit, lib, objective, DelaySpec::None),
+        input_arrivals,
+    );
     let (mu, var) = clean.delay_moments(&s);
     let sigma = var.max(1e-18).sqrt();
     let objective = match &clean.objective {
@@ -536,7 +561,12 @@ pub fn solve_reduced_with_arrivals(
         Objective::Sigma => sigma,
         Objective::NegSigma => -sigma,
     };
-    ReducedResult { s, objective, violation, iterations: iters }
+    ReducedResult {
+        s,
+        objective,
+        violation,
+        iterations: iters,
+    }
 }
 
 #[cfg(test)]
@@ -551,7 +581,9 @@ mod tests {
     #[test]
     fn forward_matches_ssta() {
         let c = generate::ripple_carry_adder(5);
-        let s: Vec<f64> = (0..c.num_gates()).map(|i| 1.0 + 0.08 * (i % 20) as f64).collect();
+        let s: Vec<f64> = (0..c.num_gates())
+            .map(|i| 1.0 + 0.08 * (i % 20) as f64)
+            .collect();
         let red = ReducedObjective::new(&c, &lib(), Objective::MeanDelay, DelaySpec::None);
         let (mu, var) = red.delay_moments(&s);
         let r = sgs_ssta::ssta(&c, &lib(), &s);
@@ -625,7 +657,12 @@ mod tests {
             &ReducedOptions::default(),
         );
         let baseline_mu = sgs_ssta::ssta(&c, &lib(), &[1.0; 7]).delay.mean();
-        assert!(r.objective < baseline_mu - 1.0, "{} vs {}", r.objective, baseline_mu);
+        assert!(
+            r.objective < baseline_mu - 1.0,
+            "{} vs {}",
+            r.objective,
+            baseline_mu
+        );
         // All speed factors in bounds.
         for &si in &r.s {
             assert!((1.0..=3.0 + 1e-9).contains(&si));
@@ -647,6 +684,10 @@ mod tests {
         );
         assert!(r.violation < 5e-3, "violation {}", r.violation);
         // Some sizing happened but far less than max.
-        assert!(r.objective > 7.0 && r.objective < 21.0, "area {}", r.objective);
+        assert!(
+            r.objective > 7.0 && r.objective < 21.0,
+            "area {}",
+            r.objective
+        );
     }
 }

@@ -325,7 +325,12 @@ mod tests {
         let c = generate::tree7();
         let r = Sizer::new(&c, &lib()).solve().unwrap();
         let baseline_mu = sgs_ssta::ssta(&c, &lib(), &[1.0; 7]).delay.mean();
-        assert!(r.delay.mean() < baseline_mu - 1.0, "{} vs {}", r.delay.mean(), baseline_mu);
+        assert!(
+            r.delay.mean() < baseline_mu - 1.0,
+            "{} vs {}",
+            r.delay.mean(),
+            baseline_mu
+        );
         assert!(r.c_norm < 1e-5);
     }
 
@@ -389,7 +394,11 @@ mod tests {
             .solve()
             .unwrap();
         for r in [&area, &min_sigma, &max_sigma] {
-            assert!((r.delay.mean() - d).abs() < 5e-3, "pin broken: {}", r.delay.mean());
+            assert!(
+                (r.delay.mean() - d).abs() < 5e-3,
+                "pin broken: {}",
+                r.delay.mean()
+            );
         }
         assert!(min_sigma.delay.sigma() <= area.delay.sigma() + 1e-3);
         assert!(max_sigma.delay.sigma() >= area.delay.sigma() - 1e-3);

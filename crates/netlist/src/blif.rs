@@ -108,7 +108,13 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                     )));
                 }
                 if nodes
-                    .insert(out.clone(), Node { fanins, kind: pending_kind.take() })
+                    .insert(
+                        out.clone(),
+                        Node {
+                            fanins,
+                            kind: pending_kind.take(),
+                        },
+                    )
                     .is_some()
                 {
                     return Err(NetlistError::DuplicateName(out));
@@ -141,7 +147,10 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
         for f in &node.fanins {
             if nodes.contains_key(f.as_str()) {
                 deg += 1;
-                dependents.entry(f.as_str()).or_default().push(name.as_str());
+                dependents
+                    .entry(f.as_str())
+                    .or_default()
+                    .push(name.as_str());
             } else if !inputs.iter().any(|i| i == f) {
                 return Err(NetlistError::Parse(format!(
                     "signal `{f}` feeding `{name}` is neither an input nor a gate"
@@ -188,18 +197,14 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
     }
     for name in topo {
         let node = &nodes[name];
-        let fanin_sigs: Vec<Signal> = node
-            .fanins
-            .iter()
-            .map(|f| sig[f.as_str()])
-            .collect();
+        let fanin_sigs: Vec<Signal> = node.fanins.iter().map(|f| sig[f.as_str()]).collect();
         let out_sig = elaborate_node(&mut b, name, node.kind, &fanin_sigs)?;
         sig.insert(name.to_string(), out_sig);
     }
     for o in &outputs {
-        let s = *sig.get(o).ok_or_else(|| {
-            NetlistError::Parse(format!("output `{o}` is never defined"))
-        })?;
+        let s = *sig
+            .get(o)
+            .ok_or_else(|| NetlistError::Parse(format!("output `{o}` is never defined")))?;
         b.mark_output(s)?;
     }
     b.build()
@@ -323,7 +328,11 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_structure() {
-        for circuit in [generate::tree7(), generate::fig2(), generate::ripple_carry_adder(4)] {
+        for circuit in [
+            generate::tree7(),
+            generate::fig2(),
+            generate::ripple_carry_adder(4),
+        ] {
             let text = to_blif(&circuit);
             let back = parse(&text).unwrap();
             assert_eq!(back.num_gates(), circuit.num_gates());

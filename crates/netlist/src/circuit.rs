@@ -83,7 +83,11 @@ pub enum NetlistError {
 impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NetlistError::ArityMismatch { gate, expected, got } => {
+            NetlistError::ArityMismatch {
+                gate,
+                expected,
+                got,
+            } => {
                 write!(f, "gate `{gate}` expects {expected} inputs, got {got}")
             }
             NetlistError::UnknownSignal { gate } => {
@@ -221,7 +225,9 @@ impl Circuit {
                     Signal::Gate(src) => src.0 < i,
                 };
                 if !ok {
-                    return Err(NetlistError::UnknownSignal { gate: g.name.clone() });
+                    return Err(NetlistError::UnknownSignal {
+                        gate: g.name.clone(),
+                    });
                 }
             }
         }
@@ -245,7 +251,12 @@ impl Circuit {
         gates: Vec<Gate>,
         outputs: Vec<GateId>,
     ) -> Result<Self, NetlistError> {
-        let c = Circuit { name, input_names, gates, outputs };
+        let c = Circuit {
+            name,
+            input_names,
+            gates,
+            outputs,
+        };
         c.validate()?;
         Ok(c)
     }

@@ -29,11 +29,19 @@ use rand::{Rng, SeedableRng};
 pub fn tree7() -> Circuit {
     let mut b = CircuitBuilder::new("tree7");
     let pis: Vec<Signal> = (0..8).map(|i| b.add_input(format!("i{i}"))).collect();
-    let a = b.add_gate(GateKind::Nand2, "A", &[pis[0], pis[1]]).expect("valid");
-    let bb = b.add_gate(GateKind::Nand2, "B", &[pis[2], pis[3]]).expect("valid");
+    let a = b
+        .add_gate(GateKind::Nand2, "A", &[pis[0], pis[1]])
+        .expect("valid");
+    let bb = b
+        .add_gate(GateKind::Nand2, "B", &[pis[2], pis[3]])
+        .expect("valid");
     let c = b.add_gate(GateKind::Nand2, "C", &[a, bb]).expect("valid");
-    let d = b.add_gate(GateKind::Nand2, "D", &[pis[4], pis[5]]).expect("valid");
-    let e = b.add_gate(GateKind::Nand2, "E", &[pis[6], pis[7]]).expect("valid");
+    let d = b
+        .add_gate(GateKind::Nand2, "D", &[pis[4], pis[5]])
+        .expect("valid");
+    let e = b
+        .add_gate(GateKind::Nand2, "E", &[pis[6], pis[7]])
+        .expect("valid");
     let f = b.add_gate(GateKind::Nand2, "F", &[d, e]).expect("valid");
     let g = b.add_gate(GateKind::Nand2, "G", &[c, f]).expect("valid");
     b.mark_output(g).expect("valid");
@@ -50,10 +58,18 @@ pub fn fig2() -> Circuit {
     let a_in = b.add_input("a");
     let b_in = b.add_input("b");
     let c_in = b.add_input("c");
-    let ga = b.add_gate(GateKind::Nand2, "A", &[a_in, b_in]).expect("valid");
-    let gb = b.add_gate(GateKind::Nand2, "B", &[b_in, c_in]).expect("valid");
-    let gc = b.add_gate(GateKind::Nand2, "C", &[a_in, c_in]).expect("valid");
-    let gd = b.add_gate(GateKind::Nand3, "D", &[ga, gb, gc]).expect("valid");
+    let ga = b
+        .add_gate(GateKind::Nand2, "A", &[a_in, b_in])
+        .expect("valid");
+    let gb = b
+        .add_gate(GateKind::Nand2, "B", &[b_in, c_in])
+        .expect("valid");
+    let gc = b
+        .add_gate(GateKind::Nand2, "C", &[a_in, c_in])
+        .expect("valid");
+    let gd = b
+        .add_gate(GateKind::Nand3, "D", &[ga, gb, gc])
+        .expect("valid");
     b.mark_output(gc).expect("valid");
     b.mark_output(gd).expect("valid");
     b.build().expect("fig2 is a valid circuit")
@@ -69,8 +85,9 @@ pub fn nand_tree(levels: u32) -> Circuit {
     assert!((1..=20).contains(&levels), "levels must be in 1..=20");
     let mut b = CircuitBuilder::new(format!("nand_tree_{levels}"));
     let n_leaves = 1usize << levels;
-    let mut frontier: Vec<Signal> =
-        (0..n_leaves).map(|i| b.add_input(format!("i{i}"))).collect();
+    let mut frontier: Vec<Signal> = (0..n_leaves)
+        .map(|i| b.add_input(format!("i{i}")))
+        .collect();
     let mut idx = 0usize;
     while frontier.len() > 1 {
         let mut next = Vec::with_capacity(frontier.len() / 2);
@@ -97,7 +114,9 @@ pub fn inverter_chain(n: usize) -> Circuit {
     let mut b = CircuitBuilder::new(format!("inv_chain_{n}"));
     let mut s = b.add_input("in");
     for i in 0..n {
-        s = b.add_gate(GateKind::Inv, format!("inv{i}"), &[s]).expect("valid");
+        s = b
+            .add_gate(GateKind::Inv, format!("inv{i}"), &[s])
+            .expect("valid");
     }
     b.mark_output(s).expect("valid");
     b.build().expect("chain is a valid circuit")
@@ -163,16 +182,26 @@ pub fn array_multiplier(bits: usize) -> Circuit {
 
     // Row-by-row carry-save reduction with full adders.
     let full_adder = |b: &mut CircuitBuilder,
-                          name: String,
-                          x: Signal,
-                          yy: Signal,
-                          z: Signal|
+                      name: String,
+                      x: Signal,
+                      yy: Signal,
+                      z: Signal|
      -> (Signal, Signal) {
-        let t = b.add_gate(GateKind::Xor2, format!("{name}_t"), &[x, yy]).expect("valid");
-        let s = b.add_gate(GateKind::Xor2, format!("{name}_s"), &[t, z]).expect("valid");
-        let c1 = b.add_gate(GateKind::And2, format!("{name}_c1"), &[x, yy]).expect("valid");
-        let c2 = b.add_gate(GateKind::And2, format!("{name}_c2"), &[t, z]).expect("valid");
-        let c = b.add_gate(GateKind::Or2, format!("{name}_c"), &[c1, c2]).expect("valid");
+        let t = b
+            .add_gate(GateKind::Xor2, format!("{name}_t"), &[x, yy])
+            .expect("valid");
+        let s = b
+            .add_gate(GateKind::Xor2, format!("{name}_s"), &[t, z])
+            .expect("valid");
+        let c1 = b
+            .add_gate(GateKind::And2, format!("{name}_c1"), &[x, yy])
+            .expect("valid");
+        let c2 = b
+            .add_gate(GateKind::And2, format!("{name}_c2"), &[t, z])
+            .expect("valid");
+        let c = b
+            .add_gate(GateKind::Or2, format!("{name}_c"), &[c1, c2])
+            .expect("valid");
         (s, c)
     };
 
@@ -296,8 +325,9 @@ pub fn random_dag(spec: &RandomDagSpec) -> Circuit {
     assert!(spec.cells >= spec.depth, "cells must be >= depth");
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut b = CircuitBuilder::new(spec.name.clone());
-    let pis: Vec<Signal> =
-        (0..spec.inputs).map(|i| b.add_input(format!("pi{i}"))).collect();
+    let pis: Vec<Signal> = (0..spec.inputs)
+        .map(|i| b.add_input(format!("pi{i}")))
+        .collect();
 
     // Spread cells across levels: slightly wider early levels, at least one
     // gate per level.
@@ -356,7 +386,9 @@ pub fn random_dag(spec: &RandomDagSpec) -> Circuit {
                     } else {
                         // Geometric-ish bias: step back a few levels.
                         let mut back = 1usize;
-                        while back < lvl && rng.gen_range(0..100) < i32::from(spec.back_jump_pct.min(95)) {
+                        while back < lvl
+                            && rng.gen_range(0..100) < i32::from(spec.back_jump_pct.min(95))
+                        {
                             back += 1;
                         }
                         let l = &levels[lvl - back];
@@ -551,7 +583,10 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(random_dag(&spec), random_dag(&spec));
-        let other = RandomDagSpec { seed: 100, ..spec.clone() };
+        let other = RandomDagSpec {
+            seed: 100,
+            ..spec.clone()
+        };
         assert_ne!(random_dag(&spec), random_dag(&other));
     }
 

@@ -68,9 +68,9 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
         } else if let Some((lhs, rhs)) = line.split_once('=') {
             let out = lhs.trim().to_string();
             let rhs = rhs.trim();
-            let open = rhs.find('(').ok_or_else(|| {
-                NetlistError::Parse(format!("malformed definition of `{out}`"))
-            })?;
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| NetlistError::Parse(format!("malformed definition of `{out}`")))?;
             let func = rhs[..open].trim().to_uppercase();
             let body = rhs[open + 1..].trim_end_matches(')');
             let fanins: Vec<String> = body
@@ -101,7 +101,10 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
         for f in &nodes[name].fanins {
             if nodes.contains_key(f.as_str()) {
                 deg += 1;
-                dependents.entry(f.as_str()).or_default().push(name.as_str());
+                dependents
+                    .entry(f.as_str())
+                    .or_default()
+                    .push(name.as_str());
             } else if !inputs.iter().any(|i| i == f) {
                 return Err(NetlistError::Parse(format!(
                     "signal `{f}` feeding `{name}` is neither an input nor defined"
@@ -147,15 +150,14 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
     }
     for name in topo {
         let node = &nodes[name];
-        let fanin_sigs: Vec<Signal> =
-            node.fanins.iter().map(|f| sig[f.as_str()]).collect();
+        let fanin_sigs: Vec<Signal> = node.fanins.iter().map(|f| sig[f.as_str()]).collect();
         let s = b.add_gate(node.kind, name, &fanin_sigs)?;
         sig.insert(name.to_string(), s);
     }
     for o in &outputs {
-        let s = *sig.get(o).ok_or_else(|| {
-            NetlistError::Parse(format!("output `{o}` is never defined"))
-        })?;
+        let s = *sig
+            .get(o)
+            .ok_or_else(|| NetlistError::Parse(format!("output `{o}` is never defined")))?;
         b.mark_output(s)?;
     }
     b.build()

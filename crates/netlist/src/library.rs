@@ -239,8 +239,13 @@ mod tests {
 
     #[test]
     fn with_params_overrides() {
-        let lib = Library::default()
-            .with_params(GateKind::Inv, GateParams { t_int: 9.0, c_in: 8.0 });
+        let lib = Library::default().with_params(
+            GateKind::Inv,
+            GateParams {
+                t_int: 9.0,
+                c_in: 8.0,
+            },
+        );
         assert_eq!(lib.params(GateKind::Inv).t_int, 9.0);
         assert_eq!(lib.params(GateKind::Nand2).t_int, 0.9);
     }

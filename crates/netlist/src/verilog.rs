@@ -94,7 +94,12 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                 })?;
                 let (inst_name, conns) = parse_instance(rest, kind_name)?;
                 let (fanins, out) = resolve_ports(kind, &conns, &inst_name)?;
-                insts.push(Inst { kind, name: inst_name, fanins, out });
+                insts.push(Inst {
+                    kind,
+                    name: inst_name,
+                    fanins,
+                    out,
+                });
             }
         }
     }
@@ -153,11 +158,7 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
     }
     for &i in &topo {
         let inst = &insts[i];
-        let fanin_sigs: Vec<Signal> = inst
-            .fanins
-            .iter()
-            .map(|f| sig[f.as_str()])
-            .collect();
+        let fanin_sigs: Vec<Signal> = inst.fanins.iter().map(|f| sig[f.as_str()]).collect();
         // The gate is named by its output net, so BLIF and downstream
         // reporting see stable names; the instance name is kept when the
         // output net collides with an input name (cannot happen for valid
@@ -166,9 +167,9 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
         sig.insert(inst.out.clone(), s);
     }
     for o in &outputs {
-        let s = *sig.get(o).ok_or_else(|| {
-            NetlistError::Parse(format!("output `{o}` is never driven"))
-        })?;
+        let s = *sig
+            .get(o)
+            .ok_or_else(|| NetlistError::Parse(format!("output `{o}` is never driven")))?;
         b.mark_output(s)?;
     }
     b.build()
@@ -205,22 +206,19 @@ fn parse_name_list(rest: &str) -> Vec<String> {
 type Connection = (Option<String>, String);
 
 /// Parses `name ( .A(x), .B(y), .Y(z) )` or `name (z, x, y)`.
-fn parse_instance(
-    rest: &str,
-    kind_name: &str,
-) -> Result<(String, Vec<Connection>), NetlistError> {
-    let open = rest.find('(').ok_or_else(|| {
-        NetlistError::Parse(format!("malformed instantiation of `{kind_name}`"))
-    })?;
+fn parse_instance(rest: &str, kind_name: &str) -> Result<(String, Vec<Connection>), NetlistError> {
+    let open = rest
+        .find('(')
+        .ok_or_else(|| NetlistError::Parse(format!("malformed instantiation of `{kind_name}`")))?;
     let name = rest[..open].trim().to_string();
     if name.is_empty() {
         return Err(NetlistError::Parse(format!(
             "instance of `{kind_name}` has no name"
         )));
     }
-    let close = rest.rfind(')').ok_or_else(|| {
-        NetlistError::Parse(format!("unterminated port list on `{name}`"))
-    })?;
+    let close = rest
+        .rfind(')')
+        .ok_or_else(|| NetlistError::Parse(format!("unterminated port list on `{name}`")))?;
     let body = &rest[open + 1..close];
     let mut conns = Vec::new();
     for item in body.split(',') {
@@ -254,9 +252,7 @@ fn resolve_ports(
         let mut out = None;
         for (port, net) in conns {
             let port = port.as_deref().ok_or_else(|| {
-                NetlistError::Parse(format!(
-                    "`{inst}` mixes named and positional connections"
-                ))
+                NetlistError::Parse(format!("`{inst}` mixes named and positional connections"))
             })?;
             match port {
                 "Y" => out = Some(net.clone()),
@@ -281,9 +277,8 @@ fn resolve_ports(
                 }
             }
         }
-        let out = out.ok_or_else(|| {
-            NetlistError::Parse(format!("`{inst}` has no Y connection"))
-        })?;
+        let out =
+            out.ok_or_else(|| NetlistError::Parse(format!("`{inst}` has no Y connection")))?;
         let fanins: Option<Vec<String>> = fanins.into_iter().collect();
         let fanins = fanins.ok_or_else(|| {
             NetlistError::Parse(format!("`{inst}` is missing an input connection"))
@@ -305,7 +300,10 @@ fn resolve_ports(
 }
 
 fn kind_from_name(name: &str) -> Option<GateKind> {
-    GateKind::all().iter().copied().find(|k| k.to_string() == name)
+    GateKind::all()
+        .iter()
+        .copied()
+        .find(|k| k.to_string() == name)
 }
 
 /// Serialises a circuit to the structural-Verilog subset understood by
@@ -319,7 +317,11 @@ pub fn to_verilog(c: &Circuit) -> String {
         }
     };
     let mut s = String::new();
-    let out_names: Vec<String> = c.outputs().iter().map(|&o| c.gate(o).name.clone()).collect();
+    let out_names: Vec<String> = c
+        .outputs()
+        .iter()
+        .map(|&o| c.gate(o).name.clone())
+        .collect();
     let mut ports: Vec<String> = c.input_names().to_vec();
     ports.extend(out_names.iter().cloned());
     let _ = writeln!(s, "module {} ({});", c.name(), ports.join(", "));

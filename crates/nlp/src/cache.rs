@@ -1,0 +1,230 @@
+//! Point-evaluation caching for [`NlpProblem`]s.
+//!
+//! The augmented-Lagrangian loop asks for `constraints(x)` from three
+//! places per inner iteration (the merit value, the gradient, and the
+//! Hessian preparation) and for `jacobian_values(x)` from two — always at
+//! the same iterate. For the gate-sizing problem each of those calls
+//! walks every Clark-max constraint, so the redundancy triples the
+//! dominant cost. [`CachedProblem`] wraps any problem with a last-point
+//! memo: a repeated query at bitwise-identical `x` replays the stored
+//! result instead of re-evaluating.
+//!
+//! **Invalidation rule:** one slot per quantity, keyed by the full `x`
+//! vector compared bit-for-bit (`f64::to_bits`). Bitwise equality is
+//! exact — no tolerance — so a cached replay is indistinguishable from a
+//! fresh evaluation, and any change to any coordinate (however small)
+//! invalidates the slot. The Lagrangian Hessian is *not* cached: it also
+//! depends on `(sigma, lambda)`, which change between queries.
+
+use crate::problem::NlpProblem;
+use std::cell::{Cell, RefCell};
+
+/// Underlying (cache-miss) evaluation counts performed through a
+/// [`CachedProblem`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalCounts {
+    /// Objective evaluations.
+    pub objective: usize,
+    /// Objective-gradient evaluations.
+    pub gradient: usize,
+    /// Constraint-vector evaluations.
+    pub constraints: usize,
+    /// Jacobian-value evaluations.
+    pub jacobian: usize,
+    /// Lagrangian-Hessian evaluations (never cached).
+    pub hessian: usize,
+}
+
+/// A memo slot: the point it was evaluated at plus the stored result.
+struct Slot<T> {
+    x: Vec<f64>,
+    value: T,
+}
+
+impl<T: Clone> Slot<T> {
+    fn hit(slot: &Option<Slot<T>>, x: &[f64]) -> Option<T> {
+        slot.as_ref()
+            .and_then(|s| same_point(&s.x, x).then(|| s.value.clone()))
+    }
+}
+
+/// Bitwise vector equality — the cache key comparison.
+fn same_point(a: &[f64], x: &[f64]) -> bool {
+    a.len() == x.len() && a.iter().zip(x).all(|(p, q)| p.to_bits() == q.to_bits())
+}
+
+/// An [`NlpProblem`] wrapper that reuses the last evaluation of the
+/// objective, gradient, constraint vector and Jacobian when re-queried at
+/// the same point. See the module docs for the invalidation rule.
+pub struct CachedProblem<'a, P: NlpProblem> {
+    inner: &'a P,
+    objective: RefCell<Option<Slot<f64>>>,
+    gradient: RefCell<Option<Slot<Vec<f64>>>>,
+    constraints: RefCell<Option<Slot<Vec<f64>>>>,
+    jacobian: RefCell<Option<Slot<Vec<f64>>>>,
+    counts: Cell<EvalCounts>,
+}
+
+impl<'a, P: NlpProblem> CachedProblem<'a, P> {
+    /// Wrap `inner` with empty caches.
+    pub fn new(inner: &'a P) -> Self {
+        CachedProblem {
+            inner,
+            objective: RefCell::new(None),
+            gradient: RefCell::new(None),
+            constraints: RefCell::new(None),
+            jacobian: RefCell::new(None),
+            counts: Cell::new(EvalCounts::default()),
+        }
+    }
+
+    /// Underlying evaluations performed so far (cache hits excluded).
+    pub fn counts(&self) -> EvalCounts {
+        self.counts.get()
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut EvalCounts)) {
+        let mut c = self.counts.get();
+        f(&mut c);
+        self.counts.set(c);
+    }
+}
+
+impl<P: NlpProblem> NlpProblem for CachedProblem<'_, P> {
+    fn num_vars(&self) -> usize {
+        self.inner.num_vars()
+    }
+
+    fn num_constraints(&self) -> usize {
+        self.inner.num_constraints()
+    }
+
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        self.inner.bounds()
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        let mut slot = self.objective.borrow_mut();
+        if let Some(v) = Slot::hit(&slot, x) {
+            return v;
+        }
+        let v = self.inner.objective(x);
+        self.bump(|c| c.objective += 1);
+        *slot = Some(Slot {
+            x: x.to_vec(),
+            value: v,
+        });
+        v
+    }
+
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        let mut slot = self.gradient.borrow_mut();
+        if let Some(v) = Slot::hit(&slot, x) {
+            g.copy_from_slice(&v);
+            return;
+        }
+        self.inner.gradient(x, g);
+        self.bump(|c| c.gradient += 1);
+        *slot = Some(Slot {
+            x: x.to_vec(),
+            value: g.to_vec(),
+        });
+    }
+
+    fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        let mut slot = self.constraints.borrow_mut();
+        if let Some(v) = Slot::hit(&slot, x) {
+            c.copy_from_slice(&v);
+            return;
+        }
+        self.inner.constraints(x, c);
+        self.bump(|counts| counts.constraints += 1);
+        *slot = Some(Slot {
+            x: x.to_vec(),
+            value: c.to_vec(),
+        });
+    }
+
+    fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+        self.inner.jacobian_structure()
+    }
+
+    fn jacobian_values(&self, x: &[f64], vals: &mut [f64]) {
+        let mut slot = self.jacobian.borrow_mut();
+        if let Some(v) = Slot::hit(&slot, x) {
+            vals.copy_from_slice(&v);
+            return;
+        }
+        self.inner.jacobian_values(x, vals);
+        self.bump(|c| c.jacobian += 1);
+        *slot = Some(Slot {
+            x: x.to_vec(),
+            value: vals.to_vec(),
+        });
+    }
+
+    fn hessian_structure(&self) -> Vec<(usize, usize)> {
+        self.inner.hessian_structure()
+    }
+
+    fn hessian_values(&self, x: &[f64], sigma: f64, lambda: &[f64], vals: &mut [f64]) {
+        // Depends on (sigma, lambda) as well as x: always evaluate.
+        self.inner.hessian_values(x, sigma, lambda, vals);
+        self.bump(|c| c.hessian += 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_problems::SumToOne;
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let p = CachedProblem::new(&SumToOne);
+        let x = [0.3, 0.7];
+        let mut c = [0.0];
+        let mut j = [0.0, 0.0];
+        for _ in 0..5 {
+            p.constraints(&x, &mut c);
+            p.jacobian_values(&x, &mut j);
+            let _ = p.objective(&x);
+        }
+        let k = p.counts();
+        assert_eq!(k.constraints, 1);
+        assert_eq!(k.jacobian, 1);
+        assert_eq!(k.objective, 1);
+    }
+
+    #[test]
+    fn any_coordinate_change_invalidates() {
+        let p = CachedProblem::new(&SumToOne);
+        let mut c = [0.0];
+        p.constraints(&[0.3, 0.7], &mut c);
+        // One ulp away: bitwise keying must treat it as a new point.
+        p.constraints(&[0.3, f64::from_bits(0.7f64.to_bits() + 1)], &mut c);
+        assert_eq!(p.counts().constraints, 2);
+        // Returning to a previous point after moving away re-evaluates:
+        // the memo holds one point only.
+        p.constraints(&[0.3, 0.7], &mut c);
+        assert_eq!(p.counts().constraints, 3);
+    }
+
+    #[test]
+    fn cached_results_match_uncached() {
+        let p = CachedProblem::new(&SumToOne);
+        let x = [1.5, -0.5];
+        let mut c_fresh = [0.0];
+        let mut c_cached = [0.0];
+        SumToOne.constraints(&x, &mut c_fresh);
+        p.constraints(&x, &mut c_cached);
+        p.constraints(&x, &mut c_cached);
+        assert_eq!(c_fresh[0].to_bits(), c_cached[0].to_bits());
+        let mut g_fresh = [0.0, 0.0];
+        let mut g_cached = [0.0, 0.0];
+        SumToOne.gradient(&x, &mut g_fresh);
+        p.gradient(&x, &mut g_cached);
+        p.gradient(&x, &mut g_cached);
+        assert_eq!(g_fresh, g_cached);
+    }
+}

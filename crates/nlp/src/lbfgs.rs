@@ -32,7 +32,11 @@ pub struct LbfgsOptions {
 
 impl Default for LbfgsOptions {
     fn default() -> Self {
-        LbfgsOptions { tol: 1e-7, max_iter: 500, memory: 10 }
+        LbfgsOptions {
+            tol: 1e-7,
+            max_iter: 500,
+            memory: 10,
+        }
     }
 }
 
@@ -83,7 +87,13 @@ pub fn minimize<F: GradFn>(
 
     for iter in 0..opts.max_iter {
         if pg <= opts.tol {
-            return LbfgsResult { x, f: fx, pg_norm: pg, iterations: iter, converged: true };
+            return LbfgsResult {
+                x,
+                f: fx,
+                pg_norm: pg,
+                iterations: iter,
+                converged: true,
+            };
         }
 
         // Two-loop recursion on the raw gradient.
@@ -245,7 +255,11 @@ mod tests {
             &[-1.2, 1.0],
             &[-INF; 2],
             &[INF; 2],
-            &LbfgsOptions { tol: 1e-9, max_iter: 2000, memory: 10 },
+            &LbfgsOptions {
+                tol: 1e-9,
+                max_iter: 2000,
+                memory: 10,
+            },
         );
         assert!(r.converged, "{r:?}");
         assert!((r.x[0] - 1.0).abs() < 1e-5);
@@ -253,7 +267,9 @@ mod tests {
 
     #[test]
     fn quadratic_with_active_bounds() {
-        let mut q = Quad { center: vec![5.0, -5.0, 0.5] };
+        let mut q = Quad {
+            center: vec![5.0, -5.0, 0.5],
+        };
         let r = minimize(
             &mut q,
             &[0.0; 3],

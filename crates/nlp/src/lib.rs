@@ -38,6 +38,7 @@
 #![deny(unsafe_code)]
 
 pub mod auglag;
+pub mod cache;
 pub mod lbfgs;
 pub mod problem;
 pub mod sparse;
@@ -45,4 +46,5 @@ pub mod test_problems;
 pub mod tr;
 
 pub use auglag::{solve, AugLagOptions, SolveResult, SolveStatus};
+pub use cache::{CachedProblem, EvalCounts};
 pub use problem::NlpProblem;

@@ -166,7 +166,11 @@ pub fn check_derivatives<P: NlpProblem>(
         }
     }
 
-    DerivativeReport { grad: worst_g, jac: worst_j, hess: worst_h }
+    DerivativeReport {
+        grad: worst_g,
+        jac: worst_j,
+        hess: worst_h,
+    }
 }
 
 /// First-order (KKT) residuals at a candidate solution, using the
@@ -212,7 +216,10 @@ pub fn kkt_residual<P: NlpProblem>(p: &P, x: &[f64], lambda: &[f64]) -> KktRepor
     let mut c = vec![0.0; m];
     p.constraints(x, &mut c);
     let feasibility = c.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
-    KktReport { stationarity, feasibility }
+    KktReport {
+        stationarity,
+        feasibility,
+    }
 }
 
 #[cfg(test)]

@@ -46,7 +46,14 @@ impl CsrMatrix {
             col_idx[slot] = c;
             perm[k] = slot;
         }
-        CsrMatrix { nrows, ncols, row_ptr, col_idx, perm, vals: vec![0.0; nnz] }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            perm,
+            vals: vec![0.0; nnz],
+        }
     }
 
     /// Refreshes the values from triplet-ordered `vals`.
@@ -135,7 +142,12 @@ impl SymTriplets {
             cols.push(c);
         }
         let vals = vec![0.0; structure.len()];
-        SymTriplets { n, rows, cols, vals }
+        SymTriplets {
+            n,
+            rows,
+            cols,
+            vals,
+        }
     }
 
     /// Refreshes the values (triplet order).

@@ -162,8 +162,8 @@ impl NlpProblem for Hs7 {
     }
     fn hessian_values(&self, x: &[f64], sigma: f64, lambda: &[f64], vals: &mut [f64]) {
         let t = 1.0 + x[0] * x[0];
-        vals[0] = sigma * (2.0 - 2.0 * x[0] * x[0]) / (t * t)
-            + lambda[0] * (4.0 + 12.0 * x[0] * x[0]);
+        vals[0] =
+            sigma * (2.0 - 2.0 * x[0] * x[0]) / (t * t) + lambda[0] * (4.0 + 12.0 * x[0] * x[0]);
         vals[1] = lambda[0] * 2.0;
     }
 }
@@ -204,7 +204,13 @@ impl NlpProblem for Hs28 {
         vec![(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]
     }
     fn hessian_values(&self, _x: &[f64], sigma: f64, _lambda: &[f64], vals: &mut [f64]) {
-        vals.copy_from_slice(&[2.0 * sigma, 2.0 * sigma, 4.0 * sigma, 2.0 * sigma, 2.0 * sigma]);
+        vals.copy_from_slice(&[
+            2.0 * sigma,
+            2.0 * sigma,
+            4.0 * sigma,
+            2.0 * sigma,
+            2.0 * sigma,
+        ]);
     }
 }
 
@@ -249,13 +255,7 @@ macro_rules! product_impl {
             fn hessian_structure(&self) -> Vec<(usize, usize)> {
                 vec![(1, 0)]
             }
-            fn hessian_values(
-                &self,
-                _x: &[f64],
-                _sigma: f64,
-                lambda: &[f64],
-                vals: &mut [f64],
-            ) {
+            fn hessian_values(&self, _x: &[f64], _sigma: f64, lambda: &[f64], vals: &mut [f64]) {
                 vals[0] = lambda[0];
             }
         }
@@ -451,8 +451,7 @@ mod tests {
         assert!(check_derivatives(&Hs7, &[0.8, 1.1], &[-0.2], 1e-5).within(tol));
         assert!(check_derivatives(&Hs28, &[1.0, 2.0, -0.5], &[0.3], 1e-5).within(tol));
         assert!(
-            check_derivatives(&Hs48, &[3.0, 5.0, -3.0, 2.0, -2.0], &[0.3, -0.4], 1e-5)
-                .within(tol)
+            check_derivatives(&Hs48, &[3.0, 5.0, -3.0, 2.0, -2.0], &[0.3, -0.4], 1e-5).within(tol)
         );
         assert!(
             check_derivatives(&Hs51, &[2.5, 0.5, 2.0, -1.0, 0.5], &[0.3, -0.4, 0.1], 1e-5)

@@ -41,7 +41,12 @@ pub struct TrOptions {
 
 impl Default for TrOptions {
     fn default() -> Self {
-        TrOptions { tol: 1e-8, max_iter: 500, max_cg: 0, delta0: 0.0 }
+        TrOptions {
+            tol: 1e-8,
+            max_iter: 500,
+            max_cg: 0,
+            delta0: 0.0,
+        }
     }
 }
 
@@ -99,7 +104,11 @@ pub fn minimize<F: SmoothFn>(
     for i in 0..n {
         assert!(l[i] <= u[i], "bound {i} inverted: [{}, {}]", l[i], u[i]);
     }
-    let max_cg = if opts.max_cg == 0 { (2 * n).max(10) } else { opts.max_cg };
+    let max_cg = if opts.max_cg == 0 {
+        (2 * n).max(10)
+    } else {
+        opts.max_cg
+    };
 
     let mut x = x0.to_vec();
     project(&mut x, l, u);
@@ -134,8 +143,7 @@ pub fn minimize<F: SmoothFn>(
         // radius collapses.
         let mut accepted = false;
         while !accepted {
-            let (p, pred, ncg, hit_boundary) =
-                solve_subproblem(f, &x, &g, l, u, delta, max_cg);
+            let (p, pred, ncg, hit_boundary) = solve_subproblem(f, &x, &g, l, u, delta, max_cg);
             cg_total += ncg;
             if pred <= f64::EPSILON * (1.0 + fx.abs()) {
                 delta *= 0.5;
@@ -291,14 +299,7 @@ fn solve_subproblem<F: SmoothFn>(
 
 /// Largest `tau >= 0` with `|p + tau d| <= delta` and
 /// `l <= x + p + tau d <= u`.
-fn step_to_boundary(
-    p: &[f64],
-    d: &[f64],
-    x: &[f64],
-    l: &[f64],
-    u: &[f64],
-    delta: f64,
-) -> f64 {
+fn step_to_boundary(p: &[f64], d: &[f64], x: &[f64], l: &[f64], u: &[f64], delta: f64) -> f64 {
     // Trust region: |p|^2 + 2 tau p'd + tau^2 |d|^2 = delta^2.
     let pp: f64 = p.iter().map(|v| v * v).sum();
     let pd: f64 = p.iter().zip(d).map(|(a, b)| a * b).sum();
@@ -403,7 +404,13 @@ mod tests {
             h: vec![vec![2.0, 0.0], vec![0.0, 6.0]],
             g0: vec![-2.0, -12.0],
         };
-        let r = minimize(&mut q, &[0.0, 0.0], &[-INF, -INF], &[INF, INF], &TrOptions::default());
+        let r = minimize(
+            &mut q,
+            &[0.0, 0.0],
+            &[-INF, -INF],
+            &[INF, INF],
+            &TrOptions::default(),
+        );
         assert!(r.converged);
         assert!((r.x[0] - 1.0).abs() < 1e-7, "{:?}", r.x);
         assert!((r.x[1] - 2.0).abs() < 1e-7, "{:?}", r.x);
@@ -416,7 +423,13 @@ mod tests {
             h: vec![vec![2.0, 0.0], vec![0.0, 6.0]],
             g0: vec![-2.0, -12.0],
         };
-        let r = minimize(&mut q, &[0.0, 0.0], &[-INF, -INF], &[0.5, INF], &TrOptions::default());
+        let r = minimize(
+            &mut q,
+            &[0.0, 0.0],
+            &[-INF, -INF],
+            &[0.5, INF],
+            &TrOptions::default(),
+        );
         assert!(r.converged);
         assert!((r.x[0] - 0.5).abs() < 1e-9, "{:?}", r.x);
         assert!((r.x[1] - 2.0).abs() < 1e-7, "{:?}", r.x);
@@ -430,7 +443,10 @@ mod tests {
             &[-1.2, 1.0],
             &[-INF, -INF],
             &[INF, INF],
-            &TrOptions { tol: 1e-10, ..Default::default() },
+            &TrOptions {
+                tol: 1e-10,
+                ..Default::default()
+            },
         );
         assert!(r.converged, "{r:?}");
         assert!((r.x[0] - 1.0).abs() < 1e-6);
@@ -447,7 +463,10 @@ mod tests {
             &[0.0, 0.0],
             &[-INF, -INF],
             &[0.8, INF],
-            &TrOptions { tol: 1e-10, ..Default::default() },
+            &TrOptions {
+                tol: 1e-10,
+                ..Default::default()
+            },
         );
         assert!(r.converged, "{r:?}");
         assert!((r.x[0] - 0.8).abs() < 1e-7, "{:?}", r.x);
@@ -460,7 +479,13 @@ mod tests {
             h: vec![vec![1.0, 0.0], vec![0.0, 1.0]],
             g0: vec![0.0, 0.0],
         };
-        let r = minimize(&mut q, &[5.0, -7.0], &[1.0, -2.0], &[3.0, 2.0], &TrOptions::default());
+        let r = minimize(
+            &mut q,
+            &[5.0, -7.0],
+            &[1.0, -2.0],
+            &[3.0, 2.0],
+            &TrOptions::default(),
+        );
         assert!(r.converged);
         // Unconstrained min is the origin; box forces (1, 0).
         assert!((r.x[0] - 1.0).abs() < 1e-9);
@@ -478,7 +503,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "inverted")]
     fn inverted_bounds_rejected() {
-        let mut q = Quadratic { h: vec![vec![1.0]], g0: vec![0.0] };
+        let mut q = Quadratic {
+            h: vec![vec![1.0]],
+            g0: vec![0.0],
+        };
         let _ = minimize(&mut q, &[0.0], &[1.0], &[-1.0], &TrOptions::default());
     }
 }

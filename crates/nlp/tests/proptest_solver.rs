@@ -54,11 +54,11 @@ impl GradFn for SepQuad {
 fn quad_instance() -> impl Strategy<Value = (SepQuad, Vec<f64>, Vec<f64>, Vec<f64>)> {
     (1usize..8).prop_flat_map(|n| {
         (
-            prop::collection::vec(0.1..10.0f64, n),          // weights
-            prop::collection::vec(-10.0..10.0f64, n),        // centers
-            prop::collection::vec(-5.0..0.0f64, n),          // lower
-            prop::collection::vec(0.0..5.0f64, n),           // upper
-            prop::collection::vec(-3.0..3.0f64, n),          // start
+            prop::collection::vec(0.1..10.0f64, n),   // weights
+            prop::collection::vec(-10.0..10.0f64, n), // centers
+            prop::collection::vec(-5.0..0.0f64, n),   // lower
+            prop::collection::vec(0.0..5.0f64, n),    // upper
+            prop::collection::vec(-3.0..3.0f64, n),   // start
         )
             .prop_map(|(w, c, l, u, x0)| (SepQuad { w, c }, l, u, x0))
     })
@@ -110,10 +110,16 @@ impl NlpProblem for EqQuad {
         1
     }
     fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-        (vec![f64::NEG_INFINITY; self.c.len()], vec![f64::INFINITY; self.c.len()])
+        (
+            vec![f64::NEG_INFINITY; self.c.len()],
+            vec![f64::INFINITY; self.c.len()],
+        )
     }
     fn objective(&self, x: &[f64]) -> f64 {
-        x.iter().zip(&self.c).map(|(xi, ci)| (xi - ci) * (xi - ci)).sum()
+        x.iter()
+            .zip(&self.c)
+            .map(|(xi, ci)| (xi - ci) * (xi - ci))
+            .sum()
     }
     fn gradient(&self, x: &[f64], g: &mut [f64]) {
         for i in 0..x.len() {

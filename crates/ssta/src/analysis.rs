@@ -1,8 +1,25 @@
 //! Forward statistical (and deterministic) static timing analysis.
+//!
+//! # Parallel evaluation
+//!
+//! Arrival propagation is inherently sequential along paths but parallel
+//! across a topological level: every gate at level `L` depends only on
+//! arrivals at levels `< L`. [`ssta_levelized`] exploits this, mapping
+//! over each level's gates with rayon and writing results back in gate
+//! order. Because each gate's arrival is the same pure function of its
+//! fan-in arrivals either way, the levelized path is bit-identical to the
+//! sequential left fold. [`ssta`] auto-dispatches: circuits below
+//! [`PAR_GATE_THRESHOLD`] gates (or single-threaded runs) keep the cheap
+//! sequential path.
 
 use crate::delay::DelayModel;
-use sgs_netlist::{Circuit, Library, Signal};
+use rayon::prelude::*;
+use sgs_netlist::{Circuit, GateId, Library, Signal};
 use sgs_statmath::{clark, Normal};
+
+/// Minimum gate count before [`ssta`] considers the level-parallel path:
+/// below this, per-level thread dispatch costs more than it saves.
+pub const PAR_GATE_THRESHOLD: usize = 2048;
 
 /// Result of a statistical timing analysis.
 #[derive(Debug, Clone)]
@@ -45,25 +62,153 @@ pub fn ssta_with_arrivals(
     s: &[f64],
     input_arrivals: Option<&[Normal]>,
 ) -> SstaReport {
+    let model = DelayModel::new(circuit, lib);
+    ssta_with_model_and_arrivals(circuit, &model, s, input_arrivals)
+}
+
+/// Statistical STA reusing a prebuilt [`DelayModel`] — the entry point
+/// for callers that evaluate many speed vectors on one circuit (greedy
+/// sizing, discretization repair, Monte Carlo sweeps), where rebuilding
+/// the model per evaluation dominates.
+///
+/// # Panics
+///
+/// Panics if `s.len() != circuit.num_gates()`.
+pub fn ssta_with_model(circuit: &Circuit, model: &DelayModel, s: &[f64]) -> SstaReport {
+    ssta_with_model_and_arrivals(circuit, model, s, None)
+}
+
+/// [`ssta_with_model`] with explicit primary-input arrival distributions.
+///
+/// Dispatches to the level-parallel propagation for large circuits when
+/// more than one rayon thread is available; the result is bit-identical
+/// between both paths.
+///
+/// # Panics
+///
+/// Panics if `s.len() != circuit.num_gates()` or the arrival slice length
+/// differs from the input count.
+pub fn ssta_with_model_and_arrivals(
+    circuit: &Circuit,
+    model: &DelayModel,
+    s: &[f64],
+    input_arrivals: Option<&[Normal]>,
+) -> SstaReport {
     assert_eq!(s.len(), circuit.num_gates(), "speed vector length mismatch");
     if let Some(ia) = input_arrivals {
-        assert_eq!(ia.len(), circuit.num_inputs(), "input arrival length mismatch");
+        assert_eq!(
+            ia.len(),
+            circuit.num_inputs(),
+            "input arrival length mismatch"
+        );
     }
+    let arrivals = if circuit.num_gates() >= PAR_GATE_THRESHOLD && rayon::current_num_threads() > 1
+    {
+        arrivals_levelized(circuit, model, s, input_arrivals)
+    } else {
+        arrivals_sequential(circuit, model, s, input_arrivals)
+    };
+    report_from_arrivals(circuit, arrivals)
+}
+
+/// Statistical STA forced onto the level-parallel propagation path,
+/// regardless of circuit size or thread count. Exposed so determinism
+/// tests and benchmarks can compare it directly against [`ssta`].
+///
+/// # Panics
+///
+/// Panics if `s.len() != circuit.num_gates()`.
+pub fn ssta_levelized(circuit: &Circuit, lib: &Library, s: &[f64]) -> SstaReport {
+    assert_eq!(s.len(), circuit.num_gates(), "speed vector length mismatch");
     let model = DelayModel::new(circuit, lib);
-    let mut arrivals: Vec<Normal> = Vec::with_capacity(circuit.num_gates());
-    for (id, gate) in circuit.gates() {
-        let at = |sig: Signal| -> Normal {
-            match sig {
-                Signal::Pi(p) => input_arrivals.map_or_else(Normal::default, |ia| ia[p]),
-                Signal::Gate(g) => arrivals[g.index()],
-            }
-        };
-        // Stochastic max over fan-in arrivals (left fold, paper Eq. 18b),
-        // then add the gate delay (paper Eq. 4).
-        let u = clark::max_n(gate.inputs.iter().map(|&sig| at(sig)))
-            .expect("gates have at least one input");
-        arrivals.push(u + model.gate_delay(id, s));
+    let arrivals = arrivals_levelized(circuit, &model, s, None);
+    report_from_arrivals(circuit, arrivals)
+}
+
+/// Arrival of `sig` given already-computed gate arrivals.
+#[inline]
+fn arrival_of(sig: Signal, arrivals: &[Normal], input_arrivals: Option<&[Normal]>) -> Normal {
+    match sig {
+        Signal::Pi(p) => input_arrivals.map_or_else(Normal::default, |ia| ia[p]),
+        Signal::Gate(g) => arrivals[g.index()],
     }
+}
+
+/// Latest arrival of one gate: stochastic max over fan-in arrivals (left
+/// fold, paper Eq. 18b) plus the gate delay (paper Eq. 4). The single
+/// pure function both propagation orders evaluate.
+#[inline]
+fn gate_arrival(
+    circuit: &Circuit,
+    model: &DelayModel,
+    s: &[f64],
+    arrivals: &[Normal],
+    input_arrivals: Option<&[Normal]>,
+    idx: usize,
+) -> Normal {
+    let id = GateId(idx);
+    let gate = circuit.gate(id);
+    let u = clark::max_n(
+        gate.inputs
+            .iter()
+            .map(|&sig| arrival_of(sig, arrivals, input_arrivals)),
+    )
+    .expect("gates have at least one input");
+    u + model.gate_delay(id, s)
+}
+
+fn arrivals_sequential(
+    circuit: &Circuit,
+    model: &DelayModel,
+    s: &[f64],
+    input_arrivals: Option<&[Normal]>,
+) -> Vec<Normal> {
+    let mut arrivals: Vec<Normal> = Vec::with_capacity(circuit.num_gates());
+    for idx in 0..circuit.num_gates() {
+        let a = gate_arrival(circuit, model, s, &arrivals, input_arrivals, idx);
+        arrivals.push(a);
+    }
+    arrivals
+}
+
+/// Level-parallel propagation: gates grouped by topological level; each
+/// level's arrivals are computed in parallel from the (immutable) prior
+/// levels, then written back in gate order. Reads and writes never
+/// overlap within a level, so the schedule cannot affect the result.
+fn arrivals_levelized(
+    circuit: &Circuit,
+    model: &DelayModel,
+    s: &[f64],
+    input_arrivals: Option<&[Normal]>,
+) -> Vec<Normal> {
+    let levels = circuit.levels();
+    let depth = levels.iter().copied().max().unwrap_or(0);
+    let mut by_level: Vec<Vec<usize>> = vec![Vec::new(); depth + 1];
+    for (i, &l) in levels.iter().enumerate() {
+        by_level[l].push(i);
+    }
+    let mut arrivals: Vec<Normal> = vec![Normal::default(); circuit.num_gates()];
+    for level in &by_level {
+        if level.is_empty() {
+            continue;
+        }
+        let computed: Vec<(usize, Normal)> = level
+            .par_iter()
+            .map(|&idx| {
+                (
+                    idx,
+                    gate_arrival(circuit, model, s, &arrivals, input_arrivals, idx),
+                )
+            })
+            .collect();
+        for (idx, a) in computed {
+            arrivals[idx] = a;
+        }
+    }
+    arrivals
+}
+
+fn report_from_arrivals(circuit: &Circuit, arrivals: Vec<Normal>) -> SstaReport {
     let delay = clark::max_n(circuit.outputs().iter().map(|&o| arrivals[o.index()]))
         .expect("validated circuits have outputs");
     SstaReport { arrivals, delay }
@@ -86,8 +231,22 @@ pub fn sta_deterministic(
     s: &[f64],
     margin_k: f64,
 ) -> (f64, Vec<f64>) {
-    assert_eq!(s.len(), circuit.num_gates(), "speed vector length mismatch");
     let model = DelayModel::new(circuit, lib);
+    sta_deterministic_with_model(circuit, &model, s, margin_k)
+}
+
+/// [`sta_deterministic`] reusing a prebuilt [`DelayModel`].
+///
+/// # Panics
+///
+/// Panics if `s.len() != circuit.num_gates()`.
+pub fn sta_deterministic_with_model(
+    circuit: &Circuit,
+    model: &DelayModel,
+    s: &[f64],
+    margin_k: f64,
+) -> (f64, Vec<f64>) {
+    assert_eq!(s.len(), circuit.num_gates(), "speed vector length mismatch");
     let mut arrivals: Vec<f64> = Vec::with_capacity(circuit.num_gates());
     for (id, gate) in circuit.gates() {
         let u = gate
@@ -276,8 +435,16 @@ mod tests {
             arr[6]
         }));
         let _ = monte_carlo; // module used above for doc parity
-        assert!((earliest.mean() - m).abs() < 0.03 * m, "{} vs {m}", earliest.mean());
-        assert!((earliest.var() - v).abs() < 0.15 * v, "{} vs {v}", earliest.var());
+        assert!(
+            (earliest.mean() - m).abs() < 0.03 * m,
+            "{} vs {m}",
+            earliest.mean()
+        );
+        assert!(
+            (earliest.var() - v).abs() < 0.15 * v,
+            "{} vs {v}",
+            earliest.var()
+        );
     }
 
     #[test]
@@ -286,8 +453,7 @@ mod tests {
         let s = vec![1.0; 4];
         let r = ssta(&c, &lib(), &s);
         assert!(
-            (r.mean_plus_k_sigma(3.0) - (r.delay.mean() + 3.0 * r.delay.sigma())).abs()
-                < 1e-12
+            (r.mean_plus_k_sigma(3.0) - (r.delay.mean() + 3.0 * r.delay.sigma())).abs() < 1e-12
         );
     }
 }

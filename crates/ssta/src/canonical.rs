@@ -50,7 +50,11 @@ impl CanonicalForm {
     }
 
     fn zero(n: usize) -> Self {
-        CanonicalForm { nominal: 0.0, sens: vec![0.0; n], resid: 0.0 }
+        CanonicalForm {
+            nominal: 0.0,
+            sens: vec![0.0; n],
+            resid: 0.0,
+        }
     }
 }
 
@@ -87,7 +91,11 @@ fn max_canonical(a: &CanonicalForm, b: &CanonicalForm) -> CanonicalForm {
         + ((1.0 - t) * b.resid).powi(2);
     let resid = (c.var() - carried).max(0.0).sqrt();
     let resid = (resid * resid + (t * a.resid).powi(2) + ((1.0 - t) * b.resid).powi(2)).sqrt();
-    CanonicalForm { nominal: c.mean(), sens, resid }
+    CanonicalForm {
+        nominal: c.mean(),
+        sens,
+        resid,
+    }
 }
 
 /// Result of a canonical (correlation-aware) SSTA.
@@ -178,7 +186,12 @@ mod tests {
         let s = vec![1.0; 7];
         let a = ssta(&c, &lib(), &s).delay;
         let b = ssta_canonical(&c, &lib(), &s).delay_normal();
-        assert!((a.mean() - b.mean()).abs() < 1e-6, "{} vs {}", a.mean(), b.mean());
+        assert!(
+            (a.mean() - b.mean()).abs() < 1e-6,
+            "{} vs {}",
+            a.mean(),
+            b.mean()
+        );
         assert!((a.sigma() - b.sigma()).abs() < 1e-4);
     }
 
@@ -222,7 +235,12 @@ mod tests {
             &c,
             &lib(),
             &s,
-            &McOptions { samples: 60_000, seed: 9, criticality: false },
+            &McOptions {
+                samples: 60_000,
+                seed: 9,
+                criticality: false,
+                ..Default::default()
+            },
         )
         .delay;
         let err_ind = (ind.mean() - mc.mean()).abs();

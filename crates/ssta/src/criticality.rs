@@ -111,7 +111,11 @@ pub fn criticality(circuit: &Circuit, lib: &Library, s: &[f64]) -> CriticalityRe
         }
     }
 
-    CriticalityReport { criticality: crit, arrivals, delay }
+    CriticalityReport {
+        criticality: crit,
+        arrivals,
+        delay,
+    }
 }
 
 #[cfg(test)]
@@ -139,8 +143,16 @@ mod tests {
         let r = criticality(&c, &lib(), &[1.0; 7]);
         // Output gate certain; the two mid gates split ~50/50; leaves ~25%.
         assert!((r.criticality[6] - 1.0).abs() < 1e-9);
-        assert!((r.criticality[2] - 0.5).abs() < 0.02, "C: {}", r.criticality[2]);
-        assert!((r.criticality[5] - 0.5).abs() < 0.02, "F: {}", r.criticality[5]);
+        assert!(
+            (r.criticality[2] - 0.5).abs() < 0.02,
+            "C: {}",
+            r.criticality[2]
+        );
+        assert!(
+            (r.criticality[5] - 0.5).abs() < 0.02,
+            "F: {}",
+            r.criticality[5]
+        );
         for &leaf in &[0usize, 1, 3, 4] {
             assert!(
                 (r.criticality[leaf] - 0.25).abs() < 0.03,
@@ -161,7 +173,12 @@ mod tests {
             &c,
             &lib(),
             &s,
-            &McOptions { samples: 60_000, seed: 21, criticality: true },
+            &McOptions {
+                samples: 60_000,
+                seed: 21,
+                criticality: true,
+                ..Default::default()
+            },
         );
         for i in 0..7 {
             assert!(
@@ -186,7 +203,12 @@ mod tests {
             &c,
             &lib(),
             &s,
-            &McOptions { samples: 40_000, seed: 21, criticality: true },
+            &McOptions {
+                samples: 40_000,
+                seed: 21,
+                criticality: true,
+                ..Default::default()
+            },
         );
         // Spearman rank correlation between the two criticality vectors.
         let rank = |v: &[f64]| -> Vec<f64> {

@@ -5,28 +5,53 @@
 //! arrivals. The paper cites Monte Carlo as the accurate-but-too-slow
 //! alternative that motivates the analytical treatment; here it validates
 //! the analytical results and measures yield.
+//!
+//! # Parallel evaluation
+//!
+//! Trials are independent, so the sample loop parallelizes over chunks.
+//! Every trial owns its own RNG stream seeded as a pure function of
+//! `(opts.seed, sample_index)` — used by the sequential path too — so the
+//! report is **bit-identical** regardless of thread count or whether the
+//! parallel path ran at all. Chunks write circuit-delay samples into
+//! disjoint slices of one preallocated buffer, and per-chunk criticality
+//! counts (exact `u64` tallies) are merged by addition afterwards.
 
 use crate::delay::DelayModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sgs_netlist::{Circuit, Library, Signal};
+use rayon::prelude::*;
+use sgs_netlist::{Circuit, Gate, Library, Signal};
 use sgs_statmath::{mc, Normal};
+
+/// Trials per parallel work unit. Large enough to amortize per-chunk
+/// scratch allocation and thread dispatch, small enough to load-balance.
+const CHUNK: usize = 1024;
 
 /// Options for [`monte_carlo`].
 #[derive(Debug, Clone)]
 pub struct McOptions {
     /// Number of trials.
     pub samples: usize,
-    /// RNG seed (runs are deterministic given a seed).
+    /// RNG seed (runs are deterministic given a seed, independent of
+    /// thread count).
     pub seed: u64,
     /// Record per-gate criticality (fraction of trials in which the gate
     /// lies on the sample's critical path). Slightly slower.
     pub criticality: bool,
+    /// Use the multi-threaded sample loop when more than one rayon
+    /// thread is available. Results are bit-identical either way; this
+    /// exists so benchmarks and tests can pin a specific path.
+    pub parallel: bool,
 }
 
 impl Default for McOptions {
     fn default() -> Self {
-        McOptions { samples: 20_000, seed: 0x5657, criticality: false }
+        McOptions {
+            samples: 20_000,
+            seed: 0x5657,
+            criticality: false,
+            parallel: true,
+        }
     }
 }
 
@@ -66,30 +91,70 @@ impl McReport {
     pub fn num_samples(&self) -> usize {
         self.samples.len()
     }
+
+    /// The sorted circuit-delay samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
 }
 
-/// Runs a Monte Carlo timing analysis of the circuit under speed factors
-/// `s`.
-///
-/// # Panics
-///
-/// Panics if `s.len() != circuit.num_gates()` or `opts.samples == 0`.
-pub fn monte_carlo(circuit: &Circuit, lib: &Library, s: &[f64], opts: &McOptions) -> McReport {
-    assert_eq!(s.len(), circuit.num_gates(), "speed vector length mismatch");
-    assert!(opts.samples > 0, "need at least one sample");
-    let model = DelayModel::new(circuit, lib);
-    let n = circuit.num_gates();
-    // Precompute per-gate delay distributions once.
-    let dists: Vec<Normal> = circuit.gates().map(|(id, _)| model.gate_delay(id, s)).collect();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut samples = Vec::with_capacity(opts.samples);
-    let mut crit_count = vec![0u64; if opts.criticality { n } else { 0 }];
-    let mut arrival = vec![0.0f64; n];
-    let mut argmax: Vec<Option<usize>> = vec![None; if opts.criticality { n } else { 0 }];
+/// Seed for trial `idx`'s private RNG stream: the user seed XOR a
+/// golden-ratio multiple of the index, decorrelated further by
+/// `StdRng::seed_from_u64`'s SplitMix64 expansion. A pure function of
+/// `(seed, idx)`, shared by the sequential and parallel paths.
+#[inline]
+fn trial_seed(seed: u64, idx: u64) -> u64 {
+    seed ^ idx.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
 
-    for _ in 0..opts.samples {
-        for (i, (id, gate)) in circuit.gates().enumerate() {
-            debug_assert_eq!(i, id.index());
+/// Per-worker scratch reused across the trials of one chunk.
+struct Scratch {
+    arrival: Vec<f64>,
+    argmax: Vec<Option<usize>>,
+}
+
+impl Scratch {
+    fn new(n: usize, criticality: bool) -> Self {
+        Scratch {
+            arrival: vec![0.0; n],
+            argmax: vec![None; if criticality { n } else { 0 }],
+        }
+    }
+}
+
+/// Immutable trial context shared by every chunk worker: the flattened
+/// topological gate order, output indices, per-gate delay distributions
+/// and the run options.
+#[derive(Clone, Copy)]
+struct TrialCtx<'a> {
+    gates: &'a [(usize, Gate)],
+    outputs: &'a [usize],
+    dists: &'a [Normal],
+    opts: &'a McOptions,
+}
+
+/// Run trials `[chunk_start, chunk_start + out.len())`, writing each
+/// trial's circuit delay into `out` and tallying criticality into
+/// `crit_count` (length `num_gates` when enabled, else 0).
+fn run_chunk(
+    ctx: &TrialCtx<'_>,
+    chunk_start: usize,
+    out: &mut [f64],
+    crit_count: &mut [u64],
+    scratch: &mut Scratch,
+) {
+    let TrialCtx {
+        gates,
+        outputs,
+        dists,
+        opts,
+    } = *ctx;
+    let arrival = &mut scratch.arrival;
+    let argmax = &mut scratch.argmax;
+    for (k, slot) in out.iter_mut().enumerate() {
+        let sample_idx = (chunk_start + k) as u64;
+        let mut rng = StdRng::seed_from_u64(trial_seed(opts.seed, sample_idx));
+        for &(i, ref gate) in gates {
             let mut u = f64::NEG_INFINITY;
             let mut from = None;
             for &sig in &gate.inputs {
@@ -110,18 +175,17 @@ pub fn monte_carlo(circuit: &Circuit, lib: &Library, s: &[f64], opts: &McOptions
                 argmax[i] = from;
             }
         }
-        let (worst_gate, worst) = circuit
-            .outputs()
-            .iter()
-            .map(|&o| (o.index(), arrival[o.index()]))
-            .fold((usize::MAX, f64::NEG_INFINITY), |acc, x| {
+        let (worst_gate, worst) = outputs.iter().map(|&o| (o, arrival[o])).fold(
+            (usize::MAX, f64::NEG_INFINITY),
+            |acc, x| {
                 if x.1 > acc.1 {
                     x
                 } else {
                     acc
                 }
-            });
-        samples.push(worst);
+            },
+        );
+        *slot = worst;
         if opts.criticality {
             // Walk the sample's critical path back to the inputs.
             let mut g = Some(worst_gate);
@@ -131,7 +195,93 @@ pub fn monte_carlo(circuit: &Circuit, lib: &Library, s: &[f64], opts: &McOptions
             }
         }
     }
+}
 
+/// Runs a Monte Carlo timing analysis of the circuit under speed factors
+/// `s`. Equivalent to [`monte_carlo_with_model`] with a freshly built
+/// [`DelayModel`].
+///
+/// # Panics
+///
+/// Panics if `s.len() != circuit.num_gates()` or `opts.samples == 0`.
+pub fn monte_carlo(circuit: &Circuit, lib: &Library, s: &[f64], opts: &McOptions) -> McReport {
+    let model = DelayModel::new(circuit, lib);
+    monte_carlo_with_model(circuit, &model, s, opts)
+}
+
+/// Runs a Monte Carlo timing analysis reusing a prebuilt [`DelayModel`].
+///
+/// The report is a pure function of `(circuit, model, s, opts.samples,
+/// opts.seed, opts.criticality)`: thread count and `opts.parallel` do not
+/// change a single bit of the output.
+///
+/// # Panics
+///
+/// Panics if `s.len() != circuit.num_gates()` or `opts.samples == 0`.
+pub fn monte_carlo_with_model(
+    circuit: &Circuit,
+    model: &DelayModel,
+    s: &[f64],
+    opts: &McOptions,
+) -> McReport {
+    assert_eq!(s.len(), circuit.num_gates(), "speed vector length mismatch");
+    assert!(opts.samples > 0, "need at least one sample");
+    let n = circuit.num_gates();
+    // Precompute per-gate delay distributions once.
+    let dists: Vec<Normal> = circuit
+        .gates()
+        .map(|(id, _)| model.gate_delay(id, s))
+        .collect();
+    // Materialize the topological gate order and output indices so chunk
+    // workers iterate plain slices.
+    let gates: Vec<(usize, Gate)> = circuit
+        .gates()
+        .map(|(id, g)| (id.index(), g.clone()))
+        .collect();
+    let outputs: Vec<usize> = circuit.outputs().iter().map(|o| o.index()).collect();
+    let crit_len = if opts.criticality { n } else { 0 };
+
+    let mut samples = vec![0.0f64; opts.samples];
+    let use_parallel = opts.parallel && opts.samples > CHUNK && rayon::current_num_threads() > 1;
+    let ctx = TrialCtx {
+        gates: &gates,
+        outputs: &outputs,
+        dists: &dists,
+        opts,
+    };
+
+    let chunk_counts: Vec<Vec<u64>> = if use_parallel {
+        samples
+            .par_chunks_mut(CHUNK)
+            .enumerate()
+            .map(|(ci, out)| {
+                let mut crit_count = vec![0u64; crit_len];
+                let mut scratch = Scratch::new(n, opts.criticality);
+                run_chunk(&ctx, ci * CHUNK, out, &mut crit_count, &mut scratch);
+                crit_count
+            })
+            .collect()
+    } else {
+        let mut scratch = Scratch::new(n, opts.criticality);
+        let mut crit_count = vec![0u64; crit_len];
+        for (ci, out) in samples.chunks_mut(CHUNK).enumerate() {
+            run_chunk(&ctx, ci * CHUNK, out, &mut crit_count, &mut scratch);
+        }
+        vec![crit_count]
+    };
+
+    // Merge per-chunk criticality tallies; u64 addition is exact and
+    // order-independent, so the merge is deterministic.
+    let mut crit_count = vec![0u64; crit_len];
+    for counts in &chunk_counts {
+        for (total, c) in crit_count.iter_mut().zip(counts) {
+            *total += c;
+        }
+    }
+
+    // Moments over trial order (not sorted order) keep the accumulation
+    // sequence fixed, so the floating-point result never depends on the
+    // execution schedule.
     let (mean, var) = mc::moments(samples.iter().copied());
     samples.sort_by(f64::total_cmp);
     McReport {
@@ -163,7 +313,12 @@ mod tests {
             &c,
             &lib(),
             &s,
-            &McOptions { samples: 60_000, seed: 1, criticality: false },
+            &McOptions {
+                samples: 60_000,
+                seed: 1,
+                criticality: false,
+                ..Default::default()
+            },
         );
         assert!(
             (mc.delay.mean() - analytical.mean()).abs() < 0.03 * analytical.mean(),
@@ -195,7 +350,12 @@ mod tests {
             &c,
             &lib(),
             &s,
-            &McOptions { samples: 40_000, seed: 2, criticality: false },
+            &McOptions {
+                samples: 40_000,
+                seed: 2,
+                criticality: false,
+                ..Default::default()
+            },
         );
         // Reconvergence makes the independence assumption approximate: the
         // analytical mean sits a few percent above the sampled truth on a
@@ -224,7 +384,12 @@ mod tests {
             &c,
             &lib(),
             &s,
-            &McOptions { samples: 60_000, seed: 3, criticality: false },
+            &McOptions {
+                samples: 60_000,
+                seed: 3,
+                criticality: false,
+                ..Default::default()
+            },
         );
         // Paper: mu covers ~50%, mu + sigma ~84.1%, mu + 3 sigma ~99.8%.
         let y0 = mc.yield_at(analytical.mean());
@@ -255,14 +420,21 @@ mod tests {
             &c,
             &lib(),
             &s,
-            &McOptions { samples: 5_000, seed: 4, criticality: true },
+            &McOptions {
+                samples: 5_000,
+                seed: 4,
+                criticality: true,
+                ..Default::default()
+            },
         );
         // G (index 6) is on every critical path.
         assert!((mc.criticality[6] - 1.0).abs() < 1e-12);
         // The four leaves split the path roughly evenly.
-        let leaf_sum: f64 =
-            [0usize, 1, 3, 4].iter().map(|&i| mc.criticality[i]).sum();
-        assert!((leaf_sum - 1.0).abs() < 0.05, "leaf criticality sum {leaf_sum}");
+        let leaf_sum: f64 = [0usize, 1, 3, 4].iter().map(|&i| mc.criticality[i]).sum();
+        assert!(
+            (leaf_sum - 1.0).abs() < 0.05,
+            "leaf criticality sum {leaf_sum}"
+        );
     }
 
     #[test]

@@ -191,9 +191,14 @@ mod tests {
         for (i, v) in s2.iter_mut().enumerate() {
             *v = 1.0 + 0.1 * (i % 7) as f64;
         }
-        let direct = power_estimate(&c, &lib(), &s2, &probs)
-            - power_estimate(&c, &lib(), &s1, &probs);
-        let linear: f64 = w.iter().zip(&s2).zip(&s1).map(|((wi, a), b)| wi * (a - b)).sum();
+        let direct =
+            power_estimate(&c, &lib(), &s2, &probs) - power_estimate(&c, &lib(), &s1, &probs);
+        let linear: f64 = w
+            .iter()
+            .zip(&s2)
+            .zip(&s1)
+            .map(|((wi, a), b)| wi * (a - b))
+            .sum();
         assert!((direct - linear).abs() < 1e-9, "{direct} vs {linear}");
     }
 

@@ -109,7 +109,10 @@ pub fn monte_carlo_with_wires(
     assert_eq!(s.len(), circuit.num_gates(), "speed vector length mismatch");
     assert!(samples > 0, "need at least one sample");
     let model = DelayModel::new(circuit, lib);
-    let dists: Vec<Normal> = circuit.gates().map(|(id, _)| model.gate_delay(id, s)).collect();
+    let dists: Vec<Normal> = circuit
+        .gates()
+        .map(|(id, _)| model.gate_delay(id, s))
+        .collect();
     let mut rng = StdRng::seed_from_u64(seed);
     let n = circuit.num_gates();
     let mut arrival = vec![0.0f64; n];

@@ -49,9 +49,8 @@ pub fn moments_generic<T: Real>(mu_a: T, var_a: T, mu_b: T, var_b: T, eps: f64) 
     let cdf_p = alpha.norm_cdf();
     let cdf_m = (-alpha).norm_cdf();
     let mu_c = mu_a * cdf_p + mu_b * cdf_m + theta * phi;
-    let e2 = (var_a + mu_a * mu_a) * cdf_p
-        + (var_b + mu_b * mu_b) * cdf_m
-        + (mu_a + mu_b) * theta * phi;
+    let e2 =
+        (var_a + mu_a * mu_a) * cdf_p + (var_b + mu_b * mu_b) * cdf_m + (mu_a + mu_b) * theta * phi;
     (mu_c, e2 - mu_c * mu_c)
 }
 
@@ -158,10 +157,17 @@ fn frame(mu_a: f64, var_a: f64, mu_b: f64, var_b: f64, eps: f64) -> Frame {
     let cdf_p = crate::special::normal_cdf(alpha);
     let cdf_m = 1.0 - cdf_p;
     let mu_c = mu_a * cdf_p + mu_b * cdf_m + theta * phi;
-    let e2 = (var_a + mu_a * mu_a) * cdf_p
-        + (var_b + mu_b * mu_b) * cdf_m
-        + (mu_a + mu_b) * theta * phi;
-    Frame { theta, alpha, phi, cdf_p, cdf_m, mu_c, e2 }
+    let e2 =
+        (var_a + mu_a * mu_a) * cdf_p + (var_b + mu_b * mu_b) * cdf_m + (mu_a + mu_b) * theta * phi;
+    Frame {
+        theta,
+        alpha,
+        phi,
+        cdf_p,
+        cdf_m,
+        mu_c,
+        e2,
+    }
 }
 
 /// Clark moments plus exact gradient, in closed form.
@@ -170,7 +176,15 @@ fn frame(mu_a: f64, var_a: f64, mu_b: f64, var_b: f64, eps: f64) -> Frame {
 /// gradients) where second derivatives are not needed.
 pub fn max_grad(mu_a: f64, var_a: f64, mu_b: f64, var_b: f64, eps: f64) -> ClarkGrad {
     let f = frame(mu_a, var_a, mu_b, var_b, eps);
-    let Frame { theta, alpha, phi, cdf_p, cdf_m, mu_c, e2 } = f;
+    let Frame {
+        theta,
+        alpha,
+        phi,
+        cdf_p,
+        cdf_m,
+        mu_c,
+        e2,
+    } = f;
     let w = var_a - var_b;
     let s = mu_a + mu_b;
 
@@ -193,7 +207,12 @@ pub fn max_grad(mu_a: f64, var_a: f64, mu_b: f64, var_b: f64, eps: f64) -> Clark
     for i in 0..4 {
         dvar[i] = de2[i] - 2.0 * mu_c * dmu[i];
     }
-    ClarkGrad { mu: mu_c, var: (e2 - mu_c * mu_c).max(0.0), dmu, dvar }
+    ClarkGrad {
+        mu: mu_c,
+        var: (e2 - mu_c * mu_c).max(0.0),
+        dmu,
+        dvar,
+    }
 }
 
 /// Clark moments plus exact gradient and Hessian, in closed form.
@@ -204,7 +223,15 @@ pub fn max_grad(mu_a: f64, var_a: f64, mu_b: f64, var_b: f64, eps: f64) -> Clark
 /// [`moments_generic`] and against finite differences.
 pub fn max_hess(mu_a: f64, var_a: f64, mu_b: f64, var_b: f64, eps: f64) -> ClarkHess {
     let f = frame(mu_a, var_a, mu_b, var_b, eps);
-    let Frame { theta, alpha, phi, cdf_p, cdf_m, mu_c, e2 } = f;
+    let Frame {
+        theta,
+        alpha,
+        phi,
+        cdf_p,
+        cdf_m,
+        mu_c,
+        e2,
+    } = f;
     let w = var_a - var_b;
     let s = mu_a + mu_b;
     let d = mu_a - mu_b;
@@ -256,19 +283,69 @@ pub fn max_hess(mu_a: f64, var_a: f64, mu_b: f64, var_b: f64, eps: f64) -> Clark
     let dm_dvb = -s / (4.0 * t3) + d / (2.0 * t3) + 3.0 * w * d / (4.0 * t5);
     let a2p2t2 = alpha * alpha * phi / (2.0 * t2);
 
-    set(&mut he2, I_MU_A, I_MU_A, 2.0 * cdf_p + 2.0 * mu_a * pot - alpha * phi * k_a / theta);
-    set(&mut he2, I_MU_A, I_MU_B, -2.0 * mu_a * pot + alpha * phi * k_a / theta);
-    set(&mut he2, I_MU_B, I_MU_B, 2.0 * cdf_m + 2.0 * mu_b * pot + alpha * phi * k_b / theta);
-    set(&mut he2, I_MU_A, I_VAR_A, -mu_a * alpha * phi / t2 + a2p2t2 * k_a + phi * dka_dva);
-    set(&mut he2, I_MU_A, I_VAR_B, -mu_a * alpha * phi / t2 + a2p2t2 * k_a + phi * dka_dvb);
-    set(&mut he2, I_MU_B, I_VAR_A, mu_b * alpha * phi / t2 + a2p2t2 * k_b + phi * dkb_dva);
-    set(&mut he2, I_MU_B, I_VAR_B, mu_b * alpha * phi / t2 + a2p2t2 * k_b + phi * dkb_dvb);
+    set(
+        &mut he2,
+        I_MU_A,
+        I_MU_A,
+        2.0 * cdf_p + 2.0 * mu_a * pot - alpha * phi * k_a / theta,
+    );
+    set(
+        &mut he2,
+        I_MU_A,
+        I_MU_B,
+        -2.0 * mu_a * pot + alpha * phi * k_a / theta,
+    );
+    set(
+        &mut he2,
+        I_MU_B,
+        I_MU_B,
+        2.0 * cdf_m + 2.0 * mu_b * pot + alpha * phi * k_b / theta,
+    );
+    set(
+        &mut he2,
+        I_MU_A,
+        I_VAR_A,
+        -mu_a * alpha * phi / t2 + a2p2t2 * k_a + phi * dka_dva,
+    );
+    set(
+        &mut he2,
+        I_MU_A,
+        I_VAR_B,
+        -mu_a * alpha * phi / t2 + a2p2t2 * k_a + phi * dka_dvb,
+    );
+    set(
+        &mut he2,
+        I_MU_B,
+        I_VAR_A,
+        mu_b * alpha * phi / t2 + a2p2t2 * k_b + phi * dkb_dva,
+    );
+    set(
+        &mut he2,
+        I_MU_B,
+        I_VAR_B,
+        mu_b * alpha * phi / t2 + a2p2t2 * k_b + phi * dkb_dvb,
+    );
     // From gv = dE2/dva = Phi(alpha) + phi M:
     //   d/dva Phi(alpha) = -alpha phi / (2 theta^2) = -apot2, and
     //   d/dvb Phi(-alpha) = +apot2 for the gw = dE2/dvb row.
-    set(&mut he2, I_VAR_A, I_VAR_A, -apot2 + a2p2t2 * m + phi * dm_dva);
-    set(&mut he2, I_VAR_A, I_VAR_B, -apot2 + a2p2t2 * m + phi * dm_dvb);
-    set(&mut he2, I_VAR_B, I_VAR_B, apot2 + a2p2t2 * m + phi * dm_dvb);
+    set(
+        &mut he2,
+        I_VAR_A,
+        I_VAR_A,
+        -apot2 + a2p2t2 * m + phi * dm_dva,
+    );
+    set(
+        &mut he2,
+        I_VAR_A,
+        I_VAR_B,
+        -apot2 + a2p2t2 * m + phi * dm_dvb,
+    );
+    set(
+        &mut he2,
+        I_VAR_B,
+        I_VAR_B,
+        apot2 + a2p2t2 * m + phi * dm_dvb,
+    );
 
     // ---- Chain to var_c = E2 - mu_c^2 -------------------------------------
     let mut dvar = [0.0; 4];
@@ -278,8 +355,7 @@ pub fn max_hess(mu_a: f64, var_a: f64, mu_b: f64, var_b: f64, eps: f64) -> Clark
     let mut hvar = [[0.0; 4]; 4];
     for i in 0..4 {
         for j in 0..4 {
-            hvar[i][j] =
-                he2[i][j] - 2.0 * (dmu[i] * dmu[j] + mu_c * hmu[i][j]);
+            hvar[i][j] = he2[i][j] - 2.0 * (dmu[i] * dmu[j] + mu_c * hmu[i][j]);
         }
     }
 
@@ -339,8 +415,14 @@ mod tests {
         for &[ma, va, mb, vb] in CASES {
             let h = max_hess(ma, va, mb, vb, DEFAULT_EPS);
             let d = max_hess_dual(ma, va, mb, vb, DEFAULT_EPS);
-            assert!(close(h.mu, d.mu, 1e-12), "mu mismatch at {ma},{va},{mb},{vb}");
-            assert!(close(h.var, d.var, 1e-10), "var mismatch at {ma},{va},{mb},{vb}");
+            assert!(
+                close(h.mu, d.mu, 1e-12),
+                "mu mismatch at {ma},{va},{mb},{vb}"
+            );
+            assert!(
+                close(h.var, d.var, 1e-10),
+                "var mismatch at {ma},{va},{mb},{vb}"
+            );
             for i in 0..4 {
                 assert!(
                     close(h.dmu[i], d.dmu[i], 1e-10),
@@ -424,14 +506,8 @@ mod tests {
     #[test]
     fn commutative() {
         for &[ma, va, mb, vb] in CASES {
-            let ab = max(
-                Normal::from_mean_var(ma, va),
-                Normal::from_mean_var(mb, vb),
-            );
-            let ba = max(
-                Normal::from_mean_var(mb, vb),
-                Normal::from_mean_var(ma, va),
-            );
+            let ab = max(Normal::from_mean_var(ma, va), Normal::from_mean_var(mb, vb));
+            let ba = max(Normal::from_mean_var(mb, vb), Normal::from_mean_var(ma, va));
             assert!(close(ab.mean(), ba.mean(), 1e-12));
             assert!(close(ab.var(), ba.var(), 1e-10));
         }
@@ -459,10 +535,7 @@ mod tests {
     #[test]
     fn mean_dominates_operands() {
         for &[ma, va, mb, vb] in CASES {
-            let c = max(
-                Normal::from_mean_var(ma, va),
-                Normal::from_mean_var(mb, vb),
-            );
+            let c = max(Normal::from_mean_var(ma, va), Normal::from_mean_var(mb, vb));
             assert!(c.mean() >= ma.max(mb) - 1e-12, "max mean below operands");
         }
     }
@@ -504,9 +577,10 @@ mod tests {
         let b = Normal::new(4.5, 0.8);
         let exact = min(a, b);
         let mut rng = StdRng::seed_from_u64(99);
-        let (m, v) = crate::mc::moments((0..200_000).map(|_| {
-            crate::mc::sample(a, &mut rng).min(crate::mc::sample(b, &mut rng))
-        }));
+        let (m, v) = crate::mc::moments(
+            (0..200_000)
+                .map(|_| crate::mc::sample(a, &mut rng).min(crate::mc::sample(b, &mut rng))),
+        );
         assert!(close(exact.mean(), m, 0.01));
         assert!(close(exact.var(), v, 0.05));
     }
@@ -547,7 +621,10 @@ mod tests {
 ///
 /// Panics if `rho` is outside `[-1, 1]`.
 pub fn max_correlated(a: Normal, b: Normal, rho: f64) -> Normal {
-    assert!((-1.0..=1.0).contains(&rho), "correlation out of range: {rho}");
+    assert!(
+        (-1.0..=1.0).contains(&rho),
+        "correlation out of range: {rho}"
+    );
     let (sa, sb) = (a.sigma(), b.sigma());
     let theta2 = (a.var() + b.var() - 2.0 * rho * sa * sb).max(0.0) + DEFAULT_EPS * DEFAULT_EPS;
     let theta = theta2.sqrt();
@@ -568,7 +645,10 @@ pub fn max_correlated(a: Normal, b: Normal, rho: f64) -> Normal {
 /// `Phi(alpha)` (the weight of operand A), which is all a canonical-form
 /// SSTA needs to propagate sensitivities through a max.
 pub fn tightness(a: Normal, b: Normal, rho: f64) -> f64 {
-    assert!((-1.0..=1.0).contains(&rho), "correlation out of range: {rho}");
+    assert!(
+        (-1.0..=1.0).contains(&rho),
+        "correlation out of range: {rho}"
+    );
     let (sa, sb) = (a.sigma(), b.sigma());
     let theta2 = (a.var() + b.var() - 2.0 * rho * sa * sb).max(0.0) + DEFAULT_EPS * DEFAULT_EPS;
     let alpha = (a.mean() - b.mean()) / theta2.sqrt();

@@ -90,7 +90,11 @@ pub struct Dual2<const N: usize> {
 impl<const N: usize> Dual2<N> {
     /// A constant (zero derivatives).
     pub fn c(val: f64) -> Self {
-        Self { val, grad: [0.0; N], hess: [[0.0; N]; N] }
+        Self {
+            val,
+            grad: [0.0; N],
+            hess: [[0.0; N]; N],
+        }
     }
 
     /// The `i`-th independent variable with the given value.
@@ -102,7 +106,11 @@ impl<const N: usize> Dual2<N> {
         assert!(i < N, "variable index {i} out of range for Dual2<{N}>");
         let mut grad = [0.0; N];
         grad[i] = 1.0;
-        Self { val, grad, hess: [[0.0; N]; N] }
+        Self {
+            val,
+            grad,
+            hess: [[0.0; N]; N],
+        }
     }
 
     /// Applies a scalar function given its value and first two derivatives

@@ -56,9 +56,7 @@ pub fn moments<I: IntoIterator<Item = f64>>(samples: I) -> (f64, f64) {
 /// ```
 pub fn max_moments(a: Normal, b: Normal, samples: usize, seed: u64) -> Normal {
     let mut rng = StdRng::seed_from_u64(seed);
-    let (mean, var) = moments(
-        (0..samples).map(|_| sample(a, &mut rng).max(sample(b, &mut rng))),
-    );
+    let (mean, var) = moments((0..samples).map(|_| sample(a, &mut rng).max(sample(b, &mut rng))));
     Normal::from_mean_var(mean, var.max(0.0))
 }
 

@@ -33,7 +33,10 @@ impl Normal {
     pub fn new(mean: f64, sigma: f64) -> Self {
         assert!(mean.is_finite(), "mean must be finite");
         assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be >= 0");
-        Self { mean, var: sigma * sigma }
+        Self {
+            mean,
+            var: sigma * sigma,
+        }
     }
 
     /// Creates a variable from a mean and a *variance*.

@@ -188,7 +188,18 @@ mod tests {
 
     #[test]
     fn quantile_roundtrip() {
-        for &p in &[1e-9, 1e-6, 0.001, 0.01, 0.1, 0.5, 0.841, 0.99, 0.9999, 1.0 - 1e-9] {
+        for &p in &[
+            1e-9,
+            1e-6,
+            0.001,
+            0.01,
+            0.1,
+            0.5,
+            0.841,
+            0.99,
+            0.9999,
+            1.0 - 1e-9,
+        ] {
             let x = normal_quantile(p);
             assert!(
                 (normal_cdf(x) - p).abs() < 1e-12 * p.max(1e-3),

@@ -19,7 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = circuit.num_gates();
 
     let slow = ssta(&circuit, &lib, &vec![1.0; n]).delay;
-    let fast = Sizer::new(&circuit, &lib).objective(Objective::MeanDelay).solve()?;
+    let fast = Sizer::new(&circuit, &lib)
+        .objective(Objective::MeanDelay)
+        .solve()?;
     println!(
         "adder: {n} gates; mean delay range [{:.2}, {:.2}], unsized sigma {:.3}",
         fast.delay.mean(),

@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d = baseline.delay.mean() * 0.85;
     let spec = DelaySpec::MaxMean(d);
     println!("{circuit}");
-    println!("deadline: mu <= {d:.3} (unsized mu = {:.3})\n", baseline.delay.mean());
+    println!(
+        "deadline: mu <= {d:.3} (unsized mu = {:.3})\n",
+        baseline.delay.mean()
+    );
 
     let area_run = Sizer::new(&circuit, &lib)
         .objective(Objective::Area)

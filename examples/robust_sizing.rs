@@ -41,7 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .solver(SolverChoice::ReducedSpace)
         .solve()?;
 
-    let mc_opts = McOptions { samples: 100_000, seed: 5, criticality: false };
+    let mc_opts = McOptions {
+        samples: 100_000,
+        seed: 5,
+        criticality: false,
+        ..Default::default()
+    };
     println!(
         "\n{:<22} {:>9} {:>9} {:>11} {:>9} | {:>14}",
         "sizing", "mu", "sigma", "mu+3sigma", "area", "P99.8 (MC)"

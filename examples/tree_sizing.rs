@@ -16,8 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = Library::paper_default();
 
     // The feasible range of mean delay.
-    let slow = Sizer::new(&circuit, &lib).objective(Objective::Area).solve()?;
-    let fast = Sizer::new(&circuit, &lib).objective(Objective::MeanDelay).solve()?;
+    let slow = Sizer::new(&circuit, &lib)
+        .objective(Objective::Area)
+        .solve()?;
+    let fast = Sizer::new(&circuit, &lib)
+        .objective(Objective::MeanDelay)
+        .solve()?;
     println!(
         "feasible mean delay range: [{:.3}, {:.3}] (area {:.1} to {:.1})",
         fast.delay.mean(),
@@ -34,9 +38,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for pin in [5.8, 6.2, 6.5, 6.9, 7.2] {
         let spec = DelaySpec::ExactMean(pin);
-        let a = Sizer::new(&circuit, &lib).objective(Objective::Area).delay_spec(spec.clone()).solve()?;
-        let lo = Sizer::new(&circuit, &lib).objective(Objective::Sigma).delay_spec(spec.clone()).solve()?;
-        let hi = Sizer::new(&circuit, &lib).objective(Objective::NegSigma).delay_spec(spec.clone()).solve()?;
+        let a = Sizer::new(&circuit, &lib)
+            .objective(Objective::Area)
+            .delay_spec(spec.clone())
+            .solve()?;
+        let lo = Sizer::new(&circuit, &lib)
+            .objective(Objective::Sigma)
+            .delay_spec(spec.clone())
+            .solve()?;
+        let hi = Sizer::new(&circuit, &lib)
+            .objective(Objective::NegSigma)
+            .delay_spec(spec.clone())
+            .solve()?;
         println!(
             "{:>6.2} | {:>11.4} {:>11.4} {:>11.4} | {:>9.2} {:>9.2} {:>9.2}",
             pin,

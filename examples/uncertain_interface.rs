@@ -73,9 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|(_, g)| g.name.starts_with("x1_"))
         .map(|(id, _)| id.index())
         .collect();
-    let avg = |s: &[f64]| {
-        first_stage.iter().map(|&i| s[i]).sum::<f64>() / first_stage.len() as f64
-    };
+    let avg = |s: &[f64]| first_stage.iter().map(|&i| s[i]).sum::<f64>() / first_stage.len() as f64;
     println!(
         "\nmean speed factor of the input-stage XORs: clean {:.3} -> noisy {:.3}",
         avg(&clean.s),

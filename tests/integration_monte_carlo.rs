@@ -20,7 +20,12 @@ fn sized_tree_meets_promised_yields() {
         &c,
         &lib(),
         &r.s,
-        &McOptions { samples: 120_000, seed: 31, criticality: false },
+        &McOptions {
+            samples: 120_000,
+            seed: 31,
+            criticality: false,
+            ..Default::default()
+        },
     );
     // Paper: mu covers 50%, mu + sigma 84.1%, mu + 3 sigma 99.8%.
     let y0 = mc.yield_at(r.delay.mean());
@@ -50,7 +55,12 @@ fn area_constrained_sizing_hits_target_yield() {
         &c,
         &lib(),
         &r.s,
-        &McOptions { samples: 120_000, seed: 33, criticality: false },
+        &McOptions {
+            samples: 120_000,
+            seed: 33,
+            criticality: false,
+            ..Default::default()
+        },
     );
     let y = mc.yield_at(d);
     assert!(y > 0.99, "yield {y} at deadline {d}");
@@ -71,7 +81,12 @@ fn robust_sizing_beats_mean_sizing_on_tail_delay() {
         .objective(Objective::MeanPlusKSigma(3.0))
         .solve()
         .expect("sizes");
-    let opts = McOptions { samples: 150_000, seed: 35, criticality: false };
+    let opts = McOptions {
+        samples: 150_000,
+        seed: 35,
+        criticality: false,
+        ..Default::default()
+    };
     let q_mean = monte_carlo(&c, &lib(), &mean_sized.s, &opts).quantile(0.998);
     let q_rob = monte_carlo(&c, &lib(), &robust.s, &opts).quantile(0.998);
     assert!(
@@ -93,10 +108,23 @@ fn criticality_follows_sizing_pressure() {
         &c,
         &lib(),
         &r.s,
-        &McOptions { samples: 30_000, seed: 37, criticality: true },
+        &McOptions {
+            samples: 30_000,
+            seed: 37,
+            criticality: true,
+            ..Default::default()
+        },
     );
     // G always critical; C and F split the trials roughly evenly.
     assert!((mc.criticality[6] - 1.0).abs() < 1e-9);
-    assert!((mc.criticality[2] - 0.5).abs() < 0.1, "C: {}", mc.criticality[2]);
-    assert!((mc.criticality[5] - 0.5).abs() < 0.1, "F: {}", mc.criticality[5]);
+    assert!(
+        (mc.criticality[2] - 0.5).abs() < 0.1,
+        "C: {}",
+        mc.criticality[2]
+    );
+    assert!(
+        (mc.criticality[5] - 0.5).abs() < 0.1,
+        "F: {}",
+        mc.criticality[5]
+    );
 }

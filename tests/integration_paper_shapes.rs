@@ -20,9 +20,21 @@ fn table2_range_matches_paper() {
         .solve()
         .expect("sizes");
     // Paper: baseline (7.4, 0.811, area 7), fully sized (5.4, 0.592, 21).
-    assert!((slow.mean() - 7.4).abs() < 0.25, "baseline mu {}", slow.mean());
-    assert!((slow.sigma() - 0.811).abs() < 0.1, "baseline sigma {}", slow.sigma());
-    assert!((fast.delay.mean() - 5.4).abs() < 0.25, "sized mu {}", fast.delay.mean());
+    assert!(
+        (slow.mean() - 7.4).abs() < 0.25,
+        "baseline mu {}",
+        slow.mean()
+    );
+    assert!(
+        (slow.sigma() - 0.811).abs() < 0.1,
+        "baseline sigma {}",
+        slow.sigma()
+    );
+    assert!(
+        (fast.delay.mean() - 5.4).abs() < 0.25,
+        "sized mu {}",
+        fast.delay.mean()
+    );
     assert!((fast.area - 21.0).abs() < 1.0, "sized area {}", fast.area);
 }
 
@@ -65,8 +77,14 @@ fn table2_sigma_intervals() {
         widths.push(hi.delay.sigma() - lo.delay.sigma());
     }
     // Paper: the interval is largest for the middle pin.
-    assert!(widths[1] > widths[0] - 5e-3, "middle not widest: {widths:?}");
-    assert!(widths[1] > widths[2] - 5e-3, "middle not widest: {widths:?}");
+    assert!(
+        widths[1] > widths[0] - 5e-3,
+        "middle not widest: {widths:?}"
+    );
+    assert!(
+        widths[1] > widths[2] - 5e-3,
+        "middle not widest: {widths:?}"
+    );
 }
 
 /// Table 3: symmetric gates get identical speed factors and the output
@@ -84,7 +102,12 @@ fn table3_symmetry_groups() {
         let tol = 0.02;
         // {A, B, D, E} identical.
         for &(i, j) in &[(0usize, 1usize), (0, 3), (0, 4)] {
-            assert!((s[i] - s[j]).abs() < tol, "{obj}: S{i} {} vs S{j} {}", s[i], s[j]);
+            assert!(
+                (s[i] - s[j]).abs() < tol,
+                "{obj}: S{i} {} vs S{j} {}",
+                s[i],
+                s[j]
+            );
         }
         // {C, F} identical.
         assert!((s[2] - s[5]).abs() < tol, "{obj}: C {} vs F {}", s[2], s[5]);
@@ -113,7 +136,10 @@ fn table1_shapes_apex2() {
     let n = c.num_gates();
     let baseline = ssta(&c, &l, &vec![1.0; n]).delay;
 
-    let min_mu = Sizer::new(&c, &l).objective(Objective::MeanDelay).solve().expect("sizes");
+    let min_mu = Sizer::new(&c, &l)
+        .objective(Objective::MeanDelay)
+        .solve()
+        .expect("sizes");
     let min_m3s = Sizer::new(&c, &l)
         .objective(Objective::MeanPlusKSigma(3.0))
         .solve()
@@ -172,5 +198,9 @@ fn scales_to_k2() {
         .solver(SolverChoice::ReducedSpace)
         .solve()
         .expect("sizes");
-    assert!(r.delay.mean() < 0.75 * baseline.mean(), "{}", r.delay.mean());
+    assert!(
+        r.delay.mean() < 0.75 * baseline.mean(),
+        "{}",
+        r.delay.mean()
+    );
 }

@@ -1,0 +1,166 @@
+//! Integration: the parallel evaluation engine is an implementation
+//! detail. Monte Carlo, levelized SSTA and the NLP assembly paths must
+//! produce results bit-identical to their sequential counterparts and
+//! invariant to the configured thread count — parallelism may only change
+//! wall-clock time, never a single bit of output.
+
+use sgs_core::{DelaySpec, Objective, SizingProblem};
+use sgs_netlist::{generate, Circuit, Library};
+use sgs_nlp::NlpProblem;
+use sgs_ssta::{monte_carlo, ssta, ssta_levelized, McOptions};
+
+fn lib() -> Library {
+    Library::paper_default()
+}
+
+/// A deterministic, non-uniform speed-factor vector.
+fn speeds(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 1.0 + 0.05 * (i % 37) as f64).collect()
+}
+
+fn random_dag() -> Circuit {
+    generate::random_dag(&sgs_netlist::generate::RandomDagSpec {
+        name: "par".into(),
+        cells: 60,
+        inputs: 10,
+        depth: 8,
+        seed: 42,
+        ..Default::default()
+    })
+}
+
+fn force_threads(n: usize) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .ok();
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn parallel_mc_bit_identical_and_thread_invariant() {
+    let c = generate::ripple_carry_adder(12);
+    let s = speeds(c.num_gates());
+    let mk = |parallel| McOptions {
+        samples: 30_000,
+        seed: 77,
+        criticality: true,
+        parallel,
+    };
+    let base = monte_carlo(&c, &lib(), &s, &mk(false));
+    // The parallel path must reproduce the sequential run exactly at any
+    // thread count: `delay` moments, every sample, every criticality.
+    for threads in [1usize, 2, 4, 8] {
+        force_threads(threads);
+        let par = monte_carlo(&c, &lib(), &s, &mk(true));
+        assert_eq!(
+            par.delay.mean().to_bits(),
+            base.delay.mean().to_bits(),
+            "mean differs at {threads} threads"
+        );
+        assert_eq!(
+            par.delay.var().to_bits(),
+            base.delay.var().to_bits(),
+            "var differs at {threads} threads"
+        );
+        assert_eq!(
+            bits(par.samples()),
+            bits(base.samples()),
+            "samples differ at {threads}"
+        );
+        assert_eq!(
+            bits(&par.criticality),
+            bits(&base.criticality),
+            "criticality differs at {threads}"
+        );
+    }
+}
+
+#[test]
+fn levelized_ssta_matches_sequential() {
+    for c in [
+        generate::tree7(),
+        generate::ripple_carry_adder(8),
+        random_dag(),
+    ] {
+        let s = speeds(c.num_gates());
+        let seq = ssta(&c, &lib(), &s);
+        let lev = ssta_levelized(&c, &lib(), &s);
+        assert!(
+            (seq.delay.mean() - lev.delay.mean()).abs() < 1e-12,
+            "{}: mean {} vs {}",
+            c.name(),
+            seq.delay.mean(),
+            lev.delay.mean()
+        );
+        assert!(
+            (seq.delay.var() - lev.delay.var()).abs() < 1e-12,
+            "{}: var differs",
+            c.name()
+        );
+        for (a, b) in seq.arrivals.iter().zip(&lev.arrivals) {
+            assert!(
+                (a.mean() - b.mean()).abs() < 1e-12,
+                "{}: arrival mean",
+                c.name()
+            );
+            assert!(
+                (a.var() - b.var()).abs() < 1e-12,
+                "{}: arrival var",
+                c.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn nlp_assembly_thread_invariant() {
+    // Large enough that the grouped assembly crosses the parallel
+    // threshold (>= 512 constraints) once more than one thread is
+    // configured.
+    let c = generate::random_dag(&sgs_netlist::generate::RandomDagSpec {
+        name: "nlp-par".into(),
+        cells: 150,
+        inputs: 16,
+        depth: 10,
+        seed: 7,
+        ..Default::default()
+    });
+    let p = SizingProblem::build(
+        &c,
+        &lib(),
+        Objective::MeanPlusKSigma(3.0),
+        DelaySpec::MaxMeanPlusKSigma { k: 3.0, d: 60.0 },
+    );
+    assert!(
+        p.num_constraints() >= 512,
+        "want the parallel path: {}",
+        p.num_constraints()
+    );
+    let x = p.initial_point(&speeds(c.num_gates()));
+    let lambda: Vec<f64> = (0..p.num_constraints())
+        .map(|i| 0.4 * ((i as f64 * 0.7).sin()))
+        .collect();
+
+    let eval = |threads: usize| {
+        force_threads(threads);
+        let mut con = vec![0.0; p.num_constraints()];
+        let mut jac = vec![0.0; p.jacobian_structure().len()];
+        let mut hes = vec![0.0; p.hessian_structure().len()];
+        p.constraints(&x, &mut con);
+        p.jacobian_values(&x, &mut jac);
+        p.hessian_values(&x, 1.0, &lambda, &mut hes);
+        (bits(&con), bits(&jac), bits(&hes))
+    };
+
+    let base = eval(1); // sequential sweep
+    for threads in [2usize, 4, 8] {
+        let par = eval(threads);
+        assert_eq!(par.0, base.0, "constraints differ at {threads} threads");
+        assert_eq!(par.1, base.1, "jacobian differs at {threads} threads");
+        assert_eq!(par.2, base.2, "hessian differs at {threads} threads");
+    }
+}

@@ -45,14 +45,21 @@ fn speed_factors_respect_bounds_everywhere() {
         seed: 17,
         ..Default::default()
     });
-    for obj in [Objective::MeanDelay, Objective::MeanPlusKSigma(3.0), Objective::Area] {
+    for obj in [
+        Objective::MeanDelay,
+        Objective::MeanPlusKSigma(3.0),
+        Objective::Area,
+    ] {
         let r = Sizer::new(&circuit, &lib())
             .objective(obj)
             .solver(SolverChoice::ReducedSpace)
             .solve()
             .expect("sizes");
         for &s in &r.s {
-            assert!((1.0 - 1e-9..=3.0 + 1e-9).contains(&s), "S = {s} out of bounds");
+            assert!(
+                (1.0 - 1e-9..=3.0 + 1e-9).contains(&s),
+                "S = {s} out of bounds"
+            );
         }
     }
 }
@@ -64,7 +71,10 @@ fn full_space_never_loses_to_warm_start() {
     // a pure reduced-space run.
     let circuit = generate::nand_tree(4);
     for obj in [Objective::MeanDelay, Objective::MeanPlusKSigma(3.0)] {
-        let full = Sizer::new(&circuit, &lib()).objective(obj.clone()).solve().expect("sizes");
+        let full = Sizer::new(&circuit, &lib())
+            .objective(obj.clone())
+            .solve()
+            .expect("sizes");
         let red = Sizer::new(&circuit, &lib())
             .objective(obj)
             .solver(SolverChoice::ReducedSpace)
@@ -88,7 +98,10 @@ fn infeasible_deadline_is_reported() {
         .objective(Objective::Area)
         .delay_spec(DelaySpec::MaxMean(fastest * 0.8))
         .solve();
-    assert!(matches!(err, Err(SizeError::SolverFailed { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(SizeError::SolverFailed { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -185,7 +198,10 @@ fn per_output_deadlines_hold_individually() {
         .collect();
     let r = Sizer::new(&circuit, &l)
         .objective(Objective::Area)
-        .delay_spec(DelaySpec::PerOutput { k: 0.0, d: d.clone() })
+        .delay_spec(DelaySpec::PerOutput {
+            k: 0.0,
+            d: d.clone(),
+        })
         .solve()
         .expect("sizes");
     let after = ssta(&circuit, &l, &r.s);
@@ -208,7 +224,10 @@ fn per_output_with_sigma_margin() {
     let d = vec![baseline.delay.mean_plus_k_sigma(3.0) * 0.9];
     let r = Sizer::new(&circuit, &l)
         .objective(Objective::Area)
-        .delay_spec(DelaySpec::PerOutput { k: 3.0, d: d.clone() })
+        .delay_spec(DelaySpec::PerOutput {
+            k: 3.0,
+            d: d.clone(),
+        })
         .solve()
         .expect("sizes");
     assert!(r.mean_plus_k_sigma(3.0) <= d[0] + 1e-2);
