@@ -14,6 +14,7 @@
 //!
 //! Run with `cargo run -p sgs-bench --bin ablations --release`.
 
+use sgs_bench::TraceArg;
 use sgs_core::greedy::{greedy_size, GreedyOptions};
 use sgs_core::{Objective, Sizer, SolverChoice};
 use sgs_netlist::generate::{self, RandomDagSpec};
@@ -24,7 +25,12 @@ use sgs_statmath::{clark, mc, Normal};
 use std::time::Instant;
 
 fn main() {
-    if let Some(n) = std::env::args().skip(1).find_map(|a| {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = TraceArg::extract("ablations", &mut args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2)
+    });
+    if let Some(n) = args.iter().find_map(|a| {
         a.strip_prefix("--threads=")
             .and_then(|v| v.parse::<usize>().ok())
     }) {
@@ -37,8 +43,9 @@ fn main() {
     fold_order();
     eps_sensitivity();
     sigma_factor_sweep();
-    solver_comparison();
+    solver_comparison(&trace);
     correlation_handling();
+    trace.report("ablations", "ok", f64::NAN, f64::NAN, f64::NAN, f64::NAN);
 }
 
 fn fold_order() {
@@ -147,7 +154,7 @@ fn sigma_factor_sweep() {
     println!("(the robust objective's edge over plain min-mu grows with the uncertainty level)");
 }
 
-fn solver_comparison() {
+fn solver_comparison(trace: &TraceArg) {
     println!("\n## Ablation 4: solver architecture on apex2 (min mu + 3 sigma)\n");
     let circuit = generate::benchmark_suite().remove(1);
     let lib = Library::paper_default();
@@ -156,10 +163,11 @@ fn solver_comparison() {
         "solver", "objective", "area", "seconds"
     );
     let t = Instant::now();
-    let full = Sizer::new(&circuit, &lib)
-        .objective(Objective::MeanPlusKSigma(3.0))
-        .solve()
-        .expect("sizes");
+    let mut sizer = Sizer::new(&circuit, &lib).objective(Objective::MeanPlusKSigma(3.0));
+    if let Some(sink) = trace.sink() {
+        sizer = sizer.trace(sink);
+    }
+    let full = sizer.solve().expect("sizes");
     println!(
         "{:<22} {:>14.4} {:>10.1} {:>12.2}",
         "full-space NLP",

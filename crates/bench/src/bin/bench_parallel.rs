@@ -4,6 +4,7 @@
 //!
 //! Usage: `bench_parallel [--threads=N] [--samples=N] [--out=PATH]`
 
+use sgs_bench::TraceArg;
 use sgs_netlist::{generate, Circuit, Library};
 use sgs_ssta::{monte_carlo, ssta, ssta_levelized, McOptions, McReport};
 use std::fmt::Write as _;
@@ -91,9 +92,14 @@ fn usage(arg: &str) -> ! {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = TraceArg::extract("bench_parallel", &mut args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2)
+    });
     let mut samples = 100_000usize;
     let mut out_path = String::from("BENCH_parallel.json");
-    for arg in std::env::args().skip(1) {
+    for arg in args {
         if let Some(n) = arg.strip_prefix("--threads=") {
             let n: usize = n.parse().unwrap_or_else(|_| usage(&arg));
             rayon::ThreadPoolBuilder::new()
@@ -175,4 +181,7 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("wrote {out_path}");
+    for e in &entries {
+        trace.report(&e.circuit, "ok", f64::NAN, f64::NAN, f64::NAN, f64::NAN);
+    }
 }

@@ -1,10 +1,16 @@
 //! Prints calibration data for the default library against the paper's
 //! Table 2 anchor points (tree7: unsized mu 7.4 / sigma 0.811, min-delay
 //! mu 5.4 / sigma 0.592 at area 21).
+use sgs_bench::TraceArg;
 use sgs_core::{Objective, Sizer};
 use sgs_netlist::{generate, Library};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = TraceArg::extract("calibrate", &mut args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2)
+    });
     let c = generate::tree7();
     let lib = Library::paper_default();
     let s1 = vec![1.0; 7];
@@ -21,10 +27,20 @@ fn main() {
         r3.delay.mean(),
         r3.delay.sigma()
     );
-    let rmin = Sizer::new(&c, &lib)
-        .objective(Objective::MeanDelay)
-        .solve()
-        .unwrap();
+    let mut sizer = Sizer::new(&c, &lib).objective(Objective::MeanDelay);
+    if let Some(sink) = trace.sink() {
+        sizer = sizer.trace(sink);
+    }
+    let rmin = sizer.solve().unwrap();
+    trace.report_with_evals(
+        "tree7",
+        "ok",
+        rmin.objective,
+        rmin.delay.mean(),
+        rmin.delay.sigma(),
+        rmin.area,
+        rmin.evals.into(),
+    );
     println!(
         "min mu:    mu={:.3} sigma={:.3} area={:.2}  (paper 5.4 / 0.592 / 21.0)",
         rmin.delay.mean(),

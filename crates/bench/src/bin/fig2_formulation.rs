@@ -4,12 +4,18 @@
 //!
 //! Run with `cargo run -p sgs-bench --bin fig2_formulation`.
 
+use sgs_bench::TraceArg;
 use sgs_core::problem::SizingProblem;
 use sgs_core::{DelaySpec, Objective, Sizer};
 use sgs_netlist::{generate, Library};
 use sgs_nlp::NlpProblem;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = TraceArg::extract("fig2_formulation", &mut args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2)
+    });
     let circuit = generate::fig2();
     let lib = Library::paper_default();
     let problem = SizingProblem::build(
@@ -39,10 +45,20 @@ fn main() {
         lib.s_limit
     );
 
-    let r = Sizer::new(&circuit, &lib)
-        .objective(Objective::MeanPlusKSigma(3.0))
-        .solve()
-        .expect("fig2 sizing converges");
+    let mut sizer = Sizer::new(&circuit, &lib).objective(Objective::MeanPlusKSigma(3.0));
+    if let Some(sink) = trace.sink() {
+        sizer = sizer.trace(sink);
+    }
+    let r = sizer.solve().expect("fig2 sizing converges");
+    trace.report_with_evals(
+        "fig2",
+        "ok",
+        r.objective,
+        r.delay.mean(),
+        r.delay.sigma(),
+        r.area,
+        r.evals.into(),
+    );
     println!("\nsolution (99.8% of circuits meet this delay):");
     println!(
         "  mu_Tmax = {:.4}, sigma_Tmax = {:.4}, mu + 3 sigma = {:.4}",

@@ -3,7 +3,7 @@
 //! ```text
 //! size_blif <netlist.blif> [--objective mu|mu+1s|mu+3s|area|sigma]
 //!           [--deadline D [--confidence 0|1|3]] [--pin-mean D]
-//!           [--reduced] [--out sized.blif.tsv]
+//!           [--reduced] [--out sized.blif.tsv] [--trace run.jsonl]
 //! ```
 //!
 //! Reads a mapped combinational BLIF netlist (e.g. a real MCNC benchmark,
@@ -12,6 +12,7 @@
 //! resulting delay distribution and area, and optionally writes a
 //! `gate<TAB>speed-factor` table.
 
+use sgs_bench::TraceArg;
 use sgs_core::{DelaySpec, Objective, Sizer, SolverChoice};
 use sgs_netlist::{blif, Library};
 use std::process::ExitCode;
@@ -19,13 +20,21 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: size_blif <netlist.blif> [--objective mu|mu+1s|mu+3s|area|sigma] \
-         [--deadline D [--confidence 0|1|3]] [--pin-mean D] [--reduced] [--out FILE]"
+         [--deadline D [--confidence 0|1|3]] [--pin-mean D] [--reduced] [--out FILE] \
+         [--trace FILE]"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = match TraceArg::extract("size_blif", &mut args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
     let Some(path) = args.first() else {
         return usage();
     };
@@ -112,9 +121,20 @@ fn main() -> ExitCode {
     if reduced {
         sizer = sizer.solver(SolverChoice::ReducedSpace);
     }
+    if let Some(sink) = trace.sink() {
+        sizer = sizer.trace(sink);
+    }
     let result = match sizer.solve() {
         Ok(r) => r,
         Err(e) => {
+            trace.report(
+                circuit.name(),
+                &e.to_string(),
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+            );
             eprintln!("sizing failed: {e}");
             return ExitCode::FAILURE;
         }
@@ -139,5 +159,14 @@ fn main() -> ExitCode {
         }
         println!("wrote speed factors to {out}");
     }
+    trace.report_with_evals(
+        circuit.name(),
+        "ok",
+        result.objective,
+        result.delay.mean(),
+        result.delay.sigma(),
+        result.area,
+        result.evals.into(),
+    );
     ExitCode::SUCCESS
 }

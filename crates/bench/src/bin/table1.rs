@@ -14,7 +14,7 @@
 //! Run with `cargo run -p sgs-bench --bin table1 --release` (takes tens of
 //! minutes for all three circuits; pass a circuit name to run one).
 
-use sgs_bench::{print_table, Row};
+use sgs_bench::{print_table, Row, TraceArg};
 use sgs_core::{DelaySpec, Objective, Sizer};
 use sgs_netlist::{generate, Library};
 use sgs_nlp::auglag::AugLagOptions;
@@ -68,7 +68,12 @@ fn paper_ref(name: &str) -> PaperRef {
 }
 
 fn main() {
-    let only: Option<String> = std::env::args().nth(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = TraceArg::extract("table1", &mut args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2)
+    });
+    let only: Option<String> = args.first().cloned();
     let lib = Library::paper_default();
 
     for circuit in generate::benchmark_suite() {
@@ -107,12 +112,25 @@ fn main() {
             ..Default::default()
         };
         let mut run = |obj: Objective, spec: DelaySpec, label: (&str, String), paper| {
-            let r = Sizer::new(&circuit, &lib)
+            let mut sizer = Sizer::new(&circuit, &lib)
                 .objective(obj)
                 .delay_spec(spec)
-                .al_options(al.clone())
+                .al_options(al.clone());
+            if let Some(sink) = trace.sink() {
+                sizer = sizer.trace(sink);
+            }
+            let r = sizer
                 .solve()
                 .expect("benchmark sizing produces a usable point");
+            trace.report_with_evals(
+                &format!("{}/{}", circuit.name(), label.0),
+                "ok",
+                r.objective,
+                r.delay.mean(),
+                r.delay.sigma(),
+                r.area,
+                r.evals.into(),
+            );
             rows.push(Row {
                 minimize: label.0.to_string(),
                 constraint: label.1,

@@ -9,21 +9,35 @@
 //!
 //! Run with `cargo run -p sgs-bench --bin table2 --release`.
 
-use sgs_bench::{print_table, Row};
+use sgs_bench::{print_table, Row, TraceArg};
 use sgs_core::{DelaySpec, Objective, Sizer};
 use sgs_netlist::{generate, Library};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = TraceArg::extract("table2", &mut args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2)
+    });
     let circuit = generate::tree7();
     let lib = Library::paper_default();
 
     let mut rows = Vec::new();
     let run = |obj: Objective, spec: DelaySpec, label: (&str, String), paper| -> Row {
-        let r = Sizer::new(&circuit, &lib)
-            .objective(obj)
-            .delay_spec(spec)
-            .solve()
-            .expect("tree-circuit sizing converges");
+        let mut sizer = Sizer::new(&circuit, &lib).objective(obj).delay_spec(spec);
+        if let Some(sink) = trace.sink() {
+            sizer = sizer.trace(sink);
+        }
+        let r = sizer.solve().expect("tree-circuit sizing converges");
+        trace.report_with_evals(
+            &format!("tree7/{}", label.0),
+            "ok",
+            r.objective,
+            r.delay.mean(),
+            r.delay.sigma(),
+            r.area,
+            r.evals.into(),
+        );
         Row {
             minimize: label.0.to_string(),
             constraint: label.1,

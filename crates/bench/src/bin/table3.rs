@@ -10,10 +10,16 @@
 //!
 //! Run with `cargo run -p sgs-bench --bin table3 --release`.
 
+use sgs_bench::TraceArg;
 use sgs_core::{DelaySpec, Objective, Sizer};
 use sgs_netlist::{generate, Library};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = TraceArg::extract("table3", &mut args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2)
+    });
     let circuit = generate::tree7();
     let lib = Library::paper_default();
     let pin = 6.5;
@@ -33,11 +39,22 @@ fn main() {
     let objs = [Objective::Area, Objective::Sigma, Objective::NegSigma];
 
     for ((label, paper_s), obj) in paper.into_iter().zip(objs) {
-        let r = Sizer::new(&circuit, &lib)
+        let mut sizer = Sizer::new(&circuit, &lib)
             .objective(obj)
-            .delay_spec(DelaySpec::ExactMean(pin))
-            .solve()
-            .expect("tree-circuit sizing converges");
+            .delay_spec(DelaySpec::ExactMean(pin));
+        if let Some(sink) = trace.sink() {
+            sizer = sizer.trace(sink);
+        }
+        let r = sizer.solve().expect("tree-circuit sizing converges");
+        trace.report_with_evals(
+            &format!("tree7/{label}"),
+            "ok",
+            r.objective,
+            r.delay.mean(),
+            r.delay.sigma(),
+            r.area,
+            r.evals.into(),
+        );
         print!("{label:<16}");
         for si in &r.s {
             print!(" {si:>6.2}");

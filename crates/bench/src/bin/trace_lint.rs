@@ -1,0 +1,55 @@
+//! Validates a `--trace=FILE` JSONL trace emitted by the bench binaries.
+//!
+//! ```text
+//! trace_lint <trace.jsonl> [--no-convergence]
+//! ```
+//!
+//! Checks that every line is a well-formed single-object JSON record with
+//! a known `"event"` tag, that at least one solver convergence record
+//! (`outer_iteration`) is present (unless `--no-convergence` is given,
+//! for traces of binaries that never invoke the NLP solver), and that the
+//! trace ends with a final status record (`solve_done` or `run_report`).
+//! Exits nonzero on any violation — the CI gate for trace integrity.
+
+use sgs_trace::json::validate_jsonl;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let require_convergence = !args.iter().any(|a| a == "--no-convergence");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: trace_lint <trace.jsonl> [--no-convergence]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_lint: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match validate_jsonl(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace_lint: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (kind, n) in &summary.kinds {
+        println!("{kind:<18} {n}");
+    }
+    let mut ok = true;
+    if require_convergence && summary.count("outer_iteration") == 0 {
+        eprintln!("trace_lint: {path}: no solver convergence records (outer_iteration)");
+        ok = false;
+    }
+    if !summary.has_final_status() {
+        eprintln!("trace_lint: {path}: no final status record (solve_done / run_report)");
+        ok = false;
+    }
+    if !ok {
+        return ExitCode::FAILURE;
+    }
+    println!("{path}: OK ({} lines)", summary.lines);
+    ExitCode::SUCCESS
+}

@@ -13,15 +13,21 @@
 
 use std::time::Instant;
 
+use sgs_bench::TraceArg;
 use sgs_core::{Objective, Sizer};
 use sgs_netlist::{generate, Library};
-use sgs_ssta::{monte_carlo, ssta, McOptions};
+use sgs_ssta::{monte_carlo, monte_carlo_traced, ssta, McOptions};
 use sgs_statmath::{clark, mc, Normal};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = TraceArg::extract("validate_mc", &mut args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2)
+    });
     // Honour an explicit thread request; otherwise rayon reads
     // RAYON_NUM_THREADS / the machine's parallelism.
-    if let Some(n) = std::env::args().skip(1).find_map(|a| {
+    if let Some(n) = args.iter().find_map(|a| {
         a.strip_prefix("--threads=")
             .and_then(|v| v.parse::<usize>().ok())
     }) {
@@ -100,12 +106,13 @@ fn main() {
 
     println!("\n## Yield at mu + k sigma for a min(mu + 3 sigma)-sized tree\n");
     let c = generate::tree7();
-    let r = Sizer::new(&c, &lib)
-        .objective(Objective::MeanPlusKSigma(3.0))
-        .solve()
-        .expect("tree sizing converges");
+    let mut sizer = Sizer::new(&c, &lib).objective(Objective::MeanPlusKSigma(3.0));
+    if let Some(sink) = trace.sink() {
+        sizer = sizer.trace(sink);
+    }
+    let r = sizer.solve().expect("tree sizing converges");
     let t0 = Instant::now();
-    let m = monte_carlo(
+    let m = monte_carlo_traced(
         &c,
         &lib,
         &r.s,
@@ -115,6 +122,7 @@ fn main() {
             criticality: false,
             ..Default::default()
         },
+        trace.tracer(),
     );
     println!(
         "(200k trials in {:.1} ms)",
@@ -134,4 +142,13 @@ fn main() {
             theory
         );
     }
+    trace.report_with_evals(
+        "tree7",
+        "ok",
+        r.objective,
+        r.delay.mean(),
+        r.delay.sigma(),
+        r.area,
+        r.evals.into(),
+    );
 }

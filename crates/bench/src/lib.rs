@@ -2,7 +2,123 @@
 //!
 //! Each binary under `src/bin/` regenerates one table of the DATE 2000
 //! paper (see `DESIGN.md` for the experiment index); this crate holds the
-//! row model and formatting they share.
+//! row model and formatting they share, plus the `--trace=FILE` support
+//! ([`TraceArg`]) every binary accepts.
+
+use sgs_trace::{EvalReport, JsonlSink, RunReport, TraceEvent, TraceSink, Tracer};
+use std::time::Instant;
+
+/// `--trace=FILE` support shared by the bench binaries: strips the flag
+/// from the argument list, opens a [`JsonlSink`], and emits the final
+/// [`RunReport`] record. Without the flag everything is a disabled-tracer
+/// no-op, so instrumented binaries cost nothing extra by default.
+pub struct TraceArg {
+    bin: &'static str,
+    sink: Option<JsonlSink>,
+    start: Instant,
+}
+
+impl TraceArg {
+    /// Removes `--trace=FILE` / `--trace FILE` from `args` (all
+    /// occurrences; the last wins) and opens the sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the flag has no file operand
+    /// or the file cannot be created.
+    pub fn extract(bin: &'static str, args: &mut Vec<String>) -> Result<Self, String> {
+        let mut path: Option<String> = None;
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(p) = args[i].strip_prefix("--trace=") {
+                path = Some(p.to_string());
+                args.remove(i);
+            } else if args[i] == "--trace" {
+                if i + 1 >= args.len() {
+                    return Err("--trace needs a file operand".to_string());
+                }
+                path = Some(args[i + 1].clone());
+                args.drain(i..=i + 1);
+            } else {
+                i += 1;
+            }
+        }
+        let sink = match path {
+            Some(p) => Some(
+                JsonlSink::create(&p).map_err(|e| format!("cannot create trace file {p}: {e}"))?,
+            ),
+            None => None,
+        };
+        Ok(TraceArg {
+            bin,
+            sink,
+            start: Instant::now(),
+        })
+    }
+
+    /// The sink, for drivers that hold one (e.g. `Sizer::trace`).
+    pub fn sink(&self) -> Option<&dyn TraceSink> {
+        self.sink.as_ref().map(|s| s as &dyn TraceSink)
+    }
+
+    /// A tracer handle; disabled when `--trace` was not given.
+    pub fn tracer(&self) -> Tracer<'_> {
+        match &self.sink {
+            Some(s) => Tracer::new(s),
+            None => Tracer::none(),
+        }
+    }
+
+    /// Emits a [`RunReport`] (with zeroed eval counts) and flushes.
+    pub fn report(
+        &self,
+        circuit: &str,
+        status: &str,
+        objective: f64,
+        mu: f64,
+        sigma: f64,
+        area: f64,
+    ) {
+        self.report_with_evals(
+            circuit,
+            status,
+            objective,
+            mu,
+            sigma,
+            area,
+            EvalReport::default(),
+        );
+    }
+
+    /// Emits a [`RunReport`] carrying solver eval counts and flushes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn report_with_evals(
+        &self,
+        circuit: &str,
+        status: &str,
+        objective: f64,
+        mu: f64,
+        sigma: f64,
+        area: f64,
+        evals: EvalReport,
+    ) {
+        let t = self.tracer();
+        t.emit(|| {
+            TraceEvent::Run(RunReport {
+                bin: self.bin.to_string(),
+                circuit: circuit.to_string(),
+                status: status.to_string(),
+                objective,
+                mu,
+                sigma,
+                area,
+                seconds: self.start.elapsed().as_secs_f64(),
+                evals,
+            })
+        });
+        t.flush();
+    }
+}
 
 /// One row of a paper-style results table.
 #[derive(Debug, Clone)]
@@ -48,6 +164,44 @@ pub fn print_table(title: &str, rows: &[Row]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_arg_extracts_and_removes_flag() {
+        let dir = std::env::temp_dir().join("sgs_trace_arg_test.jsonl");
+        let mut args: Vec<String> = vec![
+            "circuit.blif".into(),
+            format!("--trace={}", dir.display()),
+            "--reduced".into(),
+        ];
+        let t = TraceArg::extract("test_bin", &mut args).unwrap();
+        assert_eq!(
+            args,
+            vec!["circuit.blif".to_string(), "--reduced".to_string()]
+        );
+        assert!(t.sink().is_some());
+        assert!(t.tracer().enabled());
+        t.report("c", "ok", 1.0, 2.0, 0.5, 7.0);
+        let text = std::fs::read_to_string(&dir).unwrap();
+        let summary = sgs_trace::json::validate_jsonl(&text).unwrap();
+        assert_eq!(summary.count("run_report"), 1);
+        assert!(summary.has_final_status());
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn trace_arg_absent_is_disabled() {
+        let mut args: Vec<String> = vec!["x".into()];
+        let t = TraceArg::extract("test_bin", &mut args).unwrap();
+        assert!(t.sink().is_none());
+        assert!(!t.tracer().enabled());
+        t.report("c", "ok", 1.0, 2.0, 0.5, 7.0); // must be a no-op
+    }
+
+    #[test]
+    fn trace_arg_missing_operand_errors() {
+        let mut args: Vec<String> = vec!["--trace".into()];
+        assert!(TraceArg::extract("test_bin", &mut args).is_err());
+    }
 
     #[test]
     fn print_does_not_panic() {

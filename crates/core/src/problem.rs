@@ -160,6 +160,10 @@ pub struct SizingProblem {
     /// Prefix offsets of each constraint's Hessian-value block, excluding
     /// the objective block at the front (`len = cons.len() + 1`).
     hess_off: Vec<usize>,
+    /// Minimum constraint count before assembly fans out over threads
+    /// (defaults to [`PAR_CON_THRESHOLD`]; see
+    /// [`SizingProblem::set_par_threshold`]).
+    par_threshold: usize,
 }
 
 impl SizingProblem {
@@ -382,7 +386,18 @@ impl SizingProblem {
             groups,
             jac_off,
             hess_off,
+            par_threshold: PAR_CON_THRESHOLD,
         }
+    }
+
+    /// Overrides the constraint count at which constraint/derivative
+    /// assembly switches to the parallel (grouped disjoint-slice) path.
+    /// Both paths compute bit-identical values; this knob exists so tests
+    /// can force either path regardless of formulation size (`0` forces
+    /// parallel whenever a thread pool is available, `usize::MAX` forces
+    /// the sequential sweep).
+    pub fn set_par_threshold(&mut self, threshold: usize) {
+        self.par_threshold = threshold;
     }
 
     /// Variable index of gate `g`'s speed factor.
@@ -483,7 +498,7 @@ impl SizingProblem {
 
     /// Whether constraint/derivative assembly should fan out over groups.
     fn par_assembly(&self) -> bool {
-        self.cons.len() >= PAR_CON_THRESHOLD && rayon::current_num_threads() > 1
+        self.cons.len() >= self.par_threshold && rayon::current_num_threads() > 1
     }
 
     /// One shared Clark gradient per group whose leader is a max

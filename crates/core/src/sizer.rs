@@ -1,11 +1,27 @@
 //! High-level sizing driver: seed, solve, extract, cross-check.
+//!
+//! # Robustness policy
+//!
+//! A full-space solve that *diverges* (non-finite objective, constraint or
+//! iterate — [`sgs_nlp::auglag::SolveStatus::Diverged`]) is retried up to
+//! [`Sizer::max_restarts`] times from deterministically perturbed warm
+//! starts. If afterwards neither the full-space result nor the
+//! reduced-space warm start meets the delay spec, a TILOS-style greedy
+//! descent ([`crate::greedy`]) is tried as a last resort before giving up
+//! with [`SizeError::SolverFailed`]. Each escalation step emits a
+//! [`sgs_trace::TraceEvent::Restart`] record, so a run report shows *how*
+//! a solution was reached, not just that one was.
 
+use crate::greedy::{self, GreedyOptions};
 use crate::problem::SizingProblem;
 use crate::reduced::{self, ReducedOptions};
 use crate::spec::{DelaySpec, Objective};
 use sgs_netlist::{Circuit, Library};
-use sgs_nlp::auglag::{self, AugLagOptions};
+use sgs_nlp::auglag::{self, AugLagOptions, SolveStatus};
+use sgs_nlp::{EvalCounts, NlpProblem};
 use sgs_statmath::Normal;
+use sgs_trace::{TraceEvent, TraceSink, Tracer};
+use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
 use std::time::Instant;
@@ -67,6 +83,10 @@ pub struct SizingResult {
     pub c_norm: f64,
     /// Wall-clock seconds spent in the solver.
     pub seconds: f64,
+    /// Underlying NLP evaluations performed by the full-space solve
+    /// (zeros for reduced-space runs, which count L-BFGS iterations
+    /// instead).
+    pub evals: EvalCounts,
 }
 
 impl SizingResult {
@@ -91,7 +111,7 @@ impl SizingResult {
 /// assert!(result.delay.mean() <= 6.5 + 1e-3);
 /// # Ok::<(), sgs_core::SizeError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Sizer<'a> {
     circuit: &'a Circuit,
     lib: &'a Library,
@@ -102,6 +122,26 @@ pub struct Sizer<'a> {
     reduced_options: ReducedOptions,
     s0: Option<Vec<f64>>,
     input_arrivals: Option<Vec<Normal>>,
+    trace: Option<&'a dyn TraceSink>,
+    max_restarts: usize,
+    poison_nan_after: Option<usize>,
+}
+
+impl fmt::Debug for Sizer<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sizer")
+            .field("objective", &self.objective)
+            .field("delay_spec", &self.delay_spec)
+            .field("solver", &self.solver)
+            .field("al_options", &self.al_options)
+            .field("reduced_options", &self.reduced_options)
+            .field("s0", &self.s0)
+            .field("input_arrivals", &self.input_arrivals)
+            .field("trace", &self.trace.map(|_| "dyn TraceSink"))
+            .field("max_restarts", &self.max_restarts)
+            .field("poison_nan_after", &self.poison_nan_after)
+            .finish()
+    }
 }
 
 impl<'a> Sizer<'a> {
@@ -122,7 +162,37 @@ impl<'a> Sizer<'a> {
             reduced_options: ReducedOptions::default(),
             s0: None,
             input_arrivals: None,
+            trace: None,
+            max_restarts: 2,
+            poison_nan_after: None,
         }
+    }
+
+    /// Attaches a trace sink. The solve then emits phase spans
+    /// (`warm_start`, `build_problem`, `auglag`, `evaluate`, `report`),
+    /// the augmented-Lagrangian outer-iteration records, and restart /
+    /// divergence events. The default is no sink, which costs nothing on
+    /// the hot path.
+    pub fn trace(mut self, sink: &'a dyn TraceSink) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Maximum perturbed-restart attempts after a diverged full-space
+    /// solve (default 2). `0` disables restarts; the greedy fallback still
+    /// applies.
+    pub fn max_restarts(mut self, n: usize) -> Self {
+        self.max_restarts = n;
+        self
+    }
+
+    /// Fault injection for robustness tests: the full-space NLP objective
+    /// returns `NaN` from its `n`-th evaluation onward (per solve
+    /// attempt). Exercises the divergence-detection and restart/fallback
+    /// machinery deterministically; never use outside tests.
+    pub fn poison_nan_after(mut self, n: usize) -> Self {
+        self.poison_nan_after = Some(n);
+        self
     }
 
     /// Sets the objective.
@@ -178,23 +248,30 @@ impl<'a> Sizer<'a> {
     /// first-order point nor an acceptable fallback is reached.
     pub fn solve(&self) -> Result<SizingResult, SizeError> {
         let start = Instant::now();
+        let tracer = self.tracer();
         let n = self.circuit.num_gates();
         let s_start = self.s0.clone().unwrap_or_else(|| vec![1.0; n]);
 
         // Reduced-space pass: warm start (FullSpace) or the whole solve
         // (ReducedSpace).
-        let red = reduced::solve_reduced_with_arrivals(
-            self.circuit,
-            self.lib,
-            self.objective.clone(),
-            self.delay_spec.clone(),
-            &s_start,
-            &self.reduced_options,
-            self.input_arrivals.as_deref(),
-        );
+        let red = {
+            let _sp = tracer.span("warm_start");
+            reduced::solve_reduced_with_arrivals(
+                self.circuit,
+                self.lib,
+                self.objective.clone(),
+                self.delay_spec.clone(),
+                &s_start,
+                &self.reduced_options,
+                self.input_arrivals.as_deref(),
+            )
+        };
 
         if self.solver == SolverChoice::ReducedSpace {
-            let report = self.analyse(&red.s);
+            let report = {
+                let _sp = tracer.span("report");
+                self.analyse(&red.s)
+            };
             return Ok(SizingResult {
                 area: red.s.iter().sum(),
                 objective: red.objective,
@@ -204,19 +281,50 @@ impl<'a> Sizer<'a> {
                 inner_iterations: red.iterations,
                 c_norm: red.violation,
                 seconds: start.elapsed().as_secs_f64(),
+                evals: EvalCounts::default(),
             });
         }
 
         // Full-space augmented-Lagrangian solve from the warm start.
-        let problem = SizingProblem::build_with_arrivals(
-            self.circuit,
-            self.lib,
-            self.objective.clone(),
-            self.delay_spec.clone(),
-            self.input_arrivals.as_deref(),
-        );
-        let x0 = problem.initial_point(&red.s);
-        let result = auglag::solve(&problem, &x0, &self.al_options);
+        let problem = {
+            let _sp = tracer.span("build_problem");
+            SizingProblem::build_with_arrivals(
+                self.circuit,
+                self.lib,
+                self.objective.clone(),
+                self.delay_spec.clone(),
+                self.input_arrivals.as_deref(),
+            )
+        };
+        let run_attempt = |s_init: &[f64]| {
+            let _sp = tracer.span("auglag");
+            let x0 = problem.initial_point(s_init);
+            match self.poison_nan_after {
+                Some(after) => auglag::solve_traced(
+                    &PoisonNanAfter::new(&problem, after),
+                    &x0,
+                    &self.al_options,
+                    tracer,
+                ),
+                None => auglag::solve_traced(&problem, &x0, &self.al_options, tracer),
+            }
+        };
+
+        let mut result = run_attempt(&red.s);
+        // A diverged solve hit non-finite values; retry from perturbed
+        // warm starts before judging candidates (see module docs).
+        let mut attempt = 0;
+        while result.status == SolveStatus::Diverged && attempt < self.max_restarts {
+            attempt += 1;
+            tracer.emit(|| TraceEvent::Restart {
+                attempt,
+                reason: format!(
+                    "full-space solve diverged; perturbed restart {attempt}/{}",
+                    self.max_restarts
+                ),
+            });
+            result = run_attempt(&perturb(&red.s, attempt, self.lib.s_limit));
+        }
         let s_full = problem.extract_s(&result.x);
 
         // The constraint system is triangular in S: re-propagating the
@@ -225,24 +333,61 @@ impl<'a> Sizer<'a> {
         // reduced-space warm start) by their clean objective and delay-spec
         // violation, and keep the better feasible one — AL residuals on the
         // intermediate variables then never corrupt the reported sizing.
-        let full_cand = self.evaluate(&s_full);
-        let red_cand = self.evaluate(&red.s);
+        let (full_cand, red_cand) = {
+            let _sp = tracer.span("evaluate");
+            (
+                self.evaluate_guarded(&s_full),
+                self.evaluate_guarded(&red.s),
+            )
+        };
         let spec_tol = self.spec_tolerance();
-        let pick_full = match (full_cand.1 <= spec_tol, red_cand.1 <= spec_tol) {
-            (true, true) => full_cand.0 <= red_cand.0,
-            (true, false) => true,
-            (false, true) => false,
-            (false, false) => {
+        let pick = match (full_cand.1 <= spec_tol, red_cand.1 <= spec_tol) {
+            (true, true) => Some(full_cand.0 <= red_cand.0),
+            (true, false) => Some(true),
+            (false, true) => Some(false),
+            (false, false) => None,
+        };
+        let Some(pick_full) = pick else {
+            // Neither candidate meets the spec: greedy last resort.
+            tracer.emit(|| TraceEvent::Restart {
+                attempt: attempt + 1,
+                reason: "no feasible candidate; greedy fallback".to_string(),
+            });
+            let fallback = {
+                let _sp = tracer.span("greedy_fallback");
+                self.greedy_fallback()
+            };
+            let Some((s, objective)) = fallback else {
                 return Err(SizeError::SolverFailed {
-                    status: format!("{:?}", result.status),
+                    status: result.status.as_str().to_string(),
                     c_norm: full_cand.1.min(red_cand.1),
-                })
-            }
+                });
+            };
+            let report = {
+                let _sp = tracer.span("report");
+                self.analyse(&s)
+            };
+            return Ok(SizingResult {
+                area: s.iter().sum(),
+                objective,
+                s,
+                delay: report.delay,
+                outer_iterations: result.outer_iterations,
+                inner_iterations: result.inner_iterations,
+                // The greedy point is a plain speed-factor assignment; its
+                // re-propagated formulation is exactly feasible.
+                c_norm: 0.0,
+                seconds: start.elapsed().as_secs_f64(),
+                evals: result.evals,
+            });
         };
         let s = if pick_full { s_full } else { red.s };
         let objective = if pick_full { full_cand.0 } else { red_cand.0 };
 
-        let report = self.analyse(&s);
+        let report = {
+            let _sp = tracer.span("report");
+            self.analyse(&s)
+        };
         Ok(SizingResult {
             area: s.iter().sum(),
             objective,
@@ -252,7 +397,41 @@ impl<'a> Sizer<'a> {
             inner_iterations: result.inner_iterations,
             c_norm: result.c_norm,
             seconds: start.elapsed().as_secs_f64(),
+            evals: result.evals,
         })
+    }
+
+    fn tracer(&self) -> Tracer<'a> {
+        match self.trace {
+            Some(sink) => Tracer::new(sink),
+            None => Tracer::none(),
+        }
+    }
+
+    /// [`Sizer::evaluate`], but a candidate containing non-finite speed
+    /// factors (a diverged solve's iterate) is scored infeasible outright
+    /// instead of being pushed through SSTA, which requires finite moments.
+    fn evaluate_guarded(&self, s: &[f64]) -> (f64, f64) {
+        if s.iter().any(|v| !v.is_finite()) {
+            return (f64::INFINITY, f64::INFINITY);
+        }
+        self.evaluate(s)
+    }
+
+    /// Last-resort fallback: greedy descent of the delay metric implied by
+    /// the spec, accepted only if the result actually meets the spec.
+    /// Returns the speed factors and clean-SSTA objective value.
+    fn greedy_fallback(&self) -> Option<(Vec<f64>, f64)> {
+        let metric = match &self.delay_spec {
+            DelaySpec::None => self.objective.clone(),
+            DelaySpec::MaxMean(_) | DelaySpec::ExactMean(_) => Objective::MeanDelay,
+            DelaySpec::MaxMeanPlusKSigma { k, .. } | DelaySpec::PerOutput { k, .. } => {
+                Objective::MeanPlusKSigma(*k)
+            }
+        };
+        let g = greedy::greedy_size(self.circuit, self.lib, &metric, &GreedyOptions::default());
+        let (obj, viol) = self.evaluate(&g.s);
+        (viol <= self.spec_tolerance()).then_some((g.s, obj))
     }
 
     /// Clean SSTA at `s`, honouring configured input arrivals.
@@ -311,10 +490,88 @@ impl<'a> Sizer<'a> {
     }
 }
 
+/// Deterministic multiplicative jitter for restart warm starts: attempt
+/// `a` scales each factor by up to `±0.1 a` (splitmix64 stream keyed on
+/// the attempt number), clamped to the sizing range. No RNG state is
+/// carried between calls, so restarts are reproducible run to run.
+fn perturb(s: &[f64], attempt: usize, s_limit: f64) -> Vec<f64> {
+    let mut state = (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
+    let spread = 0.1 * attempt as f64;
+    s.iter()
+        .map(|&v| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let u = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+            (v * (1.0 + spread * (2.0 * u - 1.0))).clamp(1.0, s_limit)
+        })
+        .collect()
+}
+
+/// Fault-injection wrapper behind [`Sizer::poison_nan_after`]: delegates
+/// everything to the real formulation, except the objective turns to `NaN`
+/// from the `after`-th evaluation onward.
+struct PoisonNanAfter<'p> {
+    inner: &'p SizingProblem,
+    after: usize,
+    calls: Cell<usize>,
+}
+
+impl<'p> PoisonNanAfter<'p> {
+    fn new(inner: &'p SizingProblem, after: usize) -> Self {
+        PoisonNanAfter {
+            inner,
+            after,
+            calls: Cell::new(0),
+        }
+    }
+}
+
+impl NlpProblem for PoisonNanAfter<'_> {
+    fn num_vars(&self) -> usize {
+        self.inner.num_vars()
+    }
+    fn num_constraints(&self) -> usize {
+        self.inner.num_constraints()
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        self.inner.bounds()
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        let k = self.calls.get();
+        self.calls.set(k + 1);
+        if k >= self.after {
+            return f64::NAN;
+        }
+        self.inner.objective(x)
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        self.inner.gradient(x, g)
+    }
+    fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        self.inner.constraints(x, c)
+    }
+    fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+        self.inner.jacobian_structure()
+    }
+    fn jacobian_values(&self, x: &[f64], vals: &mut [f64]) {
+        self.inner.jacobian_values(x, vals)
+    }
+    fn hessian_structure(&self) -> Vec<(usize, usize)> {
+        self.inner.hessian_structure()
+    }
+    fn hessian_values(&self, x: &[f64], sigma: f64, lambda: &[f64], vals: &mut [f64]) {
+        self.inner.hessian_values(x, sigma, lambda, vals)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sgs_netlist::generate;
+    use sgs_trace::MemorySink;
 
     fn lib() -> Library {
         Library::paper_default()
@@ -417,5 +674,87 @@ mod tests {
         // better mu.
         assert!(robust.mean_plus_k_sigma(3.0) <= mu_only.mean_plus_k_sigma(3.0) + 1e-4);
         assert!(mu_only.delay.mean() <= robust.delay.mean() + 1e-4);
+    }
+
+    #[test]
+    fn poisoned_full_space_recovers_and_traces_restarts() {
+        // Every full-space attempt is poisoned to NaN mid-solve; the run
+        // must still return a feasible sizing (via restarts, the reduced
+        // candidate or the greedy fallback) and leave evidence in the
+        // trace rather than failing or silently returning garbage.
+        let c = generate::tree7();
+        let l = lib();
+        let sink = MemorySink::new();
+        let r = Sizer::new(&c, &l)
+            .objective(Objective::Area)
+            .delay_spec(DelaySpec::MaxMean(6.5))
+            .poison_nan_after(3)
+            .trace(&sink)
+            .solve()
+            .unwrap();
+        assert!(r.delay.mean() <= 6.5 + 1e-3, "mu {}", r.delay.mean());
+        assert!(r.s.iter().all(|v| v.is_finite() && *v >= 1.0));
+        let diverged = sink.count(|e| matches!(e, TraceEvent::Diverged { .. }));
+        let restarts = sink.count(|e| matches!(e, TraceEvent::Restart { .. }));
+        assert!(diverged >= 1, "expected divergence evidence in the trace");
+        assert!(
+            restarts >= 2,
+            "expected perturbed-restart records, got {restarts}"
+        );
+    }
+
+    #[test]
+    fn greedy_fallback_meets_deadline() {
+        let c = generate::tree7();
+        let l = lib();
+        let sizer = Sizer::new(&c, &l)
+            .objective(Objective::Area)
+            .delay_spec(DelaySpec::MaxMean(6.5));
+        let (s, obj) = sizer
+            .greedy_fallback()
+            .expect("greedy can meet 6.5 on tree7");
+        let (obj2, viol) = sizer.evaluate(&s);
+        assert_eq!(obj.to_bits(), obj2.to_bits());
+        assert!(viol <= sizer.spec_tolerance(), "viol {viol}");
+    }
+
+    #[test]
+    fn traced_solve_matches_untraced_bitwise() {
+        let c = generate::tree7();
+        let l = lib();
+        let plain = Sizer::new(&c, &l)
+            .delay_spec(DelaySpec::MaxMean(6.5))
+            .objective(Objective::Area)
+            .solve()
+            .unwrap();
+        let sink = MemorySink::new();
+        let traced = Sizer::new(&c, &l)
+            .delay_spec(DelaySpec::MaxMean(6.5))
+            .objective(Objective::Area)
+            .trace(&sink)
+            .solve()
+            .unwrap();
+        assert_eq!(plain.s.len(), traced.s.len());
+        for (a, b) in plain.s.iter().zip(&traced.s) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(plain.objective.to_bits(), traced.objective.to_bits());
+        assert_eq!(plain.outer_iterations, traced.outer_iterations);
+        // The trace itself carries the expected structure.
+        assert!(sink.count(|e| matches!(e, TraceEvent::Outer(_))) >= 1);
+        assert!(sink.span_seconds("auglag") > 0.0);
+        assert!(sink.span_seconds("warm_start") > 0.0);
+    }
+
+    #[test]
+    fn perturb_is_deterministic_and_in_bounds() {
+        let s = vec![1.0, 1.7, 2.9, 3.0];
+        let a = perturb(&s, 1, 3.0);
+        let b = perturb(&s, 1, 3.0);
+        assert_eq!(a, b);
+        assert_ne!(a, perturb(&s, 2, 3.0));
+        for v in perturb(&s, 2, 3.0) {
+            assert!((1.0..=3.0).contains(&v));
+        }
     }
 }

@@ -16,6 +16,8 @@ use crate::cache::{CachedProblem, EvalCounts};
 use crate::problem::NlpProblem;
 use crate::sparse::{CsrMatrix, SymTriplets};
 use crate::tr::{self, SmoothFn, TrOptions};
+use sgs_trace::{OuterRecord, SolveRecord, TraceEvent, Tracer};
+use std::time::Instant;
 
 /// Options for [`solve`].
 #[derive(Debug, Clone)]
@@ -33,11 +35,13 @@ pub struct AugLagOptions {
     pub max_outer: usize,
     /// Cap on the penalty parameter (beyond it the run is declared stalled).
     pub rho_max: f64,
+    /// Wall-clock budget in seconds; when exceeded the solve returns the
+    /// best point found with [`SolveStatus::TimeBudget`] at the next
+    /// outer-iteration boundary. `None` means unlimited.
+    pub max_seconds: Option<f64>,
     /// Inner trust-region settings (tolerance is overridden by the outer
     /// schedule; `max_iter` applies per inner solve).
     pub inner: TrOptions,
-    /// Print one progress line per outer iteration to stderr.
-    pub trace: bool,
 }
 
 impl Default for AugLagOptions {
@@ -49,11 +53,11 @@ impl Default for AugLagOptions {
             rho_mult: 10.0,
             max_outer: 40,
             rho_max: 1e12,
+            max_seconds: None,
             inner: TrOptions {
                 max_iter: 200,
                 ..Default::default()
             },
-            trace: false,
         }
     }
 }
@@ -69,12 +73,29 @@ pub enum SolveStatus {
     /// The penalty parameter reached its cap without achieving
     /// feasibility — the problem is likely infeasible or badly scaled.
     PenaltyCap,
+    /// A non-finite objective, constraint value or iterate appeared; the
+    /// offending iterate is recorded in the trace (and returned). The
+    /// structured replacement for propagating NaN garbage silently.
+    Diverged,
+    /// The wall-clock budget ([`AugLagOptions::max_seconds`]) ran out.
+    TimeBudget,
 }
 
 impl SolveStatus {
     /// True for [`SolveStatus::Converged`].
     pub fn is_success(self) -> bool {
         self == SolveStatus::Converged
+    }
+
+    /// Stable lowercase tag for machine-readable reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SolveStatus::Converged => "converged",
+            SolveStatus::MaxIterations => "max_iterations",
+            SolveStatus::PenaltyCap => "penalty_cap",
+            SolveStatus::Diverged => "diverged",
+            SolveStatus::TimeBudget => "time_budget",
+        }
     }
 }
 
@@ -204,10 +225,33 @@ fn c_inf_norm(c: &[f64]) -> f64 {
 /// Unconstrained problems (`m == 0`) collapse to a single bound-constrained
 /// trust-region solve.
 ///
+/// Equivalent to [`solve_traced`] with the disabled tracer; the traced
+/// variant with a `NopSink` performs bit-identical arithmetic (same
+/// iterates, same evaluation counts) — tracing only *reads* quantities
+/// the solver computes anyway.
+///
 /// # Panics
 ///
 /// Panics if `x0.len() != problem.num_vars()`.
 pub fn solve<P: NlpProblem>(problem: &P, x0: &[f64], opts: &AugLagOptions) -> SolveResult {
+    solve_traced(problem, x0, opts, Tracer::none())
+}
+
+/// [`solve`] reporting structured progress to `tracer`: one
+/// `outer_iteration` convergence record per outer iteration, one
+/// `inner_tr` phase span per inner solve, a `diverged` record carrying the
+/// offending iterate when a non-finite value appears, and a final
+/// `solve_done` record.
+///
+/// # Panics
+///
+/// Panics if `x0.len() != problem.num_vars()`.
+pub fn solve_traced<P: NlpProblem>(
+    problem: &P,
+    x0: &[f64],
+    opts: &AugLagOptions,
+    tracer: Tracer<'_>,
+) -> SolveResult {
     // Every evaluation below goes through a last-point cache: the merit
     // value, gradient and Hessian preparation all query constraints (and
     // the latter two the Jacobian) at the same iterate, so caching
@@ -218,6 +262,7 @@ pub fn solve<P: NlpProblem>(problem: &P, x0: &[f64], opts: &AugLagOptions) -> So
     let m = problem.num_constraints();
     assert_eq!(x0.len(), n, "x0 length mismatch");
     let (l, u) = problem.bounds();
+    let started = Instant::now();
 
     let mut x = x0.to_vec();
     tr::project(&mut x, &l, &u);
@@ -232,14 +277,73 @@ pub fn solve<P: NlpProblem>(problem: &P, x0: &[f64], opts: &AugLagOptions) -> So
     let mut c = vec![0.0; m];
     let mut last_pg = f64::INFINITY;
 
+    // Every exit funnels through here so the trace always ends with a
+    // solve_done record matching the returned result.
+    let finish = |x: Vec<f64>,
+                  cn: f64,
+                  lambda: Vec<f64>,
+                  rho: f64,
+                  outer_iterations: usize,
+                  inner_total: usize,
+                  cg_total: usize,
+                  status: SolveStatus| {
+        let result = SolveResult {
+            f: problem.objective(&x),
+            c_norm: cn,
+            x,
+            lambda,
+            rho,
+            outer_iterations,
+            inner_iterations: inner_total,
+            cg_iterations: cg_total,
+            evals: problem.counts(),
+            status,
+        };
+        tracer.emit(|| {
+            TraceEvent::SolveDone(SolveRecord {
+                status: result.status.as_str().to_string(),
+                objective: result.f,
+                c_norm: result.c_norm,
+                outer_iterations: result.outer_iterations,
+                inner_iterations: result.inner_iterations,
+                evals: result.evals.into(),
+            })
+        });
+        result
+    };
+
     for outer in 0..opts.max_outer {
+        // Wall-clock budget: checked at outer-iteration boundaries only,
+        // so a within-budget run is untouched and an over-budget run
+        // still returns a consistent (projected, evaluated) point.
+        if outer > 0 {
+            if let Some(max_seconds) = opts.max_seconds {
+                if started.elapsed().as_secs_f64() > max_seconds {
+                    problem.constraints(&x, &mut c);
+                    let cn = c_inf_norm(&c);
+                    return finish(
+                        x,
+                        cn,
+                        lambda,
+                        rho,
+                        outer,
+                        inner_total,
+                        cg_total,
+                        SolveStatus::TimeBudget,
+                    );
+                }
+            }
+        }
+
         let mut al = AugLagFn::new(problem, lambda.clone(), rho);
         let inner_opts = TrOptions {
             tol: omega.max(opts.tol_opt * 0.1),
             ..opts.inner.clone()
         };
         let x_prev = x.clone();
+        let inner_span = tracer.span("inner_tr");
         let r = tr::minimize(&mut al, &x, &l, &u, &inner_opts);
+        inner_span.finish();
         x = r.x;
         inner_total += r.iterations;
         cg_total += r.cg_iterations;
@@ -248,53 +352,91 @@ pub fn solve<P: NlpProblem>(problem: &P, x0: &[f64], opts: &AugLagOptions) -> So
         problem.constraints(&x, &mut c);
         let cn = c_inf_norm(&c);
 
-        if opts.trace {
-            eprintln!(
-                "auglag outer {outer}: f = {:.6}, |c| = {cn:.3e}, pg = {:.3e}, rho = {rho:.1e}, inner = {} (cg {}), converged = {}",
-                problem.objective(&x),
-                r.pg_norm,
-                r.iterations,
-                r.cg_iterations,
-                r.converged,
+        // Stall detection input, doubling as the step-acceptance flag of
+        // the convergence record: did the inner solve move the iterate?
+        let moved = x
+            .iter()
+            .zip(&x_prev)
+            .any(|(a, b)| (a - b).abs() > 1e-12 * (1.0 + a.abs()));
+
+        tracer.emit(|| {
+            TraceEvent::Outer(OuterRecord {
+                outer,
+                merit: r.f,
+                c_norm: cn,
+                pg_norm: r.pg_norm,
+                rho,
+                lambda_norm: lambda.iter().fold(0.0f64, |a, &v| a.max(v.abs())),
+                inner_iterations: r.iterations,
+                cg_iterations: r.cg_iterations,
+                step_accepted: moved,
+                inner_converged: r.converged,
+            })
+        });
+
+        // NaN/Inf guard: a non-finite merit value, constraint norm or
+        // iterate coordinate — or an inner solve stuck against
+        // non-finite trial values (`bad_point`) — means the run left the
+        // region where the model is meaningful. Stop with a structured
+        // status instead of iterating on garbage; the trace records the
+        // offending iterate.
+        let poisoned = if !r.f.is_finite() {
+            Some("inner merit value is non-finite")
+        } else if !cn.is_finite() {
+            Some("constraint norm is non-finite")
+        } else if x.iter().any(|v| !v.is_finite()) {
+            Some("iterate contains non-finite coordinates")
+        } else if r.bad_point.is_some() {
+            Some("inner solve stuck against non-finite trial values")
+        } else {
+            None
+        };
+        if let Some(detail) = poisoned {
+            tracer.emit(|| TraceEvent::Diverged {
+                outer,
+                detail: detail.to_string(),
+                x: r.bad_point.clone().unwrap_or_else(|| x.clone()),
+            });
+            return finish(
+                x,
+                cn,
+                lambda,
+                rho,
+                outer + 1,
+                inner_total,
+                cg_total,
+                SolveStatus::Diverged,
             );
         }
 
         // Stall detection: feasible and the inner solve cannot move the
         // iterate any further — no better point is reachable at this
         // arithmetic, so stop rather than spin to the iteration cap.
-        let moved = x
-            .iter()
-            .zip(&x_prev)
-            .any(|(a, b)| (a - b).abs() > 1e-12 * (1.0 + a.abs()));
         if cn <= opts.tol_feas && !moved && outer > 0 {
-            return SolveResult {
-                f: problem.objective(&x),
-                c_norm: cn,
+            return finish(
                 x,
+                cn,
                 lambda,
                 rho,
-                outer_iterations: outer + 1,
-                inner_iterations: inner_total,
-                cg_iterations: cg_total,
-                evals: problem.counts(),
-                status: SolveStatus::Converged,
-            };
+                outer + 1,
+                inner_total,
+                cg_total,
+                SolveStatus::Converged,
+            );
         }
 
         if m == 0 || cn <= eta.max(opts.tol_feas) {
             if cn <= opts.tol_feas && last_pg <= opts.tol_opt {
-                return SolveResult {
-                    f: problem.objective(&x),
-                    c_norm: cn,
+                return finish(
                     x,
+                    cn,
                     lambda,
                     rho,
-                    outer_iterations: outer + 1,
-                    inner_iterations: inner_total,
-                    cg_iterations: cg_total,
-                    evals: problem.counts(),
-                    status: SolveStatus::Converged,
-                };
+                    outer + 1,
+                    inner_total,
+                    cg_total,
+                    SolveStatus::Converged,
+                );
             }
             // First-order multiplier update; tighten both tolerances.
             for i in 0..m {
@@ -305,18 +447,16 @@ pub fn solve<P: NlpProblem>(problem: &P, x0: &[f64], opts: &AugLagOptions) -> So
         } else {
             rho *= opts.rho_mult;
             if rho > opts.rho_max {
-                return SolveResult {
-                    f: problem.objective(&x),
-                    c_norm: cn,
+                return finish(
                     x,
+                    cn,
                     lambda,
                     rho,
-                    outer_iterations: outer + 1,
-                    inner_iterations: inner_total,
-                    cg_iterations: cg_total,
-                    evals: problem.counts(),
-                    status: SolveStatus::PenaltyCap,
-                };
+                    outer + 1,
+                    inner_total,
+                    cg_total,
+                    SolveStatus::PenaltyCap,
+                );
             }
             eta = 1.0 / rho.powf(0.1);
             omega = 1.0 / rho;
@@ -326,22 +466,21 @@ pub fn solve<P: NlpProblem>(problem: &P, x0: &[f64], opts: &AugLagOptions) -> So
     problem.constraints(&x, &mut c);
     let cn = c_inf_norm(&c);
     let converged = cn <= opts.tol_feas && last_pg <= opts.tol_opt;
-    SolveResult {
-        f: problem.objective(&x),
-        c_norm: cn,
+    let status = if converged {
+        SolveStatus::Converged
+    } else {
+        SolveStatus::MaxIterations
+    };
+    finish(
         x,
+        cn,
         lambda,
         rho,
-        outer_iterations: opts.max_outer,
-        inner_iterations: inner_total,
-        cg_iterations: cg_total,
-        evals: problem.counts(),
-        status: if converged {
-            SolveStatus::Converged
-        } else {
-            SolveStatus::MaxIterations
-        },
-    }
+        opts.max_outer,
+        inner_total,
+        cg_total,
+        status,
+    )
 }
 
 #[cfg(test)]
@@ -561,6 +700,178 @@ mod tests {
             assert_eq!(r.evals.constraints, c_calls);
             assert_eq!(r.evals.jacobian, j_calls);
         }
+    }
+
+    /// Wraps a problem so the objective turns to NaN permanently after a
+    /// number of underlying evaluations — a fault-injection harness for
+    /// the divergence guard.
+    pub(crate) struct PoisonAfter<'a, P: NlpProblem> {
+        inner: &'a P,
+        after: usize,
+        calls: std::cell::Cell<usize>,
+    }
+
+    impl<'a, P: NlpProblem> PoisonAfter<'a, P> {
+        pub(crate) fn new(inner: &'a P, after: usize) -> Self {
+            PoisonAfter {
+                inner,
+                after,
+                calls: std::cell::Cell::new(0),
+            }
+        }
+    }
+
+    impl<P: NlpProblem> NlpProblem for PoisonAfter<'_, P> {
+        fn num_vars(&self) -> usize {
+            self.inner.num_vars()
+        }
+        fn num_constraints(&self) -> usize {
+            self.inner.num_constraints()
+        }
+        fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+            self.inner.bounds()
+        }
+        fn objective(&self, x: &[f64]) -> f64 {
+            self.calls.set(self.calls.get() + 1);
+            if self.calls.get() > self.after {
+                f64::NAN
+            } else {
+                self.inner.objective(x)
+            }
+        }
+        fn gradient(&self, x: &[f64], g: &mut [f64]) {
+            self.inner.gradient(x, g)
+        }
+        fn constraints(&self, x: &[f64], c: &mut [f64]) {
+            self.inner.constraints(x, c)
+        }
+        fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+            self.inner.jacobian_structure()
+        }
+        fn jacobian_values(&self, x: &[f64], vals: &mut [f64]) {
+            self.inner.jacobian_values(x, vals)
+        }
+        fn hessian_structure(&self) -> Vec<(usize, usize)> {
+            self.inner.hessian_structure()
+        }
+        fn hessian_values(&self, x: &[f64], sigma: f64, lambda: &[f64], vals: &mut [f64]) {
+            self.inner.hessian_values(x, sigma, lambda, vals)
+        }
+    }
+
+    #[test]
+    fn poisoned_objective_returns_diverged_with_iterate_in_trace() {
+        use sgs_trace::{MemorySink, TraceEvent};
+        let poisoned = PoisonAfter::new(&Hs7, 3);
+        let sink = MemorySink::new();
+        let r = solve_traced(
+            &poisoned,
+            &[2.0, 2.0],
+            &AugLagOptions::default(),
+            sgs_trace::Tracer::new(&sink),
+        );
+        assert_eq!(r.status, SolveStatus::Diverged, "{r:?}");
+        assert!(!r.status.is_success());
+        let diverged: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Diverged { outer, detail, x } => Some((outer, detail, x)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(diverged.len(), 1, "exactly one divergence record");
+        let (_, detail, x) = &diverged[0];
+        assert!(detail.contains("non-finite"), "{detail}");
+        assert_eq!(x.len(), 2, "offending iterate recorded");
+        // The final status record must agree.
+        let done = sink.count(|e| matches!(e, TraceEvent::SolveDone(s) if s.status == "diverged"));
+        assert_eq!(done, 1);
+    }
+
+    #[test]
+    fn healthy_solve_emits_one_record_per_outer_iteration() {
+        use sgs_trace::{MemorySink, TraceEvent};
+        let sink = MemorySink::new();
+        let r = solve_traced(
+            &Hs7,
+            &[2.0, 2.0],
+            &AugLagOptions::default(),
+            sgs_trace::Tracer::new(&sink),
+        );
+        assert!(r.status.is_success());
+        let outer_records = sink.count(|e| matches!(e, TraceEvent::Outer(_)));
+        assert_eq!(outer_records, r.outer_iterations);
+        let spans = sink.count(|e| {
+            matches!(
+                e,
+                TraceEvent::PhaseSpan {
+                    phase: "inner_tr",
+                    ..
+                }
+            )
+        });
+        assert_eq!(spans, r.outer_iterations);
+        assert_eq!(sink.count(|e| matches!(e, TraceEvent::SolveDone(_))), 1);
+    }
+
+    #[test]
+    fn nop_sink_solve_is_bit_identical_to_untraced() {
+        let a = solve(&Hs7, &[2.0, 2.0], &AugLagOptions::default());
+        let b = solve_traced(
+            &Hs7,
+            &[2.0, 2.0],
+            &AugLagOptions::default(),
+            sgs_trace::Tracer::none(),
+        );
+        let sink = sgs_trace::MemorySink::new();
+        let c = solve_traced(
+            &Hs7,
+            &[2.0, 2.0],
+            &AugLagOptions::default(),
+            sgs_trace::Tracer::new(&sink),
+        );
+        for other in [&b, &c] {
+            assert_eq!(a.x, other.x);
+            assert_eq!(a.f.to_bits(), other.f.to_bits());
+            assert_eq!(a.evals, other.evals);
+            assert_eq!(a.status, other.status);
+        }
+    }
+
+    #[test]
+    fn time_budget_returns_structured_status() {
+        // A zero budget trips at the first outer-iteration boundary.
+        let r = solve(
+            &Hs7,
+            &[2.0, 2.0],
+            &AugLagOptions {
+                max_seconds: Some(0.0),
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.status, SolveStatus::TimeBudget, "{r:?}");
+        assert!(r.outer_iterations >= 1);
+        assert!(r.x.iter().all(|v| v.is_finite()));
+        // A generous budget never trips.
+        let r = solve(
+            &Hs7,
+            &[2.0, 2.0],
+            &AugLagOptions {
+                max_seconds: Some(1e6),
+                ..Default::default()
+            },
+        );
+        assert!(r.status.is_success());
+    }
+
+    #[test]
+    fn status_tags_are_stable() {
+        assert_eq!(SolveStatus::Converged.as_str(), "converged");
+        assert_eq!(SolveStatus::Diverged.as_str(), "diverged");
+        assert_eq!(SolveStatus::TimeBudget.as_str(), "time_budget");
+        assert_eq!(SolveStatus::PenaltyCap.as_str(), "penalty_cap");
+        assert_eq!(SolveStatus::MaxIterations.as_str(), "max_iterations");
     }
 
     #[test]

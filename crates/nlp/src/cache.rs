@@ -35,6 +35,18 @@ pub struct EvalCounts {
     pub hessian: usize,
 }
 
+impl From<EvalCounts> for sgs_trace::EvalReport {
+    fn from(c: EvalCounts) -> Self {
+        sgs_trace::EvalReport {
+            objective: c.objective as u64,
+            gradient: c.gradient as u64,
+            constraints: c.constraints as u64,
+            jacobian: c.jacobian as u64,
+            hessian: c.hessian as u64,
+        }
+    }
+}
+
 /// A memo slot: the point it was evaluated at plus the stored result.
 struct Slot<T> {
     x: Vec<f64>,

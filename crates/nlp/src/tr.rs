@@ -65,6 +65,12 @@ pub struct TrResult {
     pub cg_iterations: usize,
     /// Whether `pg_norm <= tol` was reached.
     pub converged: bool,
+    /// A trial point whose function value was non-finite and that the
+    /// solver could not step away from (no finite-valued step was
+    /// accepted afterwards) — evidence of divergence for the caller's
+    /// NaN/Inf guard. `None` on healthy runs, including runs where a
+    /// transient non-finite trial was recovered by shrinking the radius.
+    pub bad_point: Option<Vec<f64>>,
 }
 
 /// Projects `x` into `[l, u]` component-wise, in place.
@@ -125,6 +131,13 @@ pub fn minimize<F: SmoothFn>(
 
     let mut cg_total = 0usize;
     let mut pg = projected_gradient_norm(&x, &g, l, u);
+    // Most recent trial point with a non-finite value that no accepted
+    // finite step has superseded; see [`TrResult::bad_point`].
+    let mut last_bad: Option<Vec<f64>> = if fx.is_finite() {
+        None
+    } else {
+        Some(x.clone())
+    };
 
     for iter in 0..opts.max_iter {
         if pg <= opts.tol {
@@ -135,6 +148,7 @@ pub fn minimize<F: SmoothFn>(
                 iterations: iter,
                 cg_iterations: cg_total,
                 converged: true,
+                bad_point: last_bad,
             };
         }
         f.prepare_hess(&x);
@@ -157,6 +171,7 @@ pub fn minimize<F: SmoothFn>(
                         iterations: iter,
                         cg_iterations: cg_total,
                         converged: pg <= opts.tol,
+                        bad_point: last_bad,
                     };
                 }
                 continue;
@@ -169,8 +184,15 @@ pub fn minimize<F: SmoothFn>(
             let fnew = f.value(&xnew);
             let ared = fx - fnew;
             let rho = ared / pred;
+            if !fnew.is_finite() {
+                last_bad = Some(xnew.clone());
+            }
             let pnorm = p.iter().map(|v| v * v).sum::<f64>().sqrt();
-            if rho < 0.25 {
+            // NaN-robust acceptance: a non-finite `rho` (poisoned trial
+            // value or poisoned current value) must *shrink* the radius,
+            // not leave it unchanged — otherwise the retry loop re-issues
+            // the identical step forever.
+            if rho.is_nan() || rho < 0.25 {
                 delta = 0.25 * pnorm.max(delta * 0.1).min(delta);
             } else if rho > 0.75 && hit_boundary {
                 delta = (2.0 * delta).min(delta_max);
@@ -181,6 +203,9 @@ pub fn minimize<F: SmoothFn>(
                 f.grad(&x, &mut g);
                 pg = projected_gradient_norm(&x, &g, l, u);
                 accepted = true;
+                // A finite step was accepted: earlier non-finite trials
+                // were transient, not divergence.
+                last_bad = None;
             } else if delta < 1e-14 {
                 return TrResult {
                     x,
@@ -189,6 +214,7 @@ pub fn minimize<F: SmoothFn>(
                     iterations: iter,
                     cg_iterations: cg_total,
                     converged: pg <= opts.tol,
+                    bad_point: last_bad,
                 };
             }
         }
@@ -201,6 +227,7 @@ pub fn minimize<F: SmoothFn>(
         iterations: opts.max_iter,
         cg_iterations: cg_total,
         converged: pg <= opts.tol,
+        bad_point: last_bad,
     }
 }
 

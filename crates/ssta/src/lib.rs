@@ -49,8 +49,10 @@ pub mod power;
 pub mod wire;
 
 pub use analysis::{
-    ssta, ssta_levelized, ssta_with_model, ssta_with_model_and_arrivals, sta_deterministic,
-    sta_deterministic_with_model, SstaReport,
+    ssta, ssta_levelized, ssta_traced, ssta_with_model, ssta_with_model_and_arrivals,
+    sta_deterministic, sta_deterministic_with_model, SstaReport,
 };
 pub use delay::DelayModel;
-pub use monte_carlo::{monte_carlo, monte_carlo_with_model, McOptions, McReport};
+pub use monte_carlo::{
+    monte_carlo, monte_carlo_traced, monte_carlo_with_model, McOptions, McReport,
+};

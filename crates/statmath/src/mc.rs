@@ -60,6 +60,33 @@ pub fn max_moments(a: Normal, b: Normal, samples: usize, seed: u64) -> Normal {
     Normal::from_mean_var(mean, var.max(0.0))
 }
 
+/// Estimates the distribution of `max(A, B)` for *correlated* operands by
+/// sampling: `B`'s draw reuses `A`'s standard-normal variate via the
+/// Cholesky split `z_b = rho z_a + sqrt(1 - rho^2) z`, so the sampled pair
+/// has exactly the requested correlation. The differential oracle for
+/// [`crate::clark::max_correlated`] (paper Eqs. 10/12/13 with a `rho`
+/// term).
+///
+/// # Panics
+///
+/// Panics if `rho` is outside `[-1, 1]`.
+pub fn max_moments_correlated(a: Normal, b: Normal, rho: f64, samples: usize, seed: u64) -> Normal {
+    assert!(
+        (-1.0..=1.0).contains(&rho),
+        "correlation out of range: {rho}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cross = (1.0 - rho * rho).max(0.0).sqrt();
+    let (mean, var) = moments((0..samples).map(|_| {
+        let za = standard_normal(&mut rng);
+        let zb = rho * za + cross * standard_normal(&mut rng);
+        let xa = a.mean() + a.sigma() * za;
+        let xb = b.mean() + b.sigma() * zb;
+        xa.max(xb)
+    }));
+    Normal::from_mean_var(mean, var.max(0.0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +137,32 @@ mod tests {
                 exact.var()
             );
         }
+    }
+
+    #[test]
+    fn correlated_sampler_limits() {
+        let a = Normal::new(2.0, 1.0);
+        // rho = 1 with identical operands: max(X, X) = X exactly.
+        let est = max_moments_correlated(a, a, 1.0, 100_000, 3);
+        assert!((est.mean() - 2.0).abs() < 0.02, "mean {}", est.mean());
+        assert!((est.var() - 1.0).abs() < 0.05, "var {}", est.var());
+        // rho = -1: max(X, 2 mu - X) = mu + |X - mu|, a folded normal with
+        // mean mu + sigma sqrt(2/pi) and var sigma^2 (1 - 2/pi).
+        let est = max_moments_correlated(a, a, -1.0, 100_000, 4);
+        let f = (2.0 / std::f64::consts::PI).sqrt();
+        assert!((est.mean() - (2.0 + f)).abs() < 0.02, "mean {}", est.mean());
+        assert!(
+            (est.var() - (1.0 - f * f)).abs() < 0.05,
+            "var {}",
+            est.var()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation out of range")]
+    fn correlated_sampler_rejects_bad_rho() {
+        let a = Normal::new(0.0, 1.0);
+        max_moments_correlated(a, a, 1.5, 10, 0);
     }
 
     #[test]

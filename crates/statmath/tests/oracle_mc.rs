@@ -1,0 +1,143 @@
+//! Differential oracle: the analytical Clark max (paper Eqs. 10/12/13)
+//! against large-sample Monte Carlo over random operand configurations,
+//! including the two regimes where an analytical max can quietly go wrong:
+//! near-equal means (the blending region, where the result is least
+//! normal) and a dominant operand (where the result must collapse to the
+//! dominant input). Tolerances are scaled to the Monte Carlo standard
+//! error of the estimate, not to fixed magic numbers.
+
+use proptest::prelude::*;
+use sgs_statmath::{clark, mc, Normal};
+
+const SAMPLES: usize = 200_000;
+
+/// Deterministic per-case RNG seed derived from the operand bits, so a
+/// proptest failure replays with the identical sample stream.
+fn seed_for(ma: f64, sa: f64, mb: f64, sb: f64, rho: f64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in [ma, sa, mb, sb, rho] {
+        h ^= v.to_bits();
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Monte Carlo standard error of a mean estimated from `n` samples with
+/// population sigma at most `sigma`.
+fn mean_se(sigma: f64, n: usize) -> f64 {
+    sigma / (n as f64).sqrt()
+}
+
+/// Monte Carlo standard error of a variance estimate (normal-theory
+/// `sigma^2 sqrt(2/n)`, inflated because the max is skewed, not normal).
+fn var_se(var: f64, n: usize) -> f64 {
+    2.0 * var * (2.0 / n as f64).sqrt()
+}
+
+fn check_against_mc(a: Normal, b: Normal, rho: f64) -> Result<(), TestCaseError> {
+    let exact = clark::max_correlated(a, b, rho);
+    let seed = seed_for(a.mean(), a.sigma(), b.mean(), b.sigma(), rho);
+    let est = mc::max_moments_correlated(a, b, rho, SAMPLES, seed);
+    // sigma of the max never exceeds the larger operand sigma (plus the
+    // mean-gap effect already inside `exact`); bound the SE with both.
+    let sig_bound = a.sigma().max(b.sigma()).max(exact.sigma());
+    let mean_tol = 6.0 * mean_se(sig_bound, SAMPLES) + 1e-9;
+    let var_tol = 6.0 * var_se(sig_bound * sig_bound, SAMPLES) + 1e-9;
+    prop_assert!(
+        (est.mean() - exact.mean()).abs() <= mean_tol,
+        "mean: clark {} vs mc {} (tol {mean_tol:.2e}, rho {rho})",
+        exact.mean(),
+        est.mean()
+    );
+    prop_assert!(
+        (est.var() - exact.var()).abs() <= var_tol,
+        "var: clark {} vs mc {} (tol {var_tol:.2e}, rho {rho})",
+        exact.var(),
+        est.var()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // General position: arbitrary means, sigmas and correlation.
+    #[test]
+    fn clark_matches_mc_general(
+        ma in -20.0..20.0f64,
+        sa in 0.05..5.0f64,
+        mb in -20.0..20.0f64,
+        sb in 0.05..5.0f64,
+        rho in -0.95..0.95f64,
+    ) {
+        check_against_mc(Normal::new(ma, sa), Normal::new(mb, sb), rho)?;
+    }
+
+    // Near-equal means: the blending regime where the Clark mean and
+    // variance corrections are largest and the result is least normal.
+    #[test]
+    fn clark_matches_mc_near_equal_means(
+        mu in -10.0..10.0f64,
+        delta in -0.01..0.01f64,
+        sa in 0.1..3.0f64,
+        sb in 0.1..3.0f64,
+        rho in -0.9..0.9f64,
+    ) {
+        check_against_mc(Normal::new(mu, sa), Normal::new(mu + delta, sb), rho)?;
+    }
+
+    // Dominant operand: one input far above the other. The max must both
+    // match Monte Carlo and collapse to the dominant operand's moments.
+    #[test]
+    fn clark_matches_mc_dominant_operand(
+        mu in -10.0..10.0f64,
+        gap in 50.0..200.0f64,
+        sa in 0.1..3.0f64,
+        sb in 0.1..3.0f64,
+        rho in -0.9..0.9f64,
+        a_dominates in any::<bool>(),
+    ) {
+        let (a, b) = if a_dominates {
+            (Normal::new(mu + gap, sa), Normal::new(mu, sb))
+        } else {
+            (Normal::new(mu, sa), Normal::new(mu + gap, sb))
+        };
+        check_against_mc(a, b, rho)?;
+        let exact = clark::max_correlated(a, b, rho);
+        let dom = if a_dominates { a } else { b };
+        prop_assert!((exact.mean() - dom.mean()).abs() <= 1e-6 * (1.0 + dom.mean().abs()));
+        prop_assert!((exact.var() - dom.var()).abs() <= 1e-6 * (1.0 + dom.var()));
+    }
+}
+
+/// `rho = 0` must reduce the correlated Clark max to the independent one
+/// (exact algebraic identity, not a sampling question).
+#[test]
+fn correlated_max_at_rho_zero_matches_independent() {
+    let cases = [
+        (0.0, 1.0, 0.0, 1.0),
+        (5.0, 0.5, 4.9, 0.7),
+        (-3.0, 2.0, 3.0, 0.1),
+    ];
+    for (ma, sa, mb, sb) in cases {
+        let a = Normal::new(ma, sa);
+        let b = Normal::new(mb, sb);
+        let ind = clark::max(a, b);
+        let cor = clark::max_correlated(a, b, 0.0);
+        assert!((ind.mean() - cor.mean()).abs() < 1e-12);
+        assert!((ind.var() - cor.var()).abs() < 1e-12);
+    }
+}
+
+/// Perfectly correlated equal-sigma operands: the max is exactly the
+/// larger-mean operand, and the sampler must agree.
+#[test]
+fn perfectly_correlated_equal_sigma_collapses() {
+    let a = Normal::new(1.0, 1.5);
+    let b = Normal::new(2.0, 1.5);
+    let exact = clark::max_correlated(a, b, 1.0);
+    assert!((exact.mean() - 2.0).abs() < 1e-6);
+    assert!((exact.var() - 2.25).abs() < 1e-4);
+    let est = mc::max_moments_correlated(a, b, 1.0, SAMPLES, 99);
+    assert!((est.mean() - 2.0).abs() < 6.0 * mean_se(1.5, SAMPLES));
+}
