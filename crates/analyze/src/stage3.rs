@@ -1,0 +1,318 @@
+//! Stage 3: derivative-structure verification.
+//!
+//! [`sgs_core::SizingProblem`] declares fixed Jacobian and Hessian
+//! sparsity patterns that the augmented-Lagrangian solver trusts blindly:
+//! an entry missing from the declared pattern is silently treated as
+//! zero, which bends search directions without ever failing loudly. This
+//! stage probes the *actual* derivative structure by central finite
+//! differences at a few deterministic sample points and cross-checks it
+//! against the declaration:
+//!
+//! * a nonzero discovered where no entry is declared is **fatal**
+//!   (`SGS-D002` for the Jacobian, `SGS-D003` for the Hessian of the
+//!   Lagrangian) — the solver would optimise the wrong model;
+//! * a declared entry whose value is identically `0.0` at every probe is
+//!   a **warning** (`SGS-D001` / `SGS-D004`) — harmless but bloats the
+//!   sparse structures.
+//!
+//! Probing is independent of the declaration (it perturbs every variable
+//! column), so a corrupted declaration cannot hide from it; the
+//! `corrupt_drop_*` test hooks on [`SizingProblem`] exist precisely to
+//! prove that end to end.
+
+use crate::{AnalyzerOptions, Diagnostic, Severity};
+use sgs_core::SizingProblem;
+use sgs_nlp::NlpProblem;
+use std::collections::{HashMap, HashSet};
+
+/// Relative step for central differences.
+const FD_STEP: f64 = 1e-6;
+
+/// An FD Jacobian entry larger than this (relative to the constraint
+/// scale) is considered an actual nonzero. FD noise is ~1e-10 relative
+/// here (smooth low-order formulas), so this has five orders of margin
+/// while still catching real coefficients (smallest library coefficient
+/// is ~0.45).
+const JAC_TOL: f64 = 1e-5;
+
+/// Same for FD-of-gradient Hessian entries (one more difference, one
+/// less digit).
+const HESS_TOL: f64 = 1e-4;
+
+/// Deterministic multiplier stream for the Lagrangian probe.
+fn splitmix(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn constraint_label(problem: &SizingProblem, ci: usize) -> String {
+    match problem.constraint_gate(ci) {
+        Some(g) => format!(
+            "constraint {ci} ({}, gate {g})",
+            problem.constraint_kind(ci)
+        ),
+        None => format!("constraint {ci} ({})", problem.constraint_kind(ci)),
+    }
+}
+
+/// Deterministic sample points spread over the size box: interior points
+/// of `[1, s_limit]`, elaborated to exactly feasible full vectors by
+/// [`SizingProblem::initial_point`] so probing happens where the solver
+/// actually iterates.
+fn probe_points(problem: &SizingProblem, count: usize) -> Vec<Vec<f64>> {
+    let n = problem.num_gates();
+    (0..count.max(1))
+        .map(|k| {
+            let t = (k as f64 + 0.5) / count.max(1) as f64;
+            // Vary sizes per gate as well so no two columns are probed at
+            // identical values.
+            let s: Vec<f64> = (0..n)
+                .map(|g| {
+                    let wiggle = 0.07 * ((g % 5) as f64 - 2.0);
+                    (1.0 + t * 1.8 + wiggle).clamp(1.0, 2.95)
+                })
+                .collect();
+            problem.initial_point(&s)
+        })
+        .collect()
+}
+
+/// Cross-checks declared against probed derivative structure.
+pub fn verify_derivatives(problem: &SizingProblem, opts: &AnalyzerOptions) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+    let points = probe_points(problem, opts.probe_points);
+
+    // ---- Jacobian ----------------------------------------------------
+    let jac_structure = problem.jacobian_structure();
+    let declared: HashSet<(usize, usize)> = jac_structure.iter().copied().collect();
+    let mut declared_seen_nonzero = vec![false; jac_structure.len()];
+    // (ci, j) -> largest FD estimate, for undeclared nonzeros.
+    let mut undeclared: HashMap<(usize, usize), f64> = HashMap::new();
+
+    let mut vals = vec![0.0; jac_structure.len()];
+    let mut cp = vec![0.0; m];
+    let mut cm = vec![0.0; m];
+    let mut c0 = vec![0.0; m];
+    for x in &points {
+        problem.jacobian_values(x, &mut vals);
+        for (k, &v) in vals.iter().enumerate() {
+            if v != 0.0 {
+                declared_seen_nonzero[k] = true;
+            }
+        }
+        problem.constraints(x, &mut c0);
+        let mut xp = x.clone();
+        for j in 0..n {
+            let h = FD_STEP * (1.0 + x[j].abs());
+            xp[j] = x[j] + h;
+            problem.constraints(&xp, &mut cp);
+            xp[j] = x[j] - h;
+            problem.constraints(&xp, &mut cm);
+            xp[j] = x[j];
+            for ci in 0..m {
+                let d = (cp[ci] - cm[ci]) / (2.0 * h);
+                let scale = 1.0 + c0[ci].abs();
+                if d.abs() > JAC_TOL * scale && !declared.contains(&(ci, j)) {
+                    let e = undeclared.entry((ci, j)).or_insert(0.0);
+                    if d.abs() > e.abs() {
+                        *e = d;
+                    }
+                }
+            }
+        }
+    }
+    let mut missing: Vec<((usize, usize), f64)> = undeclared.into_iter().collect();
+    missing.sort_by_key(|&((ci, j), _)| (ci, j));
+    for ((ci, j), d) in missing {
+        out.push(Diagnostic {
+            severity: Severity::Error,
+            code: "SGS-D002",
+            location: constraint_label(problem, ci),
+            message: format!(
+                "Jacobian entry (constraint {ci}, variable {j}) is nonzero (~{d:.3e}) \
+                 but missing from the declared sparsity pattern"
+            ),
+            data: vec![
+                ("constraint", ci.to_string()),
+                ("variable", j.to_string()),
+                ("fd_value", format!("{d:.6e}")),
+            ],
+        });
+    }
+    for (k, seen) in declared_seen_nonzero.iter().enumerate() {
+        if !seen {
+            let (ci, j) = jac_structure[k];
+            out.push(Diagnostic {
+                severity: Severity::Warning,
+                code: "SGS-D001",
+                location: constraint_label(problem, ci),
+                message: format!(
+                    "declared Jacobian entry {k} (constraint {ci}, variable {j}) is \
+                     identically zero at every probe point"
+                ),
+                data: vec![
+                    ("entry", k.to_string()),
+                    ("constraint", ci.to_string()),
+                    ("variable", j.to_string()),
+                ],
+            });
+        }
+    }
+
+    // ---- Hessian of the Lagrangian -----------------------------------
+    let hess_structure = problem.hessian_structure();
+    let declared_h: HashSet<(usize, usize)> = hess_structure.iter().copied().collect();
+    let mut declared_h_nonzero = vec![false; hess_structure.len()];
+    let mut hvals = vec![0.0; hess_structure.len()];
+    let mut state = 0x5EED_0001u64;
+    let lambda: Vec<f64> = (0..m).map(|_| 0.5 + splitmix(&mut state)).collect();
+
+    // grad L(x) = grad f(x) + J(x)^T lambda.
+    let grad_l = |x: &[f64], grad: &mut Vec<f64>, jv: &mut Vec<f64>| {
+        grad.clear();
+        grad.resize(n, 0.0);
+        problem.gradient(x, grad);
+        jv.resize(jac_structure.len(), 0.0);
+        problem.jacobian_values(x, jv);
+        for (k, &(ci, j)) in jac_structure.iter().enumerate() {
+            grad[j] += lambda[ci] * jv[k];
+        }
+    };
+
+    let mut undeclared_h: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut gp = Vec::new();
+    let mut gm = Vec::new();
+    let mut jbuf = Vec::new();
+    for x in &points {
+        problem.hessian_values(x, 1.0, &lambda, &mut hvals);
+        for (k, &v) in hvals.iter().enumerate() {
+            if v != 0.0 {
+                declared_h_nonzero[k] = true;
+            }
+        }
+        let mut xp = x.clone();
+        for j in 0..n {
+            let h = FD_STEP.sqrt() * 1e-2 * (1.0 + x[j].abs());
+            xp[j] = x[j] + h;
+            grad_l(&xp, &mut gp, &mut jbuf);
+            xp[j] = x[j] - h;
+            grad_l(&xp, &mut gm, &mut jbuf);
+            xp[j] = x[j];
+            for i in j..n {
+                let d = (gp[i] - gm[i]) / (2.0 * h);
+                if d.abs() > HESS_TOL
+                    && !declared_h.contains(&(i, j))
+                    && !declared_h.contains(&(j, i))
+                {
+                    let e = undeclared_h.entry((i, j)).or_insert(0.0);
+                    if d.abs() > e.abs() {
+                        *e = d;
+                    }
+                }
+            }
+        }
+    }
+    let mut missing_h: Vec<((usize, usize), f64)> = undeclared_h.into_iter().collect();
+    missing_h.sort_by_key(|&((i, j), _)| (i, j));
+    for ((i, j), d) in missing_h {
+        out.push(Diagnostic {
+            severity: Severity::Error,
+            code: "SGS-D003",
+            location: format!("Hessian entry ({i}, {j})"),
+            message: format!(
+                "Hessian of the Lagrangian is nonzero (~{d:.3e}) at ({i}, {j}) but the \
+                 entry is missing from the declared lower-triangle pattern"
+            ),
+            data: vec![
+                ("row", i.to_string()),
+                ("col", j.to_string()),
+                ("fd_value", format!("{d:.6e}")),
+            ],
+        });
+    }
+    for (k, seen) in declared_h_nonzero.iter().enumerate() {
+        if !seen {
+            let (i, j) = hess_structure[k];
+            out.push(Diagnostic {
+                severity: Severity::Warning,
+                code: "SGS-D004",
+                location: format!("Hessian entry ({i}, {j})"),
+                message: format!(
+                    "declared Hessian entry {k} at ({i}, {j}) is identically zero at \
+                     every probe point"
+                ),
+                data: vec![
+                    ("entry", k.to_string()),
+                    ("row", i.to_string()),
+                    ("col", j.to_string()),
+                ],
+            });
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_core::{DelaySpec, Objective};
+    use sgs_netlist::{generate, Library};
+
+    fn build(obj: Objective, spec: DelaySpec) -> SizingProblem {
+        SizingProblem::build(&generate::tree7(), &Library::paper_default(), obj, spec)
+    }
+
+    #[test]
+    fn healthy_problem_has_no_fatal_findings() {
+        for (obj, spec) in [
+            (
+                Objective::Area,
+                DelaySpec::MaxMeanPlusKSigma { k: 3.0, d: 6.5 },
+            ),
+            (Objective::MeanPlusKSigma(3.0), DelaySpec::None),
+            (Objective::Sigma, DelaySpec::ExactMean(6.9)),
+        ] {
+            let p = build(obj, spec);
+            let diags = verify_derivatives(&p, &AnalyzerOptions::default());
+            assert!(
+                diags.iter().all(|d| d.severity != Severity::Error),
+                "{diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_jacobian_entry_is_fatal_d002() {
+        let mut p = build(Objective::Area, DelaySpec::None);
+        p.corrupt_drop_jacobian_entry(3);
+        let diags = verify_derivatives(&p, &AnalyzerOptions::default());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "SGS-D002" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_hessian_entry_is_fatal_d003() {
+        let mut p = build(Objective::MeanPlusKSigma(3.0), DelaySpec::None);
+        // Skip the objective block (dropping there is caught too, but the
+        // constraint block is the harder case).
+        p.corrupt_drop_hessian_entry(1);
+        let diags = verify_derivatives(&p, &AnalyzerOptions::default());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "SGS-D003" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+}

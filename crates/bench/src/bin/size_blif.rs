@@ -3,7 +3,8 @@
 //! ```text
 //! size_blif <netlist.blif> [--objective mu|mu+1s|mu+3s|area|sigma]
 //!           [--deadline D [--confidence 0|1|3]] [--pin-mean D]
-//!           [--reduced] [--out sized.blif.tsv] [--trace run.jsonl]
+//!           [--reduced] [--analyze[=deny]] [--out sized.blif.tsv]
+//!           [--trace run.jsonl]
 //! ```
 //!
 //! Reads a mapped combinational BLIF netlist (e.g. a real MCNC benchmark,
@@ -20,8 +21,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: size_blif <netlist.blif> [--objective mu|mu+1s|mu+3s|area|sigma] \
-         [--deadline D [--confidence 0|1|3]] [--pin-mean D] [--reduced] [--out FILE] \
-         [--trace FILE]"
+         [--deadline D [--confidence 0|1|3]] [--pin-mean D] [--reduced] \
+         [--analyze[=deny]] [--out FILE] [--trace FILE]"
     );
     ExitCode::from(2)
 }
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
     let mut deadline: Option<f64> = None;
     let mut confidence = 3.0f64;
     let mut reduced = false;
+    let mut analyze: Option<bool> = None;
     let mut out: Option<String> = None;
 
     let mut it = args[1..].iter();
@@ -75,6 +77,8 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--reduced" => reduced = true,
+            "--analyze" => analyze = Some(false),
+            "--analyze=deny" => analyze = Some(true),
             "--out" => out = it.next().cloned(),
             _ => return usage(),
         }
@@ -120,6 +124,14 @@ fn main() -> ExitCode {
         .delay_spec(spec);
     if reduced {
         sizer = sizer.solver(SolverChoice::ReducedSpace);
+    }
+    let gate = analyze.map(|deny| sgs_analyze::AnalyzerGate {
+        deny,
+        verbose: true,
+        ..Default::default()
+    });
+    if let Some(gate) = &gate {
+        sizer = sizer.preflight(gate);
     }
     if let Some(sink) = trace.sink() {
         sizer = sizer.trace(sink);

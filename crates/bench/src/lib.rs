@@ -16,6 +16,7 @@ pub struct TraceArg {
     bin: &'static str,
     sink: Option<JsonlSink>,
     start: Instant,
+    clamps_start: u64,
 }
 
 impl TraceArg {
@@ -53,6 +54,7 @@ impl TraceArg {
             bin,
             sink,
             start: Instant::now(),
+            clamps_start: sgs_statmath::clark::var_clamp_count(),
         })
     }
 
@@ -114,6 +116,8 @@ impl TraceArg {
                 area,
                 seconds: self.start.elapsed().as_secs_f64(),
                 evals,
+                clark_var_clamps: sgs_statmath::clark::var_clamp_count()
+                    .saturating_sub(self.clamps_start),
             })
         });
         t.flush();

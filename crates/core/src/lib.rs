@@ -42,9 +42,6 @@
 //! assert!(result.delay.mean() < 7.0);
 //! ```
 
-#![deny(missing_docs)]
-#![deny(unsafe_code)]
-
 pub mod discrete;
 pub mod greedy;
 pub mod problem;
@@ -53,5 +50,5 @@ pub mod sizer;
 pub mod spec;
 
 pub use problem::SizingProblem;
-pub use sizer::{SizeError, Sizer, SizingResult, SolverChoice};
+pub use sizer::{Preflight, SizeError, Sizer, SizingResult, SolverChoice};
 pub use spec::{DelaySpec, Objective};

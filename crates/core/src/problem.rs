@@ -164,6 +164,16 @@ pub struct SizingProblem {
     /// (defaults to [`PAR_CON_THRESHOLD`]; see
     /// [`SizingProblem::set_par_threshold`]).
     par_threshold: usize,
+    /// Gate each constraint belongs to (`None` for the output max chain
+    /// and delay caps) — diagnostic metadata for the static analyzer.
+    con_gate: Vec<Option<usize>>,
+    /// Fault injection for the analyzer's Stage-3 tests: index of a
+    /// declared Jacobian entry to silently drop from both the structure
+    /// and the value array (see
+    /// [`SizingProblem::corrupt_drop_jacobian_entry`]).
+    jac_drop: Option<usize>,
+    /// As `jac_drop`, for the Hessian declaration.
+    hess_drop: Option<usize>,
 }
 
 impl SizingProblem {
@@ -243,9 +253,11 @@ impl SizingProblem {
 
         // --- constraints, gate by gate in topological order -------------
         let mut cons: Vec<Con> = Vec::new();
+        let mut con_gate: Vec<Option<usize>> = Vec::new();
         let eps = clark::DEFAULT_EPS;
         for (id, gate) in circuit.gates() {
             let g = id.index();
+            let first_con = cons.len();
             let fanout: Vec<(usize, f64)> = model
                 .fanouts(id)
                 .iter()
@@ -299,6 +311,8 @@ impl SizingProblem {
                 u: u_var,
                 ivt: idx_vt[g],
             });
+            con_gate.resize(cons.len(), Some(g));
+            debug_assert!(cons.len() > first_con);
         }
 
         // --- circuit-output max chain ------------------------------------
@@ -372,6 +386,7 @@ impl SizingProblem {
         }
 
         let (groups, jac_off, hess_off) = index_cons(&cons);
+        con_gate.resize(cons.len(), None);
         SizingProblem {
             num_vars: lower.len(),
             cons,
@@ -387,7 +402,70 @@ impl SizingProblem {
             jac_off,
             hess_off,
             par_threshold: PAR_CON_THRESHOLD,
+            con_gate,
+            jac_drop: None,
+            hess_drop: None,
         }
+    }
+
+    /// Gate index constraint `ci` belongs to; `None` for the circuit-output
+    /// max chain and delay caps. Diagnostic metadata for `sgs-analyze`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ci` is out of range.
+    pub fn constraint_gate(&self, ci: usize) -> Option<usize> {
+        self.con_gate[ci]
+    }
+
+    /// Short kind tag of constraint `ci` (`"delay"`, `"var_t"`, `"max_mu"`,
+    /// `"max_var"`, `"arr_mu"`, `"arr_var"`, `"delay_cap"`), for
+    /// diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ci` is out of range.
+    pub fn constraint_kind(&self, ci: usize) -> &'static str {
+        match &self.cons[ci] {
+            Con::Delay { .. } => "delay",
+            Con::VarT { .. } => "var_t",
+            Con::MaxMu { .. } => "max_mu",
+            Con::MaxVar { .. } => "max_var",
+            Con::ArrMu { .. } => "arr_mu",
+            Con::ArrVar { .. } => "arr_var",
+            Con::DelayCap { .. } => "delay_cap",
+        }
+    }
+
+    /// Fault injection for the static analyzer's Stage-3 tests: silently
+    /// drops declared Jacobian entry `k` from **both**
+    /// `jacobian_structure` and `jacobian_values`, modelling the real bug
+    /// class where a derivative is computed but its sparsity slot was
+    /// never declared. Never use outside tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a valid entry index.
+    #[doc(hidden)]
+    pub fn corrupt_drop_jacobian_entry(&mut self, k: usize) {
+        assert!(k < *self.jac_off.last().unwrap(), "entry {k} out of range");
+        self.jac_drop = Some(k);
+    }
+
+    /// As [`SizingProblem::corrupt_drop_jacobian_entry`], for the
+    /// Lagrangian-Hessian declaration (entry indices count the objective
+    /// block first). Never use outside tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a valid entry index.
+    #[doc(hidden)]
+    pub fn corrupt_drop_hessian_entry(&mut self, k: usize) {
+        assert!(
+            k < self.obj_hess_len() + *self.hess_off.last().unwrap(),
+            "entry {k} out of range"
+        );
+        self.hess_drop = Some(k);
     }
 
     /// Overrides the constraint count at which constraint/derivative
@@ -661,6 +739,71 @@ impl SizingProblem {
             Objective::MeanPlusKSigma(_) | Objective::Sigma | Objective::NegSigma
         ) as usize
     }
+
+    /// Uncorrupted Jacobian fill (the whole declared entry set).
+    fn jacobian_values_inner(&self, x: &[f64], vals: &mut [f64]) {
+        debug_assert_eq!(vals.len(), *self.jac_off.last().unwrap());
+        if self.par_assembly() {
+            split_groups(
+                &self.groups,
+                |start, len| self.jac_off[start + len] - self.jac_off[start],
+                vals,
+            )
+            .into_par_iter()
+            .for_each(|(start, len, out)| self.jacobian_group(x, start, len, out));
+        } else {
+            for &(start, len) in &self.groups {
+                let out = &mut vals[self.jac_off[start]..self.jac_off[start + len]];
+                self.jacobian_group(x, start, len, out);
+            }
+        }
+    }
+
+    /// Uncorrupted Lagrangian-Hessian fill (the whole declared entry set).
+    fn hessian_values_inner(&self, x: &[f64], sigma: f64, lambda: &[f64], vals: &mut [f64]) {
+        debug_assert_eq!(
+            vals.len(),
+            self.obj_hess_len() + *self.hess_off.last().unwrap()
+        );
+        let (obj, rest) = vals.split_at_mut(self.obj_hess_len());
+        match self.objective {
+            Objective::MeanPlusKSigma(k) => {
+                let st = self.sigma_tmax(x);
+                obj[0] = sigma * k * (-0.25) / (st * st * st);
+            }
+            Objective::Sigma => {
+                let st = self.sigma_tmax(x);
+                obj[0] = sigma * (-0.25) / (st * st * st);
+            }
+            Objective::NegSigma => {
+                let st = self.sigma_tmax(x);
+                obj[0] = sigma * 0.25 / (st * st * st);
+            }
+            _ => {}
+        }
+        if self.par_assembly() {
+            split_groups(
+                &self.groups,
+                |start, len| self.hess_off[start + len] - self.hess_off[start],
+                rest,
+            )
+            .into_par_iter()
+            .for_each(|(start, len, out)| self.hessian_group(x, lambda, start, len, out));
+        } else {
+            for &(start, len) in &self.groups {
+                let out = &mut rest[self.hess_off[start]..self.hess_off[start + len]];
+                self.hessian_group(x, lambda, start, len, out);
+            }
+        }
+    }
+}
+
+/// Copies `full` into `out` skipping entry `dropped` (the corruption-hook
+/// value path; see [`SizingProblem::corrupt_drop_jacobian_entry`]).
+fn copy_dropping(full: &[f64], dropped: usize, out: &mut [f64]) {
+    debug_assert_eq!(out.len() + 1, full.len());
+    out[..dropped].copy_from_slice(&full[..dropped]);
+    out[dropped..].copy_from_slice(&full[dropped + 1..]);
 }
 
 /// Folds a list of operands with repeated two-operand stochastic maxima,
@@ -910,25 +1053,20 @@ impl NlpProblem for SizingProblem {
                 }
             }
         }
+        if let Some(k) = self.jac_drop {
+            s.remove(k);
+        }
         s
     }
 
     fn jacobian_values(&self, x: &[f64], vals: &mut [f64]) {
-        debug_assert_eq!(vals.len(), *self.jac_off.last().unwrap());
-        if self.par_assembly() {
-            split_groups(
-                &self.groups,
-                |start, len| self.jac_off[start + len] - self.jac_off[start],
-                vals,
-            )
-            .into_par_iter()
-            .for_each(|(start, len, out)| self.jacobian_group(x, start, len, out));
-        } else {
-            for &(start, len) in &self.groups {
-                let out = &mut vals[self.jac_off[start]..self.jac_off[start + len]];
-                self.jacobian_group(x, start, len, out);
-            }
+        if let Some(k) = self.jac_drop {
+            let mut full = vec![0.0; *self.jac_off.last().unwrap()];
+            self.jacobian_values_inner(x, &mut full);
+            copy_dropping(&full, k, vals);
+            return;
         }
+        self.jacobian_values_inner(x, vals);
     }
 
     fn hessian_structure(&self) -> Vec<(usize, usize)> {
@@ -964,44 +1102,20 @@ impl NlpProblem for SizingProblem {
                 }
             }
         }
+        if let Some(k) = self.hess_drop {
+            s.remove(k);
+        }
         s
     }
 
     fn hessian_values(&self, x: &[f64], sigma: f64, lambda: &[f64], vals: &mut [f64]) {
-        debug_assert_eq!(
-            vals.len(),
-            self.obj_hess_len() + *self.hess_off.last().unwrap()
-        );
-        let (obj, rest) = vals.split_at_mut(self.obj_hess_len());
-        match self.objective {
-            Objective::MeanPlusKSigma(k) => {
-                let st = self.sigma_tmax(x);
-                obj[0] = sigma * k * (-0.25) / (st * st * st);
-            }
-            Objective::Sigma => {
-                let st = self.sigma_tmax(x);
-                obj[0] = sigma * (-0.25) / (st * st * st);
-            }
-            Objective::NegSigma => {
-                let st = self.sigma_tmax(x);
-                obj[0] = sigma * 0.25 / (st * st * st);
-            }
-            _ => {}
+        if let Some(k) = self.hess_drop {
+            let mut full = vec![0.0; self.obj_hess_len() + *self.hess_off.last().unwrap()];
+            self.hessian_values_inner(x, sigma, lambda, &mut full);
+            copy_dropping(&full, k, vals);
+            return;
         }
-        if self.par_assembly() {
-            split_groups(
-                &self.groups,
-                |start, len| self.hess_off[start + len] - self.hess_off[start],
-                rest,
-            )
-            .into_par_iter()
-            .for_each(|(start, len, out)| self.hessian_group(x, lambda, start, len, out));
-        } else {
-            for &(start, len) in &self.groups {
-                let out = &mut rest[self.hess_off[start]..self.hess_off[start + len]];
-                self.hessian_group(x, lambda, start, len, out);
-            }
-        }
+        self.hessian_values_inner(x, sigma, lambda, vals);
     }
 }
 

@@ -49,6 +49,12 @@ pub enum SizeError {
         /// Final constraint violation.
         c_norm: f64,
     },
+    /// An attached [`Preflight`] gate refused the task before any solver
+    /// iteration ran (Error-severity static-analysis findings).
+    PreflightFailed {
+        /// Human-readable summary of the blocking findings.
+        summary: String,
+    },
 }
 
 impl fmt::Display for SizeError {
@@ -57,11 +63,39 @@ impl fmt::Display for SizeError {
             SizeError::SolverFailed { status, c_norm } => {
                 write!(f, "sizing solver failed ({status}, |c| = {c_norm:.2e})")
             }
+            SizeError::PreflightFailed { summary } => {
+                write!(f, "pre-solve static analysis refused the task: {summary}")
+            }
         }
     }
 }
 
 impl Error for SizeError {}
+
+/// A pre-solve static gate the [`Sizer`] runs before building or solving
+/// anything.
+///
+/// Implemented by `sgs-analyze` (which this crate cannot depend on — the
+/// dependency points the other way), so the sizer can refuse to start on
+/// Error-severity findings without knowing how they are produced. A
+/// failing check aborts [`Sizer::solve`] with
+/// [`SizeError::PreflightFailed`] and costs no solver iterations.
+pub trait Preflight {
+    /// Checks the exact task the sizer is about to run. `Err` carries a
+    /// human-readable summary of the blocking findings.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when the task must not be solved (the implementor's
+    /// severity policy decides what blocks).
+    fn check(
+        &self,
+        circuit: &Circuit,
+        lib: &Library,
+        objective: &Objective,
+        delay_spec: &DelaySpec,
+    ) -> Result<(), String>;
+}
 
 /// Result of a sizing run.
 #[derive(Debug, Clone)]
@@ -87,6 +121,12 @@ pub struct SizingResult {
     /// (zeros for reduced-space runs, which count L-BFGS iterations
     /// instead).
     pub evals: EvalCounts,
+    /// How many Clark-max evaluations clamped a negative variance to zero
+    /// during this solve (delta of
+    /// [`sgs_statmath::clark::var_clamp_count`]; a process-global counter,
+    /// so concurrent solves may inflate each other's delta). Also emitted
+    /// as the `clark_var_clamped` trace counter.
+    pub clark_var_clamps: u64,
 }
 
 impl SizingResult {
@@ -125,6 +165,7 @@ pub struct Sizer<'a> {
     trace: Option<&'a dyn TraceSink>,
     max_restarts: usize,
     poison_nan_after: Option<usize>,
+    preflight: Option<&'a dyn Preflight>,
 }
 
 impl fmt::Debug for Sizer<'_> {
@@ -140,6 +181,7 @@ impl fmt::Debug for Sizer<'_> {
             .field("trace", &self.trace.map(|_| "dyn TraceSink"))
             .field("max_restarts", &self.max_restarts)
             .field("poison_nan_after", &self.poison_nan_after)
+            .field("preflight", &self.preflight.map(|_| "dyn Preflight"))
             .finish()
     }
 }
@@ -165,7 +207,16 @@ impl<'a> Sizer<'a> {
             trace: None,
             max_restarts: 2,
             poison_nan_after: None,
+            preflight: None,
         }
+    }
+
+    /// Attaches a pre-solve static gate (see [`Preflight`]); the solve
+    /// then refuses to start — with [`SizeError::PreflightFailed`] — when
+    /// the gate rejects the task. Default is no gate.
+    pub fn preflight(mut self, gate: &'a dyn Preflight) -> Self {
+        self.preflight = Some(gate);
+        self
     }
 
     /// Attaches a trace sink. The solve then emits phase spans
@@ -249,6 +300,12 @@ impl<'a> Sizer<'a> {
     pub fn solve(&self) -> Result<SizingResult, SizeError> {
         let start = Instant::now();
         let tracer = self.tracer();
+        if let Some(gate) = self.preflight {
+            let _sp = tracer.span("preflight");
+            gate.check(self.circuit, self.lib, &self.objective, &self.delay_spec)
+                .map_err(|summary| SizeError::PreflightFailed { summary })?;
+        }
+        let clamps_before = sgs_statmath::clark::var_clamp_count();
         let n = self.circuit.num_gates();
         let s_start = self.s0.clone().unwrap_or_else(|| vec![1.0; n]);
 
@@ -282,6 +339,7 @@ impl<'a> Sizer<'a> {
                 c_norm: red.violation,
                 seconds: start.elapsed().as_secs_f64(),
                 evals: EvalCounts::default(),
+                clark_var_clamps: self.emit_clamp_delta(&tracer, clamps_before),
             });
         }
 
@@ -379,6 +437,7 @@ impl<'a> Sizer<'a> {
                 c_norm: 0.0,
                 seconds: start.elapsed().as_secs_f64(),
                 evals: result.evals,
+                clark_var_clamps: self.emit_clamp_delta(&tracer, clamps_before),
             });
         };
         let s = if pick_full { s_full } else { red.s };
@@ -398,7 +457,19 @@ impl<'a> Sizer<'a> {
             c_norm: result.c_norm,
             seconds: start.elapsed().as_secs_f64(),
             evals: result.evals,
+            clark_var_clamps: self.emit_clamp_delta(&tracer, clamps_before),
         })
+    }
+
+    /// Delta of the process-global Clark variance-clamp counter over this
+    /// solve, emitted as the `clark_var_clamped` trace counter.
+    fn emit_clamp_delta(&self, tracer: &Tracer<'a>, before: u64) -> u64 {
+        let delta = sgs_statmath::clark::var_clamp_count().saturating_sub(before);
+        tracer.emit(|| TraceEvent::Counter {
+            name: "clark_var_clamped",
+            value: delta,
+        });
+        delta
     }
 
     fn tracer(&self) -> Tracer<'a> {

@@ -27,9 +27,6 @@
 //! assert_eq!(tree.outputs().len(), 1);
 //! ```
 
-#![deny(missing_docs)]
-#![deny(unsafe_code)]
-
 pub mod blif;
 pub mod circuit;
 pub mod generate;

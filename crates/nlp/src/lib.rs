@@ -34,9 +34,6 @@
 //! assert!((result.x[1] - 1.0).abs() < 1e-4);
 //! ```
 
-#![deny(missing_docs)]
-#![deny(unsafe_code)]
-
 pub mod auglag;
 pub mod cache;
 pub mod lbfgs;

@@ -37,9 +37,6 @@
 //! assert!(report.delay.sigma() > 0.0);
 //! ```
 
-#![deny(missing_docs)]
-#![deny(unsafe_code)]
-
 pub mod analysis;
 pub mod canonical;
 pub mod criticality;

@@ -25,9 +25,42 @@
 
 use crate::dual::{Dual2, Real};
 use crate::normal::Normal;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default variance-smoothing floor added inside `theta^2`.
 pub const DEFAULT_EPS: f64 = 1e-9;
+
+/// Process-wide count of variance clamps that actually fired (see
+/// [`var_clamp_count`]).
+static VAR_CLAMP_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// How many times a Clark evaluation produced a (slightly) negative
+/// `var_C = E[C²] − μ_C²` and clamped it to zero, process-wide since
+/// start.
+///
+/// The clamp is numerically benign — the true variance is non-negative
+/// and the negative excursion is catastrophic-cancellation noise when one
+/// operand dominates — but it silently discards information, so every
+/// firing is counted. The sizing driver samples this counter around a
+/// solve and reports the delta (`clark_var_clamped` trace counter), which
+/// corroborates the static analyzer's interval findings with runtime data.
+pub fn var_clamp_count() -> u64 {
+    VAR_CLAMP_COUNT.load(Ordering::Relaxed)
+}
+
+/// `var.max(0.0)` that counts actual clamps. Matches `f64::max` exactly,
+/// including the NaN-to-floor mapping (which is not counted: it is a
+/// divergence, not a clamp).
+fn clamp_var(var: f64) -> f64 {
+    if var >= 0.0 {
+        var
+    } else {
+        if var < 0.0 {
+            VAR_CLAMP_COUNT.fetch_add(1, Ordering::Relaxed);
+        }
+        0.0
+    }
+}
 
 /// Index of `mu_a` in gradient/Hessian arrays.
 pub const I_MU_A: usize = 0;
@@ -71,8 +104,8 @@ pub fn max(a: Normal, b: Normal) -> Normal {
 pub fn max_eps(a: Normal, b: Normal, eps: f64) -> Normal {
     let (mu, var) = moments_generic(a.mean(), a.var(), b.mean(), b.var(), eps);
     // Tiny negative variance can appear from rounding when one operand
-    // dominates; clamp to zero.
-    Normal::from_mean_var(mu, var.max(0.0))
+    // dominates; clamp to zero (counted, see `var_clamp_count`).
+    Normal::from_mean_var(mu, clamp_var(var))
 }
 
 /// Left fold of [`max`] over any number of operands, exactly as the paper
@@ -209,7 +242,7 @@ pub fn max_grad(mu_a: f64, var_a: f64, mu_b: f64, var_b: f64, eps: f64) -> Clark
     }
     ClarkGrad {
         mu: mu_c,
-        var: (e2 - mu_c * mu_c).max(0.0),
+        var: clamp_var(e2 - mu_c * mu_c),
         dmu,
         dvar,
     }
@@ -361,7 +394,7 @@ pub fn max_hess(mu_a: f64, var_a: f64, mu_b: f64, var_b: f64, eps: f64) -> Clark
 
     ClarkHess {
         mu: mu_c,
-        var: (e2 - mu_c * mu_c).max(0.0),
+        var: clamp_var(e2 - mu_c * mu_c),
         dmu,
         dvar,
         hmu,
@@ -381,7 +414,7 @@ pub fn max_hess_dual(mu_a: f64, var_a: f64, mu_b: f64, var_b: f64, eps: f64) -> 
     let (mu, var) = moments_generic(a, va, b, vb, eps);
     ClarkHess {
         mu: mu.val,
-        var: var.val.max(0.0),
+        var: clamp_var(var.val),
         dmu: mu.grad,
         dvar: var.grad,
         hmu: mu.hess,
@@ -636,7 +669,7 @@ pub fn max_correlated(a: Normal, b: Normal, rho: f64) -> Normal {
     let e2 = (a.var() + a.mean() * a.mean()) * cdf_p
         + (b.var() + b.mean() * b.mean()) * cdf_m
         + (a.mean() + b.mean()) * theta * phi;
-    Normal::from_mean_var(mu, (e2 - mu * mu).max(0.0))
+    Normal::from_mean_var(mu, clamp_var(e2 - mu * mu))
 }
 
 /// Clark's covariance propagation: for `C = max(A, B)` and any variable

@@ -1,0 +1,517 @@
+//! Interval arithmetic with outward rounding, for static safety proofs.
+//!
+//! The pre-solve analyzer (`sgs-analyze`) propagates the feasible size box
+//! `[S_min, S_max]` through the delay model and the arrival-time
+//! recurrences to prove — before any solver iteration — that no reachable
+//! point can divide by (near) zero, feed a negative variance into `sqrt`,
+//! or overflow the NLP's scaling assumptions. That proof is only as good
+//! as the enclosure, so every operation here is **outward rounded**: the
+//! result interval is widened by a couple of ULPs (plus a relative margin
+//! for the transcendental approximations of [`crate::special`]) so the
+//! true real-arithmetic image is always contained.
+//!
+//! The operation set is exactly what the delay/arrival recurrences need:
+//! `+ − × ÷ x² sqrt exp`, the standard normal `Φ`/`φ`, and an interval
+//! version of Clark's stochastic max ([`clark_max`]) built compositionally
+//! from the closed-form moment formulas (paper Eqs. 10/12/13). Endpoint
+//! evaluation of the concrete formulas would *not* be sound for the
+//! variance (it is not monotone in its operands); evaluating the formula
+//! text under interval semantics is.
+//!
+//! Enclosures are conservative, not tight: the classic dependency problem
+//! (e.g. `E[C²] − μ_C²` treating the two occurrences of `μ_C` as
+//! independent) widens results, but containment — the property the
+//! analyzer's verdicts rest on, and the property the proptest suite checks
+//! — always holds.
+
+use crate::special::{normal_cdf, normal_pdf};
+
+/// Relative widening applied after `Φ`, `φ` and `exp`, covering the
+/// approximation error of [`crate::special`] (double-precision rational
+/// approximations, accurate to ~1e-15 relative) with a safety factor.
+const REL_TRANSCENDENTAL: f64 = 1e-12;
+
+/// Absolute widening floor so outward rounding never degenerates at 0.
+const TINY: f64 = 1e-300;
+
+/// The next representable `f64` above `x` (infinities and NaN fixed).
+fn next_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    let bits = if x == 0.0 {
+        1 // smallest positive subnormal; works for -0.0 too
+    } else if x > 0.0 {
+        x.to_bits() + 1
+    } else {
+        x.to_bits() - 1
+    };
+    f64::from_bits(bits)
+}
+
+/// The next representable `f64` below `x` (infinities and NaN fixed).
+fn next_down(x: f64) -> f64 {
+    -next_up(-x)
+}
+
+/// A closed interval `[lo, hi]` of `f64` with `lo <= hi`.
+///
+/// Endpoints may be infinite (e.g. after a division by an interval
+/// containing zero); they are never NaN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// The interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either endpoint is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[x, x]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn point(x: f64) -> Self {
+        Self::new(x, x)
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// `hi - lo` (infinite for unbounded intervals).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `x` lies in the closed interval.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Whether both endpoints are finite.
+    pub fn is_finite(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// Smallest interval containing both operands.
+    pub fn hull(self, other: Self) -> Self {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Outward rounding: two ULPs in each direction, absorbing the at most
+    /// one-ULP rounding error of each IEEE basic operation with margin.
+    fn out(lo: f64, hi: f64) -> Self {
+        Self::new(next_down(next_down(lo)), next_up(next_up(hi)))
+    }
+
+    /// Outward rounding for transcendental results: ULP nudges plus a
+    /// relative + absolute margin for the approximation error.
+    fn out_rel(lo: f64, hi: f64) -> Self {
+        let lo = lo - REL_TRANSCENDENTAL * lo.abs() - TINY;
+        let hi = hi + REL_TRANSCENDENTAL * hi.abs() + TINY;
+        Self::out(lo, hi)
+    }
+
+    /// Tight enclosure of `x²` (non-negative even when the interval
+    /// straddles zero, unlike `self * self`).
+    pub fn sqr(self) -> Self {
+        let (a, b) = (self.lo.abs(), self.hi.abs());
+        let big = a.max(b);
+        let small = if self.lo <= 0.0 && self.hi >= 0.0 {
+            0.0
+        } else {
+            a.min(b)
+        };
+        Self::out(small * small, big * big)
+    }
+
+    /// Enclosure of `sqrt(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval contains negative values; callers must clamp
+    /// first (see [`Interval::max_const`]) exactly as the concrete code
+    /// clamps variances.
+    pub fn sqrt(self) -> Self {
+        assert!(self.lo >= 0.0, "sqrt of interval reaching {}", self.lo);
+        let r = Self::out(self.lo.sqrt(), self.hi.sqrt());
+        // sqrt maps [0, inf) into [0, inf); outward rounding must not
+        // escape the codomain.
+        Self::new(r.lo.max(0.0), r.hi)
+    }
+
+    /// Enclosure of `exp(x)` (monotone).
+    pub fn exp(self) -> Self {
+        let r = Self::out_rel(self.lo.exp(), self.hi.exp());
+        Self::new(r.lo.max(0.0), r.hi)
+    }
+
+    /// Enclosure of the standard normal density `φ(x)`: even, unimodal
+    /// with maximum `φ(0)`, so the maximum is at the point of smallest
+    /// magnitude and the minimum at the point of largest magnitude.
+    pub fn norm_pdf(self) -> Self {
+        let hi = if self.contains(0.0) {
+            normal_pdf(0.0)
+        } else {
+            normal_pdf(self.lo.abs().min(self.hi.abs()))
+        };
+        let lo = normal_pdf(self.lo.abs().max(self.hi.abs()));
+        let r = Self::out_rel(lo.min(hi), hi.max(lo));
+        Self::new(r.lo.max(0.0), r.hi)
+    }
+
+    /// Enclosure of the standard normal CDF `Φ(x)` (monotone increasing).
+    pub fn norm_cdf(self) -> Self {
+        let r = Self::out_rel(normal_cdf(self.lo), normal_cdf(self.hi));
+        Self::new(r.lo.max(0.0), r.hi.min(1.0))
+    }
+
+    /// Enclosure of `max(x, c)` — the image of the clamp the concrete
+    /// Clark code applies to variances.
+    pub fn max_const(self, c: f64) -> Self {
+        Self::new(self.lo.max(c), self.hi.max(c))
+    }
+}
+
+/// `0 * ±inf` must contribute `0` to endpoint products (the IEEE NaN would
+/// otherwise poison the enclosure); every other product is exact-directed.
+fn mul_pt(a: f64, b: f64) -> f64 {
+    let p = a * b;
+    if p.is_nan() && (a == 0.0 || b == 0.0) {
+        0.0
+    } else {
+        p
+    }
+}
+
+impl std::ops::Neg for Interval {
+    type Output = Interval;
+    fn neg(self) -> Interval {
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+}
+
+impl std::ops::Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Interval) -> Interval {
+        Interval::out(self.lo + rhs.lo, self.hi + rhs.hi)
+    }
+}
+
+impl std::ops::Add<f64> for Interval {
+    type Output = Interval;
+    fn add(self, rhs: f64) -> Interval {
+        self + Interval::point(rhs)
+    }
+}
+
+impl std::ops::Sub for Interval {
+    type Output = Interval;
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval::out(self.lo - rhs.hi, self.hi - rhs.lo)
+    }
+}
+
+impl std::ops::Mul for Interval {
+    type Output = Interval;
+    fn mul(self, rhs: Interval) -> Interval {
+        let ps = [
+            mul_pt(self.lo, rhs.lo),
+            mul_pt(self.lo, rhs.hi),
+            mul_pt(self.hi, rhs.lo),
+            mul_pt(self.hi, rhs.hi),
+        ];
+        let lo = ps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Interval::out(lo, hi)
+    }
+}
+
+impl std::ops::Mul<f64> for Interval {
+    type Output = Interval;
+    fn mul(self, rhs: f64) -> Interval {
+        self * Interval::point(rhs)
+    }
+}
+
+impl std::ops::Div for Interval {
+    type Output = Interval;
+    fn div(self, rhs: Interval) -> Interval {
+        if rhs.contains(0.0) {
+            // Division by an interval reaching zero: the image is
+            // unbounded. Returning the whole line keeps the enclosure
+            // sound; the analyzer flags the zero-crossing divisor itself
+            // as the actual finding.
+            return Interval::new(f64::NEG_INFINITY, f64::INFINITY);
+        }
+        let qs = [
+            self.lo / rhs.lo,
+            self.lo / rhs.hi,
+            self.hi / rhs.lo,
+            self.hi / rhs.hi,
+        ];
+        let lo = qs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = qs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Interval::out(lo, hi)
+    }
+}
+
+/// Interval enclosure of the Clark max moments of `C = max(A, B)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ClarkBounds {
+    /// Enclosure of `θ² = var_a + var_b + ε²` — the `sqrt` argument the
+    /// analyzer must prove positive.
+    pub theta2: Interval,
+    /// Enclosure of `μ_C` (Eq. 10).
+    pub mu: Interval,
+    /// Enclosure of `var_C = E[C²] − μ_C²` (Eq. 13) **before** the
+    /// non-negativity clamp: a negative lower bound means the analyzer
+    /// cannot prove the runtime clamp never fires.
+    pub var_raw: Interval,
+}
+
+impl ClarkBounds {
+    /// Enclosure of the clamped variance `max(var_C, 0)` — the value the
+    /// concrete code ([`crate::clark::max_eps`]) actually returns.
+    pub fn var_clamped(&self) -> Interval {
+        self.var_raw.max_const(0.0)
+    }
+}
+
+/// Interval version of Clark's stochastic max (Eqs. 10/12/13), evaluated
+/// compositionally so the enclosure is sound for *every* concrete operand
+/// quadruple inside the input boxes:
+/// [`crate::clark::max_eps`]`(a, b, eps)` has its mean in `mu` and its
+/// (clamped) variance in `var_clamped()` whenever `a.mean() ∈ mu_a`,
+/// `a.var() ∈ var_a`, etc.
+///
+/// # Panics
+///
+/// Panics if the `θ²` enclosure reaches zero or below (variance inputs
+/// must be clamped non-negative first, and `eps` must be positive — both
+/// mirror the concrete evaluation's preconditions).
+pub fn clark_max(
+    mu_a: Interval,
+    var_a: Interval,
+    mu_b: Interval,
+    var_b: Interval,
+    eps: f64,
+) -> ClarkBounds {
+    let theta2 = var_a + var_b + eps * eps;
+    assert!(
+        theta2.lo() > 0.0,
+        "interval Clark max needs theta^2 > 0, got lower bound {}",
+        theta2.lo()
+    );
+    let theta = theta2.sqrt();
+    let alpha = (mu_a - mu_b) / theta;
+    let phi = alpha.norm_pdf();
+    let cdf_p = alpha.norm_cdf();
+    let cdf_m = (-alpha).norm_cdf();
+    let mu_c = mu_a * cdf_p + mu_b * cdf_m + theta * phi;
+    let e2 =
+        (var_a + mu_a.sqr()) * cdf_p + (var_b + mu_b.sqr()) * cdf_m + (mu_a + mu_b) * theta * phi;
+    ClarkBounds {
+        theta2,
+        mu: mu_c,
+        var_raw: e2 - mu_c.sqr(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clark;
+    use crate::normal::Normal;
+
+    /// Deterministic splitmix64 stream for sampled containment checks.
+    fn splitmix(state: &mut u64) -> f64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn sample(iv: Interval, state: &mut u64) -> f64 {
+        iv.lo() + splitmix(state) * iv.width()
+    }
+
+    #[test]
+    fn endpoint_nudges_move_outward() {
+        assert!(next_up(1.0) > 1.0);
+        assert!(next_down(1.0) < 1.0);
+        assert!(next_up(0.0) > 0.0);
+        assert!(next_down(0.0) < 0.0);
+        assert!(next_up(-1.0) > -1.0);
+        assert_eq!(next_up(f64::INFINITY), f64::INFINITY);
+        assert_eq!(next_down(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        assert_eq!(next_up(f64::MAX), f64::INFINITY);
+    }
+
+    #[test]
+    fn arithmetic_contains_sampled_points() {
+        let cases = [
+            (Interval::new(1.0, 3.0), Interval::new(-2.0, 0.5)),
+            (Interval::new(-5.0, -1.0), Interval::new(0.1, 0.2)),
+            (Interval::new(0.0, 1e6), Interval::new(1e-9, 2.0)),
+            (Interval::point(2.5), Interval::new(-1.0, 1.0)),
+        ];
+        let mut st = 7u64;
+        for (a, b) in cases {
+            for _ in 0..200 {
+                let x = sample(a, &mut st);
+                let y = sample(b, &mut st);
+                assert!((a + b).contains(x + y));
+                assert!((a - b).contains(x - y));
+                assert!((a * b).contains(x * y));
+                assert!((-a).contains(-x));
+                assert!(a.sqr().contains(x * x));
+                if !b.contains(0.0) {
+                    assert!((a / b).contains(x / y));
+                }
+                assert!(a.norm_cdf().contains(crate::special::normal_cdf(x)));
+                assert!(a.norm_pdf().contains(crate::special::normal_pdf(x)));
+                if a.lo() >= 0.0 {
+                    assert!(a.sqrt().contains(x.max(0.0).sqrt()));
+                }
+                if x.abs() < 30.0 {
+                    assert!(Interval::new(-30.0, 30.0).exp().contains(x.exp()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn division_by_zero_crossing_interval_is_whole_line() {
+        let q = Interval::new(1.0, 2.0) / Interval::new(-1.0, 1.0);
+        assert_eq!(q.lo(), f64::NEG_INFINITY);
+        assert_eq!(q.hi(), f64::INFINITY);
+    }
+
+    #[test]
+    fn sqr_straddling_zero_starts_at_zero() {
+        let s = Interval::new(-2.0, 3.0).sqr();
+        assert!(s.lo() <= 0.0 && s.lo() >= -1e-300);
+        assert!(s.contains(0.0));
+        assert!(s.contains(9.0));
+        assert!(s.hi() < 9.1);
+    }
+
+    #[test]
+    fn clark_contains_concrete_at_endpoints_and_interior() {
+        // Boxes around the adversarial concrete cases of clark::tests.
+        let cases: &[[f64; 4]] = &[
+            [0.0, 1.0, 0.0, 1.0],
+            [1.0, 1.0, 0.0, 1.0],
+            [5.0, 2.0, 4.5, 0.5],
+            [-3.0, 0.1, -2.9, 0.4],
+            [10.0, 4.0, 2.0, 0.01],
+            [7.4, 3.4225, 7.4, 3.4225],
+            [100.0, 25.0, 99.0, 36.0],
+            [-1.0, 9.0, 4.0, 1e-6],
+        ];
+        let mut st = 42u64;
+        for &[ma, va, mb, vb] in cases {
+            let mu_a = Interval::new(ma - 0.5, ma + 0.5);
+            let var_a = Interval::new(va * 0.5, va * 1.5);
+            let mu_b = Interval::new(mb - 0.5, mb + 0.5);
+            let var_b = Interval::new(vb * 0.5, vb * 1.5);
+            let bounds = clark_max(mu_a, var_a, mu_b, var_b, clark::DEFAULT_EPS);
+            // Endpoints, centre and sampled interior points.
+            let mut points = vec![
+                [mu_a.lo(), var_a.lo(), mu_b.lo(), var_b.lo()],
+                [mu_a.hi(), var_a.hi(), mu_b.hi(), var_b.hi()],
+                [mu_a.lo(), var_a.hi(), mu_b.hi(), var_b.lo()],
+                [ma, va, mb, vb],
+            ];
+            for _ in 0..50 {
+                points.push([
+                    sample(mu_a, &mut st),
+                    sample(var_a, &mut st),
+                    sample(mu_b, &mut st),
+                    sample(var_b, &mut st),
+                ]);
+            }
+            for p in points {
+                let c = clark::max_eps(
+                    Normal::from_mean_var(p[0], p[1]),
+                    Normal::from_mean_var(p[2], p[3]),
+                    clark::DEFAULT_EPS,
+                );
+                assert!(
+                    bounds.mu.contains(c.mean()),
+                    "mu {} outside {:?} at {p:?}",
+                    c.mean(),
+                    bounds.mu
+                );
+                assert!(
+                    bounds.var_clamped().contains(c.var()),
+                    "var {} outside {:?} at {p:?}",
+                    c.var(),
+                    bounds.var_clamped()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clark_degenerate_point_intervals_are_tight() {
+        let b = clark_max(
+            Interval::point(1.0),
+            Interval::point(1.0),
+            Interval::point(0.0),
+            Interval::point(1.0),
+            clark::DEFAULT_EPS,
+        );
+        let c = clark::max(
+            Normal::from_mean_var(1.0, 1.0),
+            Normal::from_mean_var(0.0, 1.0),
+        );
+        assert!(b.mu.contains(c.mean()));
+        assert!(b.var_clamped().contains(c.var()));
+        assert!(b.mu.width() < 1e-6, "point enclosure too wide: {:?}", b.mu);
+        assert!(b.var_raw.width() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta^2 > 0")]
+    fn clark_rejects_unprovable_theta() {
+        let _ = clark_max(
+            Interval::point(0.0),
+            Interval::new(-1.0, 1.0),
+            Interval::point(0.0),
+            Interval::point(0.0),
+            0.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn inverted_interval_rejected() {
+        let _ = Interval::new(2.0, 1.0);
+    }
+}

@@ -32,11 +32,9 @@
 //! assert!(c.sigma() > 0.0);
 //! ```
 
-#![deny(missing_docs)]
-#![deny(unsafe_code)]
-
 pub mod clark;
 pub mod dual;
+pub mod interval;
 pub mod mc;
 pub mod normal;
 pub mod special;

@@ -78,6 +78,7 @@ pub fn to_json(event: &TraceEvent) -> String {
             field_f64(&mut s, "sigma", r.sigma);
             field_f64(&mut s, "area", r.area);
             field_f64(&mut s, "seconds", r.seconds);
+            field_usize(&mut s, "clark_var_clamps", r.clark_var_clamps as usize);
             evals_obj(&mut s, &r.evals);
         }
     }
@@ -495,6 +496,7 @@ mod tests {
                 area: 9.5,
                 seconds: 0.4,
                 evals: EvalReport::default(),
+                clark_var_clamps: 2,
             }),
         ];
         let text: String = events.iter().map(|e| to_json(e) + "\n").collect();

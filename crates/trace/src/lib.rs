@@ -126,6 +126,9 @@ pub struct RunReport {
     pub seconds: f64,
     /// Underlying problem evaluations, when a solver ran.
     pub evals: EvalReport,
+    /// Clark variance clamps that fired during the run (the
+    /// `clark_var_clamped` counter; 0 when no solver ran or none fired).
+    pub clark_var_clamps: u64,
 }
 
 /// A structured trace event.

@@ -6,6 +6,10 @@
 //! global allocator: ten thousand emits and spans on the disabled path
 //! must perform **zero** heap allocations.
 
+// A counting global allocator is the one place in the workspace that
+// genuinely needs `unsafe`; keep the exception local to this test.
+#![allow(unsafe_code)]
+
 use sgs_trace::{TraceEvent, Tracer};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};

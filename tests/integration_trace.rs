@@ -164,3 +164,34 @@ fn jsonl_sink_round_trips_through_the_lint_gate() {
     );
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn clark_clamp_counter_event_matches_result_field() {
+    // The solver samples the process-global clamp counter around the
+    // solve and reports the delta both on the result and as a
+    // `clark_var_clamped` counter event; the two must agree.
+    let c = dag(20, 11);
+    let sink = MemorySink::new();
+    let r = Sizer::new(&c, &lib())
+        .objective(Objective::MeanPlusKSigma(3.0))
+        .trace(&sink)
+        .solve()
+        .expect("traced sizing converges");
+
+    let counters: Vec<u64> = sink
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Counter {
+                name: "clark_var_clamped",
+                value,
+            } => Some(*value),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        counters,
+        vec![r.clark_var_clamps],
+        "exactly one clamp-counter event, equal to the result field"
+    );
+}
