@@ -1,0 +1,512 @@
+//! What-if query driver: scripted size perturbations answered by the
+//! incremental SSTA engine, with a full-recompute A/B mode and an
+//! incremental-vs-full benchmark.
+//!
+//! ```text
+//! what_if <netlist.blif|.v> [--script FILE.json] [--queries N] [--seed S]
+//!         [--full] [--table FILE] [--trace FILE]
+//! what_if --bench [--queries N] [--out PATH] [--trace FILE]
+//! ```
+//!
+//! Session mode applies a sequence of speed-factor perturbation steps
+//! (from a JSON script, or `--queries N` deterministically generated
+//! single-gate steps) and prints one row per step: step index, `mu_Tmax`
+//! and `sigma_Tmax` to 17 significant digits. With `--full` every step is
+//! answered by a from-scratch SSTA pass instead of the incremental
+//! engine; the rows are **bit-identical** either way (that is the
+//! incremental engine's contract), so CI diffs the two tables. Each step
+//! also emits a `what_if_query` trace record carrying the per-query
+//! latency and `gates_recomputed`.
+//!
+//! A JSON script is an array of steps; each step is one change object
+//! `{"gate": <id>, "size": <speed factor>}` or an array of them.
+//!
+//! `--bench` times incremental vs full answers for the same query
+//! sequences on the generated Table 1 suite (`apex2`, `apex1`, `k2`),
+//! asserts bit-identity in the same run, adds a warm-started
+//! deadline-re-solve demo, and writes `BENCH_incremental.json`.
+
+use sgs_bench::TraceArg;
+use sgs_core::{DelaySpec, Objective, Sizer};
+use sgs_netlist::{blif, generate, Circuit, GateId, Library};
+use sgs_ssta::{ssta, IncrementalSsta};
+use sgs_trace::json::{parse_json, Json};
+use sgs_trace::TraceEvent;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: what_if <netlist.blif|.v> [--script FILE.json] [--queries N] [--seed S] \
+         [--full] [--table FILE] [--trace FILE]\n\
+         \x20      what_if --bench [--queries N] [--out PATH] [--trace FILE]"
+    );
+    ExitCode::from(2)
+}
+
+/// splitmix64 step — the repository's stock deterministic generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)`.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// `n` deterministic single-gate perturbation steps.
+fn generated_steps(
+    circuit: &Circuit,
+    lib: &Library,
+    n: usize,
+    seed: u64,
+) -> Vec<Vec<(GateId, f64)>> {
+    let gates = circuit.num_gates();
+    let mut state = seed ^ 0xD1B5_4A32_D192_ED03;
+    (0..n)
+        .map(|_| {
+            let g = (splitmix64(&mut state) % gates as u64) as usize;
+            let v = 1.0 + unit(&mut state) * (lib.s_limit - 1.0);
+            vec![(GateId(g), v)]
+        })
+        .collect()
+}
+
+/// Parses a perturbation script: a JSON array of steps, each one change
+/// object or an array of change objects.
+fn parse_script(text: &str, num_gates: usize) -> Result<Vec<Vec<(GateId, f64)>>, String> {
+    let change = |v: &Json| -> Result<(GateId, f64), String> {
+        let gate = v
+            .get("gate")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| "change needs a numeric \"gate\"".to_string())?;
+        let size = v
+            .get("size")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| "change needs a numeric \"size\"".to_string())?;
+        let gate = gate as usize;
+        if gate >= num_gates {
+            return Err(format!(
+                "gate {gate} out of range (circuit has {num_gates})"
+            ));
+        }
+        if !size.is_finite() || size < 1.0 {
+            return Err(format!("size {size} must be finite and >= 1"));
+        }
+        Ok((GateId(gate), size))
+    };
+    let Json::Arr(steps) = parse_json(text)? else {
+        return Err("script must be a JSON array of steps".to_string());
+    };
+    steps
+        .iter()
+        .map(|step| match step {
+            Json::Arr(changes) => changes.iter().map(change).collect(),
+            obj => Ok(vec![change(obj)?]),
+        })
+        .collect()
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    if v.is_empty() {
+        f64::NAN
+    } else {
+        v[v.len() / 2]
+    }
+}
+
+/// One answered query: the post-step delay and its cost.
+struct Answer {
+    mu: f64,
+    sigma: f64,
+    gates_recomputed: usize,
+    seconds: f64,
+}
+
+/// Answers every step incrementally (dirty cone only).
+fn run_incremental(
+    circuit: &Circuit,
+    lib: &Library,
+    s0: &[f64],
+    steps: &[Vec<(GateId, f64)>],
+) -> Vec<Answer> {
+    let mut inc = IncrementalSsta::new(circuit, lib, s0);
+    steps
+        .iter()
+        .map(|step| {
+            let t = Instant::now();
+            let stats = inc.apply(step);
+            let seconds = t.elapsed().as_secs_f64();
+            Answer {
+                mu: inc.delay().mean(),
+                sigma: inc.delay().sigma(),
+                gates_recomputed: stats.gates_recomputed,
+                seconds,
+            }
+        })
+        .collect()
+}
+
+/// Answers every step with a from-scratch SSTA pass (the `--full` A/B
+/// baseline).
+fn run_full(
+    circuit: &Circuit,
+    lib: &Library,
+    s0: &[f64],
+    steps: &[Vec<(GateId, f64)>],
+) -> Vec<Answer> {
+    let mut s = s0.to_vec();
+    steps
+        .iter()
+        .map(|step| {
+            for &(g, v) in step {
+                s[g.index()] = v;
+            }
+            let t = Instant::now();
+            let report = ssta(circuit, lib, &s);
+            let seconds = t.elapsed().as_secs_f64();
+            Answer {
+                mu: report.delay.mean(),
+                sigma: report.delay.sigma(),
+                gates_recomputed: circuit.num_gates(),
+                seconds,
+            }
+        })
+        .collect()
+}
+
+/// The 17-significant-digit per-step table both modes must reproduce
+/// bit-identically.
+fn render_table(circuit: &Circuit, answers: &[Answer]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# what_if circuit {} gates {} steps {}",
+        circuit.name(),
+        circuit.num_gates(),
+        answers.len()
+    );
+    for (i, a) in answers.iter().enumerate() {
+        let _ = writeln!(out, "{i:>4}  {:+.17e}  {:+.17e}", a.mu, a.sigma);
+    }
+    out
+}
+
+fn session(mut args: Vec<String>, trace: &TraceArg) -> ExitCode {
+    let path = args.remove(0);
+    let mut script: Option<String> = None;
+    let mut queries = 20usize;
+    let mut seed = 7u64;
+    let mut full = false;
+    let mut table: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--script" => script = it.next().cloned(),
+            "--queries" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => queries = n,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage(),
+            },
+            "--full" => full = true,
+            "--table" => table = it.next().cloned(),
+            _ => return usage(),
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = if path.ends_with(".v") {
+        sgs_netlist::verilog::parse(&text)
+    } else {
+        blif::parse(&text)
+    };
+    let circuit = match parsed {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lib = Library::paper_default();
+    let steps = match script {
+        Some(file) => {
+            let text = match std::fs::read_to_string(&file) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parse_script(&text, circuit.num_gates()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bad script {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => generated_steps(&circuit, &lib, queries, seed),
+    };
+
+    let s0 = vec![1.0; circuit.num_gates()];
+    let answers = if full {
+        run_full(&circuit, &lib, &s0, &steps)
+    } else {
+        run_incremental(&circuit, &lib, &s0, &steps)
+    };
+    let tracer = trace.tracer();
+    for (i, a) in answers.iter().enumerate() {
+        tracer.emit(|| TraceEvent::WhatIfQuery {
+            query: i,
+            gates_recomputed: a.gates_recomputed as u64,
+            full,
+            seconds: a.seconds,
+        });
+    }
+
+    let rendered = render_table(&circuit, &answers);
+    print!("{rendered}");
+    if let Some(file) = table {
+        if let Err(e) = std::fs::write(&file, &rendered) {
+            eprintln!("cannot write {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let total: usize = answers.iter().map(|a| a.gates_recomputed).sum();
+    let lat_us: Vec<f64> = answers.iter().map(|a| a.seconds * 1e6).collect();
+    println!(
+        "# mode {}  gates_recomputed {total} (full-recompute equivalent {})  median latency {:.2} us",
+        if full { "full" } else { "incremental" },
+        circuit.num_gates() * answers.len(),
+        median(lat_us),
+    );
+    trace.report(circuit.name(), "ok", f64::NAN, f64::NAN, f64::NAN, f64::NAN);
+    ExitCode::SUCCESS
+}
+
+/// One circuit's incremental-vs-full A/B entry.
+struct BenchEntry {
+    circuit: String,
+    gates: usize,
+    queries: usize,
+    median_incremental_us: f64,
+    median_full_us: f64,
+    median_speedup: f64,
+    bit_identical: bool,
+    mean_gates_recomputed: f64,
+}
+
+fn bench_circuit(circuit: &Circuit, lib: &Library, queries: usize) -> BenchEntry {
+    let n = circuit.num_gates();
+    let s0: Vec<f64> = (0..n).map(|i| 1.0 + 0.05 * (i % 37) as f64).collect();
+    let steps = generated_steps(circuit, lib, queries, 0xC0FFEE ^ n as u64);
+    let inc = run_incremental(circuit, lib, &s0, &steps);
+    let full = run_full(circuit, lib, &s0, &steps);
+    let bit_identical = inc
+        .iter()
+        .zip(&full)
+        .all(|(a, b)| a.mu.to_bits() == b.mu.to_bits() && a.sigma.to_bits() == b.sigma.to_bits());
+    let med_inc = median(inc.iter().map(|a| a.seconds * 1e6).collect());
+    let med_full = median(full.iter().map(|a| a.seconds * 1e6).collect());
+    BenchEntry {
+        circuit: circuit.name().to_string(),
+        gates: n,
+        queries,
+        median_incremental_us: med_inc,
+        median_full_us: med_full,
+        median_speedup: med_full / med_inc,
+        bit_identical,
+        mean_gates_recomputed: inc.iter().map(|a| a.gates_recomputed as f64).sum::<f64>()
+            / queries as f64,
+    }
+}
+
+/// One warm deadline re-solve record for the bench report.
+struct ResolveRecord {
+    deadline: f64,
+    seconds: f64,
+    outer_iterations: usize,
+    warm_start_hit: bool,
+    gates_recomputed: usize,
+}
+
+fn bench(args: Vec<String>) -> ExitCode {
+    let mut queries = 200usize;
+    let mut out_path = String::from("BENCH_incremental.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--queries" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => queries = n,
+                None => return usage(),
+            },
+            "--out" => match it.next().cloned() {
+                Some(p) => out_path = p,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let lib = Library::paper_default();
+    let suite = generate::benchmark_suite();
+    let largest = suite
+        .iter()
+        .map(Circuit::num_gates)
+        .max()
+        .expect("non-empty suite");
+
+    println!("incremental SSTA bench: {queries} single-gate queries per circuit");
+    let mut entries = Vec::new();
+    for c in &suite {
+        let e = bench_circuit(c, &lib, queries);
+        println!(
+            "{:<8} {:>5} gates  incremental {:>8.2} us  full {:>9.2} us  speedup {:>7.1}x  \
+             identical {}  mean cone {:.1} gates",
+            e.circuit,
+            e.gates,
+            e.median_incremental_us,
+            e.median_full_us,
+            e.median_speedup,
+            e.bit_identical,
+            e.mean_gates_recomputed,
+        );
+        assert!(e.bit_identical, "incremental answers must be bit-identical");
+        if e.gates == largest {
+            assert!(
+                e.median_speedup >= 5.0,
+                "largest benchmark must see >= 5x median speedup, got {:.1}x",
+                e.median_speedup
+            );
+        }
+        entries.push(e);
+    }
+
+    // Warm-started deadline sweep on a 40-cell DAG (the committed rdag40
+    // benchmark's generator twin): one cold solve, then tightening
+    // re-solves carrying (x, lambda, rho).
+    let rdag = generate::random_dag(&generate::RandomDagSpec {
+        name: "rdag40".into(),
+        cells: 40,
+        inputs: 8,
+        depth: 8,
+        seed: 40,
+        ..Default::default()
+    });
+    let baseline = ssta(&rdag, &lib, &vec![1.0; rdag.num_gates()]).delay.mean();
+    let mut resolver = Sizer::new(&rdag, &lib)
+        .objective(Objective::Area)
+        .delay_spec(DelaySpec::MaxMean(baseline * 0.95))
+        .resolver();
+    let t = Instant::now();
+    let cold = resolver.solve().expect("cold rdag40 solve converges");
+    let cold_seconds = t.elapsed().as_secs_f64();
+    let mut resolves = Vec::new();
+    for factor in [0.92, 0.89, 0.86] {
+        let d = baseline * factor;
+        let t = Instant::now();
+        let out = resolver.resolve_spec(d).expect("warm re-solve converges");
+        resolves.push(ResolveRecord {
+            deadline: d,
+            seconds: t.elapsed().as_secs_f64(),
+            outer_iterations: out.result.outer_iterations,
+            warm_start_hit: out.warm_start_hit,
+            gates_recomputed: out.gates_recomputed,
+        });
+    }
+    println!(
+        "rdag40 resolve: cold {:.2}s ({} outer), then {}",
+        cold_seconds,
+        cold.result.outer_iterations,
+        resolves
+            .iter()
+            .map(|r| format!(
+                "D={:.2} {:.2}s ({} outer, warm {})",
+                r.deadline, r.seconds, r.outer_iterations, r.warm_start_hit
+            ))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    assert!(
+        resolves.iter().all(|r| r.warm_start_hit),
+        "every re-solve must accept the warm start"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"queries\": {queries},");
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"circuit\": \"{}\", \"gates\": {}, \"queries\": {}, \
+             \"median_incremental_us\": {:.3}, \"median_full_us\": {:.3}, \
+             \"median_speedup\": {:.3}, \"bit_identical\": {}, \
+             \"mean_gates_recomputed\": {:.3}}}{}",
+            e.circuit,
+            e.gates,
+            e.queries,
+            e.median_incremental_us,
+            e.median_full_us,
+            e.median_speedup,
+            e.bit_identical,
+            e.mean_gates_recomputed,
+            if i + 1 < entries.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"resolve\": {{\"circuit\": \"rdag40\", \"gates\": {}, \
+         \"cold_seconds\": {:.3}, \"cold_outer_iterations\": {}, \"resolves\": [",
+        rdag.num_gates(),
+        cold_seconds,
+        cold.result.outer_iterations,
+    );
+    for (i, r) in resolves.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"deadline\": {:.4}, \"seconds\": {:.3}, \"outer_iterations\": {}, \
+             \"warm_start_hit\": {}, \"gates_recomputed\": {}}}{}",
+            r.deadline,
+            r.seconds,
+            r.outer_iterations,
+            r.warm_start_hit,
+            r.gates_recomputed,
+            if i + 1 < resolves.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]}\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = match TraceArg::extract("what_if", &mut args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    match args.first().map(String::as_str) {
+        Some("--bench") => bench(args[1..].to_vec()),
+        Some(_) => session(args, &trace),
+        None => usage(),
+    }
+}

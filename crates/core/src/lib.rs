@@ -46,9 +46,11 @@ pub mod discrete;
 pub mod greedy;
 pub mod problem;
 pub mod reduced;
+pub mod resolve;
 pub mod sizer;
 pub mod spec;
 
 pub use problem::SizingProblem;
+pub use resolve::{ResolveOutcome, Resolver, WhatIfReport};
 pub use sizer::{Preflight, SizeError, Sizer, SizingResult, SolverChoice};
 pub use spec::{DelaySpec, Objective};

@@ -468,6 +468,31 @@ impl SizingProblem {
         self.hess_drop = Some(k);
     }
 
+    /// Rewrites the deadline scalar `D` of every delay-cap constraint in
+    /// place, returning how many caps were updated (`0` means the
+    /// formulation has no delay constraint and nothing changed).
+    ///
+    /// Only the right-hand-side constant moves: the variable set, bounds,
+    /// sparsity patterns and constraint order are untouched, so a solution
+    /// of the old problem remains a dimension-compatible warm start for
+    /// the new one. This is what lets [`crate::resolve::Resolver`] re-solve
+    /// a deadline perturbation without rebuilding the formulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is not finite.
+    pub fn set_deadline(&mut self, d: f64) -> usize {
+        assert!(d.is_finite(), "deadline must be finite, got {d}");
+        let mut updated = 0;
+        for con in &mut self.cons {
+            if let Con::DelayCap { d: cap, .. } = con {
+                *cap = d;
+                updated += 1;
+            }
+        }
+        updated
+    }
+
     /// Overrides the constraint count at which constraint/derivative
     /// assembly switches to the parallel (grouped disjoint-slice) path.
     /// Both paths compute bit-identical values; this knob exists so tests

@@ -291,6 +291,24 @@ impl<'a> Sizer<'a> {
         self
     }
 
+    /// Converts this configuration into a [`crate::resolve::Resolver`] —
+    /// the incremental re-solve driver behind what-if queries. The
+    /// resolver keeps the built formulation, an [`sgs_ssta::IncrementalSsta`]
+    /// engine and the last solution's `(x, lambda, rho)` alive across
+    /// solves, so spec/size perturbations re-solve warm instead of from
+    /// scratch.
+    pub fn resolver(self) -> crate::resolve::Resolver<'a> {
+        crate::resolve::Resolver::from_parts(
+            self.circuit,
+            self.lib,
+            self.objective,
+            self.delay_spec,
+            self.al_options,
+            self.input_arrivals,
+            self.trace,
+        )
+    }
+
     /// Runs the optimisation.
     ///
     /// # Errors
@@ -518,45 +536,74 @@ impl<'a> Sizer<'a> {
     /// Clean-SSTA objective value and delay-spec violation at `s`.
     fn evaluate(&self, s: &[f64]) -> (f64, f64) {
         let report = self.analyse(s);
-        let mu = report.delay.mean();
-        let sigma = report.delay.sigma();
-        let obj = match &self.objective {
-            Objective::Area => s.iter().sum(),
-            Objective::WeightedArea(w) => s.iter().zip(w).map(|(a, b)| a * b).sum(),
-            Objective::MeanDelay => mu,
-            Objective::MeanPlusKSigma(k) => mu + k * sigma,
-            Objective::Sigma => sigma,
-            Objective::NegSigma => -sigma,
-        };
-        let viol = match &self.delay_spec {
-            DelaySpec::None => 0.0,
-            DelaySpec::MaxMean(d) => (mu - d).max(0.0),
-            DelaySpec::MaxMeanPlusKSigma { k, d } => (mu + k * sigma - d).max(0.0),
-            DelaySpec::ExactMean(d) => (mu - d).abs(),
-            DelaySpec::PerOutput { k, d } => self
-                .circuit
-                .outputs()
-                .iter()
-                .zip(d)
-                .map(|(&o, &d_o)| {
-                    let a = report.arrivals[o.index()];
-                    (a.mean() + k * a.sigma() - d_o).max(0.0)
-                })
-                .fold(0.0, f64::max),
-        };
-        (obj, viol)
+        (
+            objective_value(&self.objective, s, report.delay),
+            spec_violation(
+                &self.delay_spec,
+                self.circuit,
+                &report.arrivals,
+                report.delay,
+            ),
+        )
     }
 
     /// Acceptable delay-spec violation, scaled to the deadline magnitude.
     fn spec_tolerance(&self) -> f64 {
-        match &self.delay_spec {
-            DelaySpec::None => f64::INFINITY,
-            DelaySpec::MaxMean(d)
-            | DelaySpec::MaxMeanPlusKSigma { d, .. }
-            | DelaySpec::ExactMean(d) => 1e-3 * (1.0 + d.abs()),
-            DelaySpec::PerOutput { d, .. } => {
-                1e-3 * (1.0 + d.iter().fold(f64::INFINITY, |a, &b| a.min(b)).abs())
-            }
+        spec_tolerance(&self.delay_spec)
+    }
+}
+
+/// Objective value at speed factors `s` with clean-SSTA delay `delay`.
+/// Shared by [`Sizer`] and [`crate::resolve::Resolver`] so both drivers
+/// score candidates by the exact same formula.
+pub(crate) fn objective_value(objective: &Objective, s: &[f64], delay: Normal) -> f64 {
+    let mu = delay.mean();
+    let sigma = delay.sigma();
+    match objective {
+        Objective::Area => s.iter().sum(),
+        Objective::WeightedArea(w) => s.iter().zip(w).map(|(a, b)| a * b).sum(),
+        Objective::MeanDelay => mu,
+        Objective::MeanPlusKSigma(k) => mu + k * sigma,
+        Objective::Sigma => sigma,
+        Objective::NegSigma => -sigma,
+    }
+}
+
+/// Delay-spec violation given clean per-gate arrivals and circuit delay.
+pub(crate) fn spec_violation(
+    spec: &DelaySpec,
+    circuit: &Circuit,
+    arrivals: &[Normal],
+    delay: Normal,
+) -> f64 {
+    let mu = delay.mean();
+    let sigma = delay.sigma();
+    match spec {
+        DelaySpec::None => 0.0,
+        DelaySpec::MaxMean(d) => (mu - d).max(0.0),
+        DelaySpec::MaxMeanPlusKSigma { k, d } => (mu + k * sigma - d).max(0.0),
+        DelaySpec::ExactMean(d) => (mu - d).abs(),
+        DelaySpec::PerOutput { k, d } => circuit
+            .outputs()
+            .iter()
+            .zip(d)
+            .map(|(&o, &d_o)| {
+                let a = arrivals[o.index()];
+                (a.mean() + k * a.sigma() - d_o).max(0.0)
+            })
+            .fold(0.0, f64::max),
+    }
+}
+
+/// Acceptable delay-spec violation, scaled to the deadline magnitude.
+pub(crate) fn spec_tolerance(spec: &DelaySpec) -> f64 {
+    match spec {
+        DelaySpec::None => f64::INFINITY,
+        DelaySpec::MaxMean(d)
+        | DelaySpec::MaxMeanPlusKSigma { d, .. }
+        | DelaySpec::ExactMean(d) => 1e-3 * (1.0 + d.abs()),
+        DelaySpec::PerOutput { d, .. } => {
+            1e-3 * (1.0 + d.iter().fold(f64::INFINITY, |a, &b| a.min(b)).abs())
         }
     }
 }

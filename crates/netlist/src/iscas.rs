@@ -46,15 +46,17 @@ use std::fmt::Write as _;
 /// ```
 pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
     let mut inputs: Vec<String> = Vec::new();
-    let mut outputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
     struct Node {
         kind: GateKind,
         fanins: Vec<String>,
+        line: usize,
     }
     let mut nodes: HashMap<String, Node> = HashMap::new();
     let mut order: Vec<String> = Vec::new();
 
-    for raw in text.lines() {
+    for (ln, raw) in text.lines().enumerate() {
+        let ln = ln + 1;
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
@@ -64,13 +66,13 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
             inputs.push(name.to_string());
         } else if let Some(rest) = line.strip_prefix("OUTPUT(") {
             let name = rest.trim_end_matches(')').trim();
-            outputs.push(name.to_string());
+            outputs.push((name.to_string(), ln));
         } else if let Some((lhs, rhs)) = line.split_once('=') {
             let out = lhs.trim().to_string();
             let rhs = rhs.trim();
-            let open = rhs
-                .find('(')
-                .ok_or_else(|| NetlistError::Parse(format!("malformed definition of `{out}`")))?;
+            let open = rhs.find('(').ok_or_else(|| {
+                NetlistError::Parse(format!("line {ln}: malformed definition of `{out}`"))
+            })?;
             let func = rhs[..open].trim().to_uppercase();
             let body = rhs[open + 1..].trim_end_matches(')');
             let fanins: Vec<String> = body
@@ -80,16 +82,23 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                 .collect();
             let kind = kind_for(&func, fanins.len()).ok_or_else(|| {
                 NetlistError::Parse(format!(
-                    "unsupported gate `{func}` with {} inputs at `{out}`",
+                    "line {ln}: unsupported gate `{func}` with {} inputs at `{out}`",
                     fanins.len()
                 ))
             })?;
-            if nodes.insert(out.clone(), Node { kind, fanins }).is_some() {
+            let node = Node {
+                kind,
+                fanins,
+                line: ln,
+            };
+            if nodes.insert(out.clone(), node).is_some() {
                 return Err(NetlistError::DuplicateName(out));
             }
             order.push(out);
         } else {
-            return Err(NetlistError::Parse(format!("unrecognised line `{line}`")));
+            return Err(NetlistError::Parse(format!(
+                "line {ln}: unrecognised line `{line}`"
+            )));
         }
     }
 
@@ -107,7 +116,8 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                     .push(name.as_str());
             } else if !inputs.iter().any(|i| i == f) {
                 return Err(NetlistError::Parse(format!(
-                    "signal `{f}` feeding `{name}` is neither an input nor defined"
+                    "line {}: signal `{f}` feeding `{name}` is neither an input nor defined",
+                    nodes[name].line
                 )));
             }
         }
@@ -154,10 +164,10 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
         let s = b.add_gate(node.kind, name, &fanin_sigs)?;
         sig.insert(name.to_string(), s);
     }
-    for o in &outputs {
-        let s = *sig
-            .get(o)
-            .ok_or_else(|| NetlistError::Parse(format!("output `{o}` is never defined")))?;
+    for (o, ln) in &outputs {
+        let s = *sig.get(o).ok_or_else(|| {
+            NetlistError::Parse(format!("line {ln}: output `{o}` is never defined"))
+        })?;
         b.mark_output(s)?;
     }
     b.build()

@@ -52,17 +52,25 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
 
     let mut module = String::from("verilog");
     let mut inputs: Vec<String> = Vec::new();
-    let mut outputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
     struct Inst {
         kind: GateKind,
         name: String,
         fanins: Vec<String>,
         out: String,
+        line: usize,
     }
     let mut insts: Vec<Inst> = Vec::new();
 
+    // Statements split on `;`; `line` tracks where each statement *starts*
+    // (after leading whitespace), for error reporting.
+    let mut line = 1usize;
     for stmt in cleaned.split(';') {
-        let stmt = stmt.trim();
+        let trimmed = stmt.trim();
+        let leading_ws = &stmt[..stmt.len() - stmt.trim_start().len()];
+        let ln = line + leading_ws.matches('\n').count();
+        line += stmt.matches('\n').count();
+        let stmt = trimmed;
         if stmt.is_empty() || stmt == "endmodule" {
             continue;
         }
@@ -81,24 +89,27 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                 }
             }
             "input" => inputs.extend(parse_name_list(rest)),
-            "output" => outputs.extend(parse_name_list(rest)),
+            "output" => outputs.extend(parse_name_list(rest).into_iter().map(|n| (n, ln))),
             "wire" => {} // declarations carry no structure we need
             "assign" | "always" | "reg" | "parameter" | "initial" => {
                 return Err(NetlistError::Parse(format!(
-                    "behavioural construct `{head}` is not supported"
+                    "line {ln}: behavioural construct `{head}` is not supported"
                 )));
             }
             kind_name => {
                 let kind = kind_from_name(kind_name).ok_or_else(|| {
-                    NetlistError::Parse(format!("unknown gate type `{kind_name}`"))
+                    NetlistError::Parse(format!("line {ln}: unknown gate type `{kind_name}`"))
                 })?;
-                let (inst_name, conns) = parse_instance(rest, kind_name)?;
-                let (fanins, out) = resolve_ports(kind, &conns, &inst_name)?;
+                let (inst_name, conns) =
+                    parse_instance(rest, kind_name).map_err(|e| at_line(ln, e))?;
+                let (fanins, out) =
+                    resolve_ports(kind, &conns, &inst_name).map_err(|e| at_line(ln, e))?;
                 insts.push(Inst {
                     kind,
                     name: inst_name,
                     fanins,
                     out,
+                    line: ln,
                 });
             }
         }
@@ -120,8 +131,8 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                 dependents[src].push(i);
             } else if !inputs.iter().any(|n| n == f) {
                 return Err(NetlistError::Parse(format!(
-                    "net `{f}` feeding `{}` is neither an input nor driven",
-                    inst.name
+                    "line {}: net `{f}` feeding `{}` is neither an input nor driven",
+                    inst.line, inst.name
                 )));
             }
         }
@@ -166,23 +177,31 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
         let s = b.add_gate(inst.kind, inst.out.clone(), &fanin_sigs)?;
         sig.insert(inst.out.clone(), s);
     }
-    for o in &outputs {
-        let s = *sig
-            .get(o)
-            .ok_or_else(|| NetlistError::Parse(format!("output `{o}` is never driven")))?;
+    for (o, ln) in &outputs {
+        let s = *sig.get(o).ok_or_else(|| {
+            NetlistError::Parse(format!("line {ln}: output `{o}` is never driven"))
+        })?;
         b.mark_output(s)?;
     }
     b.build()
 }
 
+/// Strips `/* */` and `//` comments while preserving every newline, so
+/// byte positions in the result map to the original line numbers that
+/// parse errors report.
 fn strip_comments(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     let mut rest = text;
     while let Some(pos) = rest.find("/*") {
         out.push_str(&rest[..pos]);
         match rest[pos..].find("*/") {
-            Some(end) => rest = &rest[pos + end + 2..],
+            Some(end) => {
+                // Keep the newlines the block comment spanned.
+                out.extend(rest[pos..pos + end + 2].chars().filter(|&c| c == '\n'));
+                rest = &rest[pos + end + 2..];
+            }
             None => {
+                out.extend(rest[pos..].chars().filter(|&c| c == '\n'));
                 rest = "";
                 break;
             }
@@ -193,6 +212,15 @@ fn strip_comments(text: &str) -> String {
         .map(|l| l.split("//").next().unwrap_or(""))
         .collect::<Vec<_>>()
         .join("\n")
+}
+
+/// Prefixes `line N:` onto a [`NetlistError::Parse`] message (other
+/// variants carry a bare name and pass through).
+fn at_line(ln: usize, e: NetlistError) -> NetlistError {
+    match e {
+        NetlistError::Parse(msg) => NetlistError::Parse(format!("line {ln}: {msg}")),
+        other => other,
+    }
 }
 
 fn parse_name_list(rest: &str) -> Vec<String> {

@@ -125,6 +125,51 @@ pub struct SolveResult {
     pub status: SolveStatus,
 }
 
+/// Solver state carried from one solve into the next: the final iterate,
+/// multiplier estimates and penalty parameter of a previous
+/// [`SolveResult`].
+///
+/// A warm start from a converged point re-verifies optimality in a single
+/// outer iteration (the first inner solve cannot move the iterate, the
+/// feasibility and projected-gradient checks both pass immediately), so a
+/// re-solve after a small spec or size perturbation costs a fraction of a
+/// cold run. Non-finite carried state is never trusted: [`solve_cached`]
+/// checks [`WarmStart::is_usable`] and silently falls back to the cold
+/// start (`lambda = 0`, `rho = rho0`) when a previous solve diverged into
+/// NaN territory.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Starting iterate (projected into the bounds before use).
+    pub x: Vec<f64>,
+    /// Multiplier estimates.
+    pub lambda: Vec<f64>,
+    /// Penalty parameter.
+    pub rho: f64,
+}
+
+impl WarmStart {
+    /// Captures the carry-over state of a finished solve.
+    pub fn from_result(r: &SolveResult) -> Self {
+        WarmStart {
+            x: r.x.clone(),
+            lambda: r.lambda.clone(),
+            rho: r.rho,
+        }
+    }
+
+    /// True when the state is dimensionally compatible with a problem of
+    /// `n` variables and `m` constraints and every number in it is finite
+    /// (with a positive penalty) — the admission test for warm starting.
+    pub fn is_usable(&self, n: usize, m: usize) -> bool {
+        self.x.len() == n
+            && self.lambda.len() == m
+            && self.rho.is_finite()
+            && self.rho > 0.0
+            && self.x.iter().all(|v| v.is_finite())
+            && self.lambda.iter().all(|v| v.is_finite())
+    }
+}
+
 /// The augmented Lagrangian of an [`NlpProblem`] as a [`SmoothFn`].
 struct AugLagFn<'a, P: NlpProblem> {
     p: &'a P,
@@ -219,6 +264,18 @@ fn c_inf_norm(c: &[f64]) -> f64 {
     c.iter().fold(0.0f64, |a, &v| a.max(v.abs()))
 }
 
+/// Evaluations performed between two cache-counter snapshots, so a solve
+/// over a reused [`CachedProblem`] reports only its own work.
+fn counts_since(now: EvalCounts, before: EvalCounts) -> EvalCounts {
+    EvalCounts {
+        objective: now.objective - before.objective,
+        gradient: now.gradient - before.gradient,
+        constraints: now.constraints - before.constraints,
+        jacobian: now.jacobian - before.jacobian,
+        hessian: now.hessian - before.hessian,
+    }
+}
+
 /// Solves the problem with the augmented-Lagrangian method starting from
 /// `x0` (projected into the bounds).
 ///
@@ -257,17 +314,79 @@ pub fn solve_traced<P: NlpProblem>(
     // the latter two the Jacobian) at the same iterate, so caching
     // removes two constraint sweeps and one Jacobian sweep per inner
     // iteration without changing a single bit of the arithmetic.
-    let problem = &CachedProblem::new(problem);
+    solve_cached(&CachedProblem::new(problem), x0, None, opts, tracer)
+}
+
+/// [`solve`] seeded with the carried-over state of a previous solve.
+///
+/// A usable `warm` replaces the cold start (`x0`, zero multipliers,
+/// `rho0`); an unusable one — wrong dimensions or non-finite, e.g. taken
+/// from a diverged result — is ignored and the solve proceeds cold from
+/// `x0`. Pass `None` for an explicit cold solve.
+///
+/// # Panics
+///
+/// Panics if `x0.len() != problem.num_vars()`.
+pub fn solve_warm<P: NlpProblem>(
+    problem: &P,
+    x0: &[f64],
+    warm: Option<&WarmStart>,
+    opts: &AugLagOptions,
+) -> SolveResult {
+    solve_warm_traced(problem, x0, warm, opts, Tracer::none())
+}
+
+/// [`solve_warm`] reporting structured progress to `tracer`. When a warm
+/// start is offered, a `warm_start_hit` counter records whether it was
+/// accepted (1) or fell back to the cold start (0).
+///
+/// # Panics
+///
+/// Panics if `x0.len() != problem.num_vars()`.
+pub fn solve_warm_traced<P: NlpProblem>(
+    problem: &P,
+    x0: &[f64],
+    warm: Option<&WarmStart>,
+    opts: &AugLagOptions,
+    tracer: Tracer<'_>,
+) -> SolveResult {
+    solve_cached(&CachedProblem::new(problem), x0, warm, opts, tracer)
+}
+
+/// The full solver loop over a caller-owned [`CachedProblem`] — the entry
+/// point for running several (warm-started) solves against one problem
+/// while keeping the evaluation cache and its counters alive between
+/// them. Reported [`SolveResult::evals`] are the evaluations *this* call
+/// performed (the cumulative cache counters are snapshotted on entry).
+///
+/// # Panics
+///
+/// Panics if `x0.len() != problem.num_vars()`.
+pub fn solve_cached<P: NlpProblem>(
+    problem: &CachedProblem<'_, P>,
+    x0: &[f64],
+    warm: Option<&WarmStart>,
+    opts: &AugLagOptions,
+    tracer: Tracer<'_>,
+) -> SolveResult {
     let n = problem.num_vars();
     let m = problem.num_constraints();
     assert_eq!(x0.len(), n, "x0 length mismatch");
     let (l, u) = problem.bounds();
     let started = Instant::now();
+    let counts0 = problem.counts();
 
-    let mut x = x0.to_vec();
+    let accepted = warm.filter(|w| w.is_usable(n, m));
+    if warm.is_some() {
+        tracer.emit(|| TraceEvent::Counter {
+            name: "warm_start_hit",
+            value: u64::from(accepted.is_some()),
+        });
+    }
+    let mut x = accepted.map_or_else(|| x0.to_vec(), |w| w.x.clone());
     tr::project(&mut x, &l, &u);
-    let mut lambda = vec![0.0; m];
-    let mut rho = opts.rho0;
+    let mut lambda = accepted.map_or_else(|| vec![0.0; m], |w| w.lambda.clone());
+    let mut rho = accepted.map_or(opts.rho0, |w| w.rho);
     // Conn-Gould-Toint tolerance schedules.
     let mut omega = 1.0 / rho;
     let mut eta = 1.0 / rho.powf(0.1);
@@ -296,7 +415,7 @@ pub fn solve_traced<P: NlpProblem>(
             outer_iterations,
             inner_iterations: inner_total,
             cg_iterations: cg_total,
-            evals: problem.counts(),
+            evals: counts_since(problem.counts(), counts0),
             status,
         };
         tracer.emit(|| {
@@ -699,63 +818,6 @@ mod tests {
             // And the counter surfaced in the result agrees.
             assert_eq!(r.evals.constraints, c_calls);
             assert_eq!(r.evals.jacobian, j_calls);
-        }
-    }
-
-    /// Wraps a problem so the objective turns to NaN permanently after a
-    /// number of underlying evaluations — a fault-injection harness for
-    /// the divergence guard.
-    pub(crate) struct PoisonAfter<'a, P: NlpProblem> {
-        inner: &'a P,
-        after: usize,
-        calls: std::cell::Cell<usize>,
-    }
-
-    impl<'a, P: NlpProblem> PoisonAfter<'a, P> {
-        pub(crate) fn new(inner: &'a P, after: usize) -> Self {
-            PoisonAfter {
-                inner,
-                after,
-                calls: std::cell::Cell::new(0),
-            }
-        }
-    }
-
-    impl<P: NlpProblem> NlpProblem for PoisonAfter<'_, P> {
-        fn num_vars(&self) -> usize {
-            self.inner.num_vars()
-        }
-        fn num_constraints(&self) -> usize {
-            self.inner.num_constraints()
-        }
-        fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-            self.inner.bounds()
-        }
-        fn objective(&self, x: &[f64]) -> f64 {
-            self.calls.set(self.calls.get() + 1);
-            if self.calls.get() > self.after {
-                f64::NAN
-            } else {
-                self.inner.objective(x)
-            }
-        }
-        fn gradient(&self, x: &[f64], g: &mut [f64]) {
-            self.inner.gradient(x, g)
-        }
-        fn constraints(&self, x: &[f64], c: &mut [f64]) {
-            self.inner.constraints(x, c)
-        }
-        fn jacobian_structure(&self) -> Vec<(usize, usize)> {
-            self.inner.jacobian_structure()
-        }
-        fn jacobian_values(&self, x: &[f64], vals: &mut [f64]) {
-            self.inner.jacobian_values(x, vals)
-        }
-        fn hessian_structure(&self) -> Vec<(usize, usize)> {
-            self.inner.hessian_structure()
-        }
-        fn hessian_values(&self, x: &[f64], sigma: f64, lambda: &[f64], vals: &mut [f64]) {
-            self.inner.hessian_values(x, sigma, lambda, vals)
         }
     }
 

@@ -42,6 +42,9 @@ pub mod sparse;
 pub mod test_problems;
 pub mod tr;
 
-pub use auglag::{solve, AugLagOptions, SolveResult, SolveStatus};
+pub use auglag::{
+    solve, solve_cached, solve_warm, solve_warm_traced, AugLagOptions, SolveResult, SolveStatus,
+    WarmStart,
+};
 pub use cache::{CachedProblem, EvalCounts};
 pub use problem::NlpProblem;

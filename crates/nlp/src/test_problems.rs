@@ -437,6 +437,65 @@ impl NlpProblem for SlackIneq {
     }
 }
 
+/// Wraps a problem so the objective turns to NaN permanently after a
+/// number of underlying evaluations — a fault-injection harness for the
+/// solver's divergence guard and for the warm-start fallback contract
+/// (the in-tree twin of `Sizer`'s `poison_nan_after` hook).
+pub struct PoisonAfter<'a, P: NlpProblem> {
+    inner: &'a P,
+    after: usize,
+    calls: std::cell::Cell<usize>,
+}
+
+impl<'a, P: NlpProblem> PoisonAfter<'a, P> {
+    /// Poison the objective after `after` underlying evaluations.
+    pub fn new(inner: &'a P, after: usize) -> Self {
+        PoisonAfter {
+            inner,
+            after,
+            calls: std::cell::Cell::new(0),
+        }
+    }
+}
+
+impl<P: NlpProblem> NlpProblem for PoisonAfter<'_, P> {
+    fn num_vars(&self) -> usize {
+        self.inner.num_vars()
+    }
+    fn num_constraints(&self) -> usize {
+        self.inner.num_constraints()
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        self.inner.bounds()
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        self.calls.set(self.calls.get() + 1);
+        if self.calls.get() > self.after {
+            f64::NAN
+        } else {
+            self.inner.objective(x)
+        }
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        self.inner.gradient(x, g)
+    }
+    fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        self.inner.constraints(x, c)
+    }
+    fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+        self.inner.jacobian_structure()
+    }
+    fn jacobian_values(&self, x: &[f64], vals: &mut [f64]) {
+        self.inner.jacobian_values(x, vals)
+    }
+    fn hessian_structure(&self) -> Vec<(usize, usize)> {
+        self.inner.hessian_structure()
+    }
+    fn hessian_values(&self, x: &[f64], sigma: f64, lambda: &[f64], vals: &mut [f64]) {
+        self.inner.hessian_values(x, sigma, lambda, vals)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

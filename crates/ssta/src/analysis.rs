@@ -155,7 +155,11 @@ pub fn ssta_levelized(circuit: &Circuit, lib: &Library, s: &[f64]) -> SstaReport
 
 /// Arrival of `sig` given already-computed gate arrivals.
 #[inline]
-fn arrival_of(sig: Signal, arrivals: &[Normal], input_arrivals: Option<&[Normal]>) -> Normal {
+pub(crate) fn arrival_of(
+    sig: Signal,
+    arrivals: &[Normal],
+    input_arrivals: Option<&[Normal]>,
+) -> Normal {
     match sig {
         Signal::Pi(p) => input_arrivals.map_or_else(Normal::default, |ia| ia[p]),
         Signal::Gate(g) => arrivals[g.index()],
@@ -166,7 +170,7 @@ fn arrival_of(sig: Signal, arrivals: &[Normal], input_arrivals: Option<&[Normal]
 /// fold, paper Eq. 18b) plus the gate delay (paper Eq. 4). The single
 /// pure function both propagation orders evaluate.
 #[inline]
-fn gate_arrival(
+pub(crate) fn gate_arrival(
     circuit: &Circuit,
     model: &DelayModel,
     s: &[f64],
@@ -185,7 +189,7 @@ fn gate_arrival(
     u + model.gate_delay(id, s)
 }
 
-fn arrivals_sequential(
+pub(crate) fn arrivals_sequential(
     circuit: &Circuit,
     model: &DelayModel,
     s: &[f64],
@@ -236,9 +240,17 @@ fn arrivals_levelized(
     arrivals
 }
 
+/// Circuit delay from finished arrivals: the stochastic max over the
+/// primary outputs, folded left in output-list order. Every analysis
+/// entry point (and the incremental engine) shares this one fold so the
+/// operand order — and therefore the bit pattern — cannot drift.
+pub(crate) fn delay_from_arrivals(circuit: &Circuit, arrivals: &[Normal]) -> Normal {
+    clark::max_n(circuit.outputs().iter().map(|&o| arrivals[o.index()]))
+        .expect("validated circuits have outputs")
+}
+
 fn report_from_arrivals(circuit: &Circuit, arrivals: Vec<Normal>) -> SstaReport {
-    let delay = clark::max_n(circuit.outputs().iter().map(|&o| arrivals[o.index()]))
-        .expect("validated circuits have outputs");
+    let delay = delay_from_arrivals(circuit, &arrivals);
     SstaReport { arrivals, delay }
 }
 

@@ -20,6 +20,8 @@
 //!   correlations;
 //! * [`criticality`] — analytic path-criticality probabilities from Clark
 //!   tightness, validated against Monte Carlo;
+//! * [`incremental`] — dirty-cone re-propagation after size changes,
+//!   bit-identical to a from-scratch run (the what-if query engine);
 //! * [`wire`] — per-edge statistical wire delays, the paper's general
 //!   delay model of Fig. 1 / Eq. 2.
 //!
@@ -41,6 +43,7 @@ pub mod analysis;
 pub mod canonical;
 pub mod criticality;
 pub mod delay;
+pub mod incremental;
 pub mod monte_carlo;
 pub mod power;
 pub mod wire;
@@ -50,6 +53,7 @@ pub use analysis::{
     sta_deterministic, sta_deterministic_with_model, SstaReport,
 };
 pub use delay::DelayModel;
+pub use incremental::{IncrementalSsta, UpdateStats};
 pub use monte_carlo::{
     monte_carlo, monte_carlo_traced, monte_carlo_with_model, McOptions, McReport,
 };

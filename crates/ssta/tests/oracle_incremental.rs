@@ -1,0 +1,236 @@
+//! Differential oracle battery for the incremental SSTA engine.
+//!
+//! Every test drives an [`IncrementalSsta`] through a perturbation
+//! sequence and, after **every** step, compares the engine's entire state
+//! against a from-scratch [`ssta`] run at the same sizes — with
+//! `to_bits()` equality, not tolerances. The battery covers random DAG
+//! shapes × single-/k-/all-gate perturbations × randomized sequences,
+//! the no-op case (`gates_recomputed == 0`), criticality agreement, and
+//! the committed `benchmarks/rdag40.blif` netlist, where a single-gate
+//! change must recompute strictly fewer gates than the circuit holds.
+
+use sgs_netlist::generate::{self, RandomDagSpec};
+use sgs_netlist::{blif, Circuit, GateId, Library};
+use sgs_ssta::analysis::ssta_with_arrivals;
+use sgs_ssta::criticality::criticality;
+use sgs_ssta::{ssta, IncrementalSsta, UpdateStats};
+use sgs_statmath::Normal;
+
+fn lib() -> Library {
+    Library::paper_default()
+}
+
+/// splitmix64 step — deterministic stream for sequences and sizes.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn random_size(state: &mut u64, s_limit: f64) -> f64 {
+    1.0 + unit(state) * (s_limit - 1.0)
+}
+
+fn same_bits(a: Normal, b: Normal) -> bool {
+    a.mean().to_bits() == b.mean().to_bits() && a.var().to_bits() == b.var().to_bits()
+}
+
+/// The oracle: engine arrivals, `Tmax` moments and criticalities must be
+/// bit-identical to a fresh analysis at the engine's sizes.
+fn assert_oracle(inc: &IncrementalSsta<'_>, circuit: &Circuit, s: &[f64], check_crit: bool) {
+    assert_eq!(inc.sizes(), s, "engine size vector drifted");
+    let fresh = ssta(circuit, &lib(), s);
+    for (i, (a, b)) in inc.arrivals().iter().zip(&fresh.arrivals).enumerate() {
+        assert!(same_bits(*a, *b), "arrival of gate {i}: {a:?} != {b:?}");
+    }
+    assert!(
+        same_bits(inc.delay(), fresh.delay),
+        "Tmax moments: {:?} != {:?}",
+        inc.delay(),
+        fresh.delay
+    );
+    if check_crit {
+        let from_engine = criticality(circuit, &lib(), inc.sizes());
+        let from_scratch = criticality(circuit, &lib(), s);
+        for (i, (a, b)) in from_engine
+            .criticality
+            .iter()
+            .zip(&from_scratch.criticality)
+            .enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "criticality of gate {i}");
+        }
+        // The criticality pass's own forward arrivals agree with the
+        // engine's, pinning that both ride the same left-fold max chain.
+        for (i, (a, b)) in inc
+            .arrivals()
+            .iter()
+            .zip(&from_scratch.arrivals)
+            .enumerate()
+        {
+            assert!(same_bits(*a, *b), "criticality arrival of gate {i}");
+        }
+    }
+}
+
+fn dag(cells: usize, inputs: usize, depth: usize, seed: u64) -> Circuit {
+    generate::random_dag(&RandomDagSpec {
+        name: format!("oracle{cells}x{seed}"),
+        cells,
+        inputs,
+        depth,
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn single_gate_perturbations_on_random_dags() {
+    for seed in 0..4u64 {
+        let circuit = dag(30 + 15 * seed as usize, 6, 5 + seed as usize, seed);
+        let n = circuit.num_gates();
+        let s_limit = lib().s_limit;
+        let mut s = vec![1.0; n];
+        let mut inc = IncrementalSsta::new(&circuit, &lib(), &s);
+        let mut state = 0xFEED ^ seed;
+        for step in 0..12 {
+            let g = (splitmix64(&mut state) % n as u64) as usize;
+            let v = random_size(&mut state, s_limit);
+            s[g] = v;
+            let stats = inc.apply(&[(GateId(g), v)]);
+            assert!(stats.gates_recomputed >= 1, "step {step} did no work");
+            assert_oracle(&inc, &circuit, &s, step == 11);
+        }
+    }
+}
+
+#[test]
+fn k_gate_and_all_gate_perturbations() {
+    let circuit = dag(80, 10, 8, 99);
+    let n = circuit.num_gates();
+    let s_limit = lib().s_limit;
+    let mut s = vec![1.0; n];
+    let mut inc = IncrementalSsta::new(&circuit, &lib(), &s);
+    let mut state = 0xAB;
+    // k-gate batches of growing size.
+    for k in [2usize, 5, 11] {
+        let changes: Vec<(GateId, f64)> = (0..k)
+            .map(|_| {
+                let g = (splitmix64(&mut state) % n as u64) as usize;
+                let v = random_size(&mut state, s_limit);
+                s[g] = v;
+                (GateId(g), v)
+            })
+            .collect();
+        inc.apply(&changes);
+        assert_oracle(&inc, &circuit, &s, false);
+    }
+    // All-gate rewrite through the full-vector entry point.
+    for v in &mut s {
+        *v = random_size(&mut state, s_limit);
+    }
+    let stats = inc.set_sizes(&s);
+    assert_eq!(stats.gates_recomputed, n, "all-gate rewrite touches all");
+    assert_oracle(&inc, &circuit, &s, true);
+}
+
+#[test]
+fn randomized_sequences_with_interleaved_noops() {
+    let circuit = dag(60, 8, 7, 7);
+    let n = circuit.num_gates();
+    let s_limit = lib().s_limit;
+    let mut s = vec![1.0; n];
+    let mut inc = IncrementalSsta::new(&circuit, &lib(), &s);
+    let mut state = 0x5EED;
+    for step in 0..20 {
+        if step % 4 == 3 {
+            // No-op step: re-apply current sizes; nothing may recompute.
+            let g = (splitmix64(&mut state) % n as u64) as usize;
+            let stats = inc.apply(&[(GateId(g), s[g])]);
+            assert_eq!(stats, UpdateStats::default(), "no-op step {step}");
+            assert_eq!(inc.set_sizes(&s), UpdateStats::default());
+        } else {
+            let k = 1 + (splitmix64(&mut state) % 3) as usize;
+            let changes: Vec<(GateId, f64)> = (0..k)
+                .map(|_| {
+                    let g = (splitmix64(&mut state) % n as u64) as usize;
+                    let v = random_size(&mut state, s_limit);
+                    s[g] = v;
+                    (GateId(g), v)
+                })
+                .collect();
+            inc.apply(&changes);
+        }
+        assert_oracle(&inc, &circuit, &s, step == 19);
+    }
+}
+
+#[test]
+fn noop_perturbation_recomputes_zero_gates() {
+    let circuit = dag(40, 8, 6, 1);
+    let n = circuit.num_gates();
+    let s: Vec<f64> = (0..n).map(|i| 1.0 + 0.03 * (i % 11) as f64).collect();
+    let mut inc = IncrementalSsta::new(&circuit, &lib(), &s);
+    let stats = inc.set_sizes(&s);
+    assert_eq!(stats.gates_recomputed, 0);
+    assert_eq!(stats.frontier_pruned, 0);
+    assert!(!stats.delay_refolded);
+    assert_eq!(inc.total_recomputed(), 0);
+    assert_oracle(&inc, &circuit, &s, false);
+}
+
+#[test]
+fn rdag40_single_gate_recomputes_strict_subset() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../benchmarks/rdag40.blif");
+    let text = std::fs::read_to_string(path).expect("committed benchmark netlist");
+    let circuit = blif::parse(&text).expect("rdag40.blif parses");
+    let n = circuit.num_gates();
+    let mut s = vec![1.0; n];
+    let mut inc = IncrementalSsta::new(&circuit, &lib(), &s);
+    let mut state = 0x40;
+    let mut max_cone = 0usize;
+    for _ in 0..10 {
+        let g = (splitmix64(&mut state) % n as u64) as usize;
+        let v = random_size(&mut state, lib().s_limit);
+        s[g] = v;
+        let stats = inc.apply(&[(GateId(g), v)]);
+        // The acceptance criterion: a single-gate perturbation recomputes
+        // strictly fewer gates than the circuit holds.
+        assert!(
+            stats.gates_recomputed < n,
+            "single-gate change recomputed all {n} gates"
+        );
+        max_cone = max_cone.max(stats.gates_recomputed);
+        assert_oracle(&inc, &circuit, &s, false);
+    }
+    assert!(max_cone >= 1, "perturbations must do some work");
+}
+
+#[test]
+fn input_arrival_runs_stay_identical() {
+    let circuit = dag(50, 9, 6, 21);
+    let n = circuit.num_gates();
+    let late: Vec<Normal> = (0..circuit.num_inputs())
+        .map(|i| Normal::new(0.3 * i as f64, 0.05 + 0.01 * i as f64))
+        .collect();
+    let mut s = vec![1.0; n];
+    let mut inc = IncrementalSsta::with_arrivals(&circuit, &lib(), &s, Some(&late));
+    let mut state = 0xA11;
+    for _ in 0..8 {
+        let g = (splitmix64(&mut state) % n as u64) as usize;
+        let v = random_size(&mut state, lib().s_limit);
+        s[g] = v;
+        inc.apply(&[(GateId(g), v)]);
+        let fresh = ssta_with_arrivals(&circuit, &lib(), &s, Some(&late));
+        for (a, b) in inc.arrivals().iter().zip(&fresh.arrivals) {
+            assert!(same_bits(*a, *b));
+        }
+        assert!(same_bits(inc.delay(), fresh.delay));
+    }
+}

@@ -69,6 +69,17 @@ pub fn to_json(event: &TraceEvent) -> String {
             field_usize(&mut s, "inner_iterations", r.inner_iterations);
             evals_obj(&mut s, &r.evals);
         }
+        TraceEvent::WhatIfQuery {
+            query,
+            gates_recomputed,
+            full,
+            seconds,
+        } => {
+            field_usize(&mut s, "query", *query);
+            field_usize(&mut s, "gates_recomputed", *gates_recomputed as usize);
+            field_bool(&mut s, "full", *full);
+            field_f64(&mut s, "seconds", *seconds);
+        }
         TraceEvent::Run(r) => {
             field_str(&mut s, "bin", &r.bin);
             field_str(&mut s, "circuit", &r.circuit);
@@ -472,6 +483,12 @@ mod tests {
                 attempt: 1,
                 reason: "perturbed restart after divergence".into(),
             },
+            TraceEvent::WhatIfQuery {
+                query: 4,
+                gates_recomputed: 11,
+                full: false,
+                seconds: 3.5e-6,
+            },
             TraceEvent::SolveDone(SolveRecord {
                 status: "converged".into(),
                 objective: -3.0,
@@ -504,6 +521,7 @@ mod tests {
         assert_eq!(summary.lines, events.len());
         assert_eq!(summary.count("outer_iteration"), 1);
         assert_eq!(summary.count("diverged"), 1);
+        assert_eq!(summary.count("what_if_query"), 1);
         assert!(summary.has_final_status());
     }
 

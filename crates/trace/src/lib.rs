@@ -169,6 +169,18 @@ pub enum TraceEvent {
     },
     /// Final record of a solver invocation.
     SolveDone(SolveRecord),
+    /// One incremental what-if query served by the `what_if` bench bin.
+    WhatIfQuery {
+        /// Query index within the session (0-based).
+        query: usize,
+        /// Gates whose arrival the incremental engine recomputed (the
+        /// whole circuit on the `--full` path).
+        gates_recomputed: u64,
+        /// Whether the full from-scratch path served the query.
+        full: bool,
+        /// Wall-clock seconds of the query.
+        seconds: f64,
+    },
     /// Final machine-readable report of a bench-binary run.
     Run(RunReport),
 }
@@ -183,6 +195,7 @@ impl TraceEvent {
             TraceEvent::Diverged { .. } => "diverged",
             TraceEvent::Restart { .. } => "restart",
             TraceEvent::SolveDone(_) => "solve_done",
+            TraceEvent::WhatIfQuery { .. } => "what_if_query",
             TraceEvent::Run(_) => "run_report",
         }
     }
