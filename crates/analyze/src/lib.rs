@@ -313,21 +313,27 @@ pub fn analyze(
     delay_spec: &DelaySpec,
     opts: &AnalyzerOptions,
 ) -> Report {
+    let _phase = sgs_metrics::phase(sgs_metrics::Phase::Analyze);
+    sgs_metrics::incr(sgs_metrics::Counter::AnalyzeRuns);
     let mut report = Report::default();
     if opts.structural {
+        let _ph = sgs_metrics::phase(sgs_metrics::Phase::AnalyzeLints);
         report.extend(stage1::circuit_lints(circuit, lib));
     }
     // A structurally broken library would poison the numeric stages with
     // the very non-finite values they exist to flag; stop at the lints.
     if !report.is_clean() {
+        record_findings(&report);
         return report;
     }
     let problem =
         sgs_core::SizingProblem::build(circuit, lib, objective.clone(), delay_spec.clone());
     if opts.intervals {
+        let _ph = sgs_metrics::phase(sgs_metrics::Phase::AnalyzeIntervals);
         report.extend(stage2::interval_checks(circuit, lib, &problem, opts));
     }
     if opts.derivatives {
+        let _ph = sgs_metrics::phase(sgs_metrics::Phase::AnalyzeDerivatives);
         let nv = sgs_nlp::NlpProblem::num_vars(&problem);
         if nv > opts.max_derivative_vars {
             report.diagnostics.push(Diagnostic {
@@ -344,7 +350,20 @@ pub fn analyze(
             report.extend(stage3::verify_derivatives(&problem, opts));
         }
     }
+    record_findings(&report);
     report
+}
+
+/// Folds a finished report's finding counts into the metrics registry.
+fn record_findings(report: &Report) {
+    sgs_metrics::add(
+        sgs_metrics::Counter::AnalyzeErrors,
+        report.num_errors() as u64,
+    );
+    sgs_metrics::add(
+        sgs_metrics::Counter::AnalyzeWarnings,
+        report.num_warnings() as u64,
+    );
 }
 
 /// Runs the analyzer over raw BLIF text: the tolerant stage-1 scanner

@@ -14,7 +14,7 @@
 //!
 //! Run with `cargo run -p sgs-bench --bin ablations --release`.
 
-use sgs_bench::TraceArg;
+use sgs_bench::{BenchArgs, TraceArg};
 use sgs_core::greedy::{greedy_size, GreedyOptions};
 use sgs_core::{Objective, Sizer, SolverChoice};
 use sgs_netlist::generate::{self, RandomDagSpec};
@@ -26,26 +26,29 @@ use std::time::Instant;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = TraceArg::extract("ablations", &mut args).unwrap_or_else(|e| {
+    let bench = BenchArgs::extract("ablations", &mut args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2)
     });
-    if let Some(n) = args.iter().find_map(|a| {
-        a.strip_prefix("--threads=")
-            .and_then(|v| v.parse::<usize>().ok())
-    }) {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(n)
-            .build_global()
-            .ok();
+    let trace = bench.trace();
+    if let Some(arg) = args.first() {
+        eprintln!("unknown argument: {arg}");
+        eprintln!(
+            "usage: ablations [--threads=N] [--trace=FILE] [--metrics=FILE] [--metrics-prom=FILE]"
+        );
+        std::process::exit(2);
     }
     println!("monte carlo threads: {}", rayon::current_num_threads());
     fold_order();
     eps_sensitivity();
     sigma_factor_sweep();
-    solver_comparison(&trace);
+    solver_comparison(trace);
     correlation_handling();
     trace.report("ablations", "ok", f64::NAN, f64::NAN, f64::NAN, f64::NAN);
+    if let Err(e) = bench.finish("ablations") {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
 }
 
 fn fold_order() {

@@ -3,7 +3,8 @@
 //! ```text
 //! analyze_blif [<netlist.blif> | <circuit-name>]... [--suite] [--json]
 //!              [--objective mu|mu+1s|mu+3s|area|sigma] [--deadline D]
-//!              [--no-derivatives] [--raw-variance]
+//!              [--no-derivatives] [--raw-variance] [--metrics FILE]
+//!              [--metrics-prom FILE]
 //! ```
 //!
 //! Runs the three-stage `sgs-analyze` pipeline (structural netlist lints,
@@ -20,6 +21,7 @@
 //! CI gate over `benchmarks/*.blif`.
 
 use sgs_analyze::{analyze, analyze_blif_text, AnalyzerOptions, Report};
+use sgs_bench::BenchArgs;
 use sgs_core::{DelaySpec, Objective};
 use sgs_netlist::{generate, Circuit, Library};
 use std::process::ExitCode;
@@ -28,7 +30,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: analyze_blif [<netlist.blif> | tree7|fig2|apex1|apex2|k2|adder<N>|chain<N>|nandtree<N>]... \
          [--suite] [--json] [--objective mu|mu+1s|mu+3s|area|sigma] [--deadline D] \
-         [--no-derivatives] [--raw-variance]"
+         [--no-derivatives] [--raw-variance] [--metrics FILE] [--metrics-prom FILE]"
     );
     ExitCode::from(2)
 }
@@ -78,7 +80,14 @@ fn print_report(target: &str, report: &Report, json: bool) {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = match BenchArgs::extract("analyze_blif", &mut args) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
     let json = args.iter().any(|a| a == "--json");
     let suite = args.iter().any(|a| a == "--suite");
     let mut opts = AnalyzerOptions::default();
@@ -143,6 +152,10 @@ fn main() -> ExitCode {
         };
         print_report(target, &report, json);
         errors += report.num_errors();
+    }
+    if let Err(e) = bench.finish(&targets.join("+")) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
     if errors > 0 {
         eprintln!("analyze_blif: {errors} error-severity finding(s)");

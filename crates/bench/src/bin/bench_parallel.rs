@@ -2,9 +2,10 @@
 //! Monte Carlo and SSTA paths on large circuits, verifies the parallel
 //! results are bit-identical, and writes `BENCH_parallel.json`.
 //!
-//! Usage: `bench_parallel [--threads=N] [--samples=N] [--out=PATH]`
+//! Usage: `bench_parallel [--threads=N] [--samples=N] [--out=PATH]
+//! [--trace=FILE] [--metrics=FILE] [--metrics-prom=FILE]`
 
-use sgs_bench::TraceArg;
+use sgs_bench::BenchArgs;
 use sgs_netlist::{generate, Circuit, Library};
 use sgs_ssta::{monte_carlo, ssta, ssta_levelized, McOptions, McReport};
 use std::fmt::Write as _;
@@ -87,32 +88,30 @@ fn bench_circuit(c: &Circuit, lib: &Library, samples: usize) -> Entry {
 
 fn usage(arg: &str) -> ! {
     eprintln!("invalid argument: {arg}");
-    eprintln!("usage: bench_parallel [--threads=N] [--samples=N] [--out=PATH]");
+    eprintln!(
+        "usage: bench_parallel [--threads=N] [--samples=N] [--out=PATH] \
+         [--trace=FILE] [--metrics=FILE] [--metrics-prom=FILE]"
+    );
     std::process::exit(2)
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = TraceArg::extract("bench_parallel", &mut args).unwrap_or_else(|e| {
+    let bench = BenchArgs::extract("bench_parallel", &mut args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2)
     });
+    let trace = bench.trace();
     let mut samples = 100_000usize;
     let mut out_path = String::from("BENCH_parallel.json");
     for arg in args {
-        if let Some(n) = arg.strip_prefix("--threads=") {
-            let n: usize = n.parse().unwrap_or_else(|_| usage(&arg));
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(n)
-                .build_global()
-                .ok();
-        } else if let Some(n) = arg.strip_prefix("--samples=") {
+        if let Some(n) = arg.strip_prefix("--samples=") {
             samples = n.parse().unwrap_or_else(|_| usage(&arg));
         } else if let Some(p) = arg.strip_prefix("--out=") {
             out_path = p.to_string();
         } else {
             eprintln!("unknown argument: {arg}");
-            std::process::exit(2);
+            usage(&arg);
         }
     }
     let threads = rayon::current_num_threads();
@@ -158,6 +157,10 @@ fn main() {
     }
 
     let mut json = String::from("{\n");
+    json.push_str(&sgs_bench::bench_metadata_json(
+        "bench_parallel",
+        "rca128+dag2500",
+    ));
     let _ = writeln!(json, "  \"threads\": {threads},");
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -183,5 +186,9 @@ fn main() {
     println!("wrote {out_path}");
     for e in &entries {
         trace.report(&e.circuit, "ok", f64::NAN, f64::NAN, f64::NAN, f64::NAN);
+    }
+    if let Err(e) = bench.finish("rca128+dag2500") {
+        eprintln!("{e}");
+        std::process::exit(1);
     }
 }

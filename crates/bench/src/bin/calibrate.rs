@@ -1,16 +1,24 @@
 //! Prints calibration data for the default library against the paper's
 //! Table 2 anchor points (tree7: unsized mu 7.4 / sigma 0.811, min-delay
 //! mu 5.4 / sigma 0.592 at area 21).
-use sgs_bench::TraceArg;
+use sgs_bench::BenchArgs;
 use sgs_core::{Objective, Sizer};
 use sgs_netlist::{generate, Library};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = TraceArg::extract("calibrate", &mut args).unwrap_or_else(|e| {
+    let bench = BenchArgs::extract("calibrate", &mut args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2)
     });
+    let trace = bench.trace();
+    if let Some(arg) = args.first() {
+        eprintln!("unknown argument: {arg}");
+        eprintln!(
+            "usage: calibrate [--trace=FILE] [--metrics=FILE] [--metrics-prom=FILE] [--threads=N]"
+        );
+        std::process::exit(2);
+    }
     let c = generate::tree7();
     let lib = Library::paper_default();
     let s1 = vec![1.0; 7];
@@ -58,5 +66,9 @@ fn main() {
             b.num_gates(),
             b.depth()
         );
+    }
+    if let Err(e) = bench.finish("tree7+suite") {
+        eprintln!("{e}");
+        std::process::exit(1);
     }
 }

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run -p sgs-bench --bin fig2_formulation`.
 
-use sgs_bench::TraceArg;
+use sgs_bench::BenchArgs;
 use sgs_core::problem::SizingProblem;
 use sgs_core::{DelaySpec, Objective, Sizer};
 use sgs_netlist::{generate, Library};
@@ -12,10 +12,19 @@ use sgs_nlp::NlpProblem;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = TraceArg::extract("fig2_formulation", &mut args).unwrap_or_else(|e| {
+    let bench = BenchArgs::extract("fig2_formulation", &mut args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2)
     });
+    let trace = bench.trace();
+    if let Some(arg) = args.first() {
+        eprintln!("unknown argument: {arg}");
+        eprintln!(
+            "usage: fig2_formulation [--trace=FILE] [--metrics=FILE] \
+             [--metrics-prom=FILE] [--threads=N]"
+        );
+        std::process::exit(2);
+    }
     let circuit = generate::fig2();
     let lib = Library::paper_default();
     let problem = SizingProblem::build(
@@ -68,5 +77,9 @@ fn main() {
     );
     for ((_, gate), s) in circuit.gates().zip(&r.s) {
         println!("  S_{} = {:.3}", gate.name, s);
+    }
+    if let Err(e) = bench.finish("fig2") {
+        eprintln!("{e}");
+        std::process::exit(1);
     }
 }

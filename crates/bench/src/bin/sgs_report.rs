@@ -1,0 +1,220 @@
+//! Run-report renderer, cross-run regression comparator and snapshot
+//! linter for `--metrics=FILE` snapshots.
+//!
+//! ```text
+//! sgs_report render <metrics.json> [--trace run.jsonl]
+//! sgs_report compare <base.json> <new.json> [--threshold=N%] [--slack=S]
+//! sgs_report lint <metrics.json>...
+//! ```
+//!
+//! `render` prints the human-readable run report: provenance header,
+//! hierarchical phase profile (total/self wall-clock per phase), latency
+//! histogram tables and the counter/gauge summary; `--trace` additionally
+//! aggregates the phase spans of a `--trace` JSONL file for
+//! cross-checking the in-process profile against the trace's view.
+//!
+//! `compare` diffs two snapshots metric by metric: deterministic metrics
+//! (iteration and evaluation counters, histogram counts) must match
+//! exactly, timing-like metrics (`*_seconds`, `alloc_*`) may grow up to
+//! the threshold. Exit codes: `0` clean, `1` regression, `3` schema
+//! drift only (missing/extra metrics, version skew) — the CI
+//! perf-regression gate against `benchmarks/baselines/`.
+//!
+//! `lint` validates snapshot files structurally (schema version, bucket
+//! sums, quantile ordering, phase-parent closure) the way `trace_lint`
+//! validates JSONL traces.
+
+use sgs_metrics::{compare, CompareOptions, Snapshot};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sgs_report render <metrics.json> [--trace run.jsonl]\n\
+         \x20      sgs_report compare <base.json> <new.json> [--threshold=N%] [--slack=S]\n\
+         \x20      sgs_report lint <metrics.json>..."
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Snapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Snapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn render(args: &[String]) -> ExitCode {
+    let mut snapshot_path: Option<&str> = None;
+    let mut trace_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(p) = arg.strip_prefix("--trace=") {
+            trace_path = Some(p.to_string());
+        } else if arg == "--trace" {
+            match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => return usage(),
+            }
+        } else if arg.starts_with("--") || snapshot_path.is_some() {
+            return usage();
+        } else {
+            snapshot_path = Some(arg);
+        }
+    }
+    let Some(path) = snapshot_path else {
+        return usage();
+    };
+    let snap = match load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sgs_report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spans = match &trace_path {
+        Some(p) => {
+            let text = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("sgs_report: cannot read {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match sgs_metrics::report::aggregate_trace_spans(&text) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("sgs_report: {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    print!("{}", sgs_metrics::report::render(&snap, spans.as_ref()));
+    ExitCode::SUCCESS
+}
+
+fn run_compare(args: &[String]) -> ExitCode {
+    let mut opts = CompareOptions::default();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(t) = arg.strip_prefix("--threshold=") {
+            match compare::parse_threshold(t) {
+                Ok(v) => opts.threshold = v,
+                Err(e) => {
+                    eprintln!("sgs_report: {e}");
+                    return usage();
+                }
+            }
+        } else if arg == "--threshold" {
+            match it.next().map(|t| compare::parse_threshold(t)) {
+                Some(Ok(v)) => opts.threshold = v,
+                _ => return usage(),
+            }
+        } else if let Some(s) = arg.strip_prefix("--slack=") {
+            match s.parse() {
+                Ok(v) => opts.absolute_slack = v,
+                Err(_) => return usage(),
+            }
+        } else if arg.starts_with("--") {
+            eprintln!("sgs_report: unknown flag {arg}");
+            return usage();
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [base_path, new_path] = paths.as_slice() else {
+        return usage();
+    };
+    let (base, new) = match (load(base_path), load(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("sgs_report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = compare::compare(&base, &new, &opts);
+    println!(
+        "comparing {base_path} ({}:{}) -> {new_path} ({}:{}), threshold {:.0}%, slack {}",
+        base.meta.bin,
+        base.meta.circuit,
+        new.meta.bin,
+        new.meta.circuit,
+        opts.threshold * 100.0,
+        opts.absolute_slack,
+    );
+    for line in &outcome.lines {
+        println!("{line}");
+    }
+    if !outcome.drift.is_empty() {
+        eprintln!("schema drift ({}):", outcome.drift.len());
+        for d in &outcome.drift {
+            eprintln!("  {d}");
+        }
+    }
+    if !outcome.regressions.is_empty() {
+        eprintln!("REGRESSIONS ({}):", outcome.regressions.len());
+        for r in &outcome.regressions {
+            eprintln!("  {r}");
+        }
+    } else if outcome.drift.is_empty() {
+        println!(
+            "OK: no regressions ({} improvement(s))",
+            outcome.improvements.len()
+        );
+    }
+    match u8::try_from(outcome.exit_code()) {
+        Ok(code) => ExitCode::from(code),
+        Err(_) => ExitCode::FAILURE,
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    if args.is_empty() || args.iter().any(|a| a.starts_with("--")) {
+        return usage();
+    }
+    let mut failed = false;
+    for path in args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sgs_report: cannot read {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match Snapshot::lint(&text) {
+            Ok(snap) => {
+                let coverage = snap
+                    .coverage()
+                    .map_or("n/a".to_string(), |c| format!("{:.1}%", c * 100.0));
+                println!(
+                    "{path}: OK ({} counters, {} gauges, {} histograms, {} phases, coverage {})",
+                    snap.counters.len(),
+                    snap.gauges.len(),
+                    snap.hists.len(),
+                    snap.phases.len(),
+                    coverage,
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("render") => render(&args[1..]),
+        Some("compare") => run_compare(&args[1..]),
+        Some("lint") => lint(&args[1..]),
+        _ => usage(),
+    }
+}

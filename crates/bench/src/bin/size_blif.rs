@@ -4,7 +4,8 @@
 //! size_blif <netlist.blif> [--objective mu|mu+1s|mu+3s|area|sigma]
 //!           [--deadline D [--confidence 0|1|3]] [--pin-mean D]
 //!           [--reduced] [--analyze[=deny]] [--out sized.blif.tsv]
-//!           [--trace run.jsonl]
+//!           [--trace run.jsonl] [--metrics run.json] [--metrics-prom run.prom]
+//!           [--threads N]
 //! ```
 //!
 //! Reads a mapped combinational BLIF netlist (e.g. a real MCNC benchmark,
@@ -13,29 +14,38 @@
 //! resulting delay distribution and area, and optionally writes a
 //! `gate<TAB>speed-factor` table.
 
-use sgs_bench::TraceArg;
+use sgs_bench::BenchArgs;
 use sgs_core::{DelaySpec, Objective, Sizer, SolverChoice};
 use sgs_netlist::{blif, Library};
 use std::process::ExitCode;
+
+// Allocation accounting for `--metrics` snapshots (the `alloc_calls` /
+// `alloc_bytes` counters): two relaxed atomic adds per allocation on top
+// of the system allocator.
+#[global_allocator]
+static GLOBAL: sgs_metrics::alloc::CountingAllocator = sgs_metrics::alloc::CountingAllocator;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: size_blif <netlist.blif> [--objective mu|mu+1s|mu+3s|area|sigma] \
          [--deadline D [--confidence 0|1|3]] [--pin-mean D] [--reduced] \
-         [--analyze[=deny]] [--out FILE] [--trace FILE]"
+         [--analyze[=deny]] [--out FILE] [--trace FILE] [--metrics FILE] \
+         [--metrics-prom FILE] [--threads N]"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
+    sgs_metrics::alloc::mark_installed();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = match TraceArg::extract("size_blif", &mut args) {
+    let bench = match BenchArgs::extract("size_blif", &mut args) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("{e}");
             return usage();
         }
     };
+    let trace = bench.trace();
     let Some(path) = args.first() else {
         return usage();
     };
@@ -91,33 +101,39 @@ fn main() -> ExitCode {
         };
     }
 
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let parsed = if path.ends_with(".v") {
-        sgs_netlist::verilog::parse(&text)
-    } else {
-        blif::parse(&text)
-    };
-    let circuit = match parsed {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("cannot parse {path}: {e}");
-            return ExitCode::FAILURE;
+    let circuit = {
+        let _ph = sgs_metrics::phase(sgs_metrics::Phase::Load);
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let parsed = if path.ends_with(".v") {
+            sgs_netlist::verilog::parse(&text)
+        } else {
+            blif::parse(&text)
+        };
+        match parsed {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     let lib = Library::paper_default();
     println!("{circuit}");
-    let baseline = sgs_ssta::ssta(&circuit, &lib, &vec![1.0; circuit.num_gates()]);
-    println!(
-        "unsized: mu = {:.4}, sigma = {:.4}",
-        baseline.delay.mean(),
-        baseline.delay.sigma()
-    );
+    {
+        let _ph = sgs_metrics::phase(sgs_metrics::Phase::Baseline);
+        let baseline = sgs_ssta::ssta(&circuit, &lib, &vec![1.0; circuit.num_gates()]);
+        println!(
+            "unsized: mu = {:.4}, sigma = {:.4}",
+            baseline.delay.mean(),
+            baseline.delay.sigma()
+        );
+    }
 
     let mut sizer = Sizer::new(&circuit, &lib)
         .objective(objective)
@@ -147,6 +163,9 @@ fn main() -> ExitCode {
                 f64::NAN,
                 f64::NAN,
             );
+            if let Err(e) = bench.finish(circuit.name()) {
+                eprintln!("{e}");
+            }
             eprintln!("sizing failed: {e}");
             return ExitCode::FAILURE;
         }
@@ -161,6 +180,7 @@ fn main() -> ExitCode {
     );
 
     if let Some(out) = out {
+        let _ph = sgs_metrics::phase(sgs_metrics::Phase::Emit);
         let mut body = String::from("# gate\tspeed_factor\n");
         for ((_, gate), s) in circuit.gates().zip(&result.s) {
             body.push_str(&format!("{}\t{:.6}\n", gate.name, s));
@@ -180,5 +200,9 @@ fn main() -> ExitCode {
         result.area,
         result.evals.into(),
     );
+    if let Err(e) = bench.finish(circuit.name()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

@@ -14,7 +14,7 @@
 //! Run with `cargo run -p sgs-bench --bin table1 --release` (takes tens of
 //! minutes for all three circuits; pass a circuit name to run one).
 
-use sgs_bench::{print_table, Row, TraceArg};
+use sgs_bench::{print_table, BenchArgs, Row};
 use sgs_core::{DelaySpec, Objective, Sizer};
 use sgs_netlist::{generate, Library};
 use sgs_nlp::auglag::AugLagOptions;
@@ -69,10 +69,19 @@ fn paper_ref(name: &str) -> PaperRef {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = TraceArg::extract("table1", &mut args).unwrap_or_else(|e| {
+    let bench = BenchArgs::extract("table1", &mut args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2)
     });
+    let trace = bench.trace();
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        eprintln!("unknown argument: {flag}");
+        eprintln!(
+            "usage: table1 [CIRCUIT] [--trace=FILE] [--metrics=FILE] \
+             [--metrics-prom=FILE] [--threads=N]"
+        );
+        std::process::exit(2);
+    }
     let only: Option<String> = args.first().cloned();
     let lib = Library::paper_default();
 
@@ -190,5 +199,10 @@ fn main() {
             ),
             &rows,
         );
+    }
+    let circuits = only.unwrap_or_else(|| "apex1+apex2+k2".to_string());
+    if let Err(e) = bench.finish(&circuits) {
+        eprintln!("{e}");
+        std::process::exit(1);
     }
 }

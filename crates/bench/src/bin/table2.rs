@@ -9,16 +9,24 @@
 //!
 //! Run with `cargo run -p sgs-bench --bin table2 --release`.
 
-use sgs_bench::{print_table, Row, TraceArg};
+use sgs_bench::{print_table, BenchArgs, Row};
 use sgs_core::{DelaySpec, Objective, Sizer};
 use sgs_netlist::{generate, Library};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = TraceArg::extract("table2", &mut args).unwrap_or_else(|e| {
+    let bench = BenchArgs::extract("table2", &mut args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2)
     });
+    let trace = bench.trace();
+    if let Some(arg) = args.first() {
+        eprintln!("unknown argument: {arg}");
+        eprintln!(
+            "usage: table2 [--trace=FILE] [--metrics=FILE] [--metrics-prom=FILE] [--threads=N]"
+        );
+        std::process::exit(2);
+    }
     let circuit = generate::tree7();
     let lib = Library::paper_default();
 
@@ -88,4 +96,8 @@ fn main() {
         "Table 2: results for the tree circuit (paper Fig. 3)",
         &rows,
     );
+    if let Err(e) = bench.finish("tree7") {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
 }

@@ -10,16 +10,24 @@
 //!
 //! Run with `cargo run -p sgs-bench --bin table3 --release`.
 
-use sgs_bench::TraceArg;
+use sgs_bench::BenchArgs;
 use sgs_core::{DelaySpec, Objective, Sizer};
 use sgs_netlist::{generate, Library};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = TraceArg::extract("table3", &mut args).unwrap_or_else(|e| {
+    let bench = BenchArgs::extract("table3", &mut args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2)
     });
+    let trace = bench.trace();
+    if let Some(arg) = args.first() {
+        eprintln!("unknown argument: {arg}");
+        eprintln!(
+            "usage: table3 [--trace=FILE] [--metrics=FILE] [--metrics-prom=FILE] [--threads=N]"
+        );
+        std::process::exit(2);
+    }
     let circuit = generate::tree7();
     let lib = Library::paper_default();
     let pin = 6.5;
@@ -69,4 +77,8 @@ fn main() {
     println!(
         "\nGate order A..G as in the paper's Fig. 3: {{A,B}} -> C, {{D,E}} -> F, {{C,F}} -> G."
     );
+    if let Err(e) = bench.finish("tree7") {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
 }

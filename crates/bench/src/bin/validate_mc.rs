@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use sgs_bench::TraceArg;
+use sgs_bench::BenchArgs;
 use sgs_core::{Objective, Sizer};
 use sgs_netlist::{generate, Library};
 use sgs_ssta::{monte_carlo, monte_carlo_traced, ssta, McOptions};
@@ -21,20 +21,17 @@ use sgs_statmath::{clark, mc, Normal};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = TraceArg::extract("validate_mc", &mut args).unwrap_or_else(|e| {
+    let bench = BenchArgs::extract("validate_mc", &mut args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2)
     });
-    // Honour an explicit thread request; otherwise rayon reads
-    // RAYON_NUM_THREADS / the machine's parallelism.
-    if let Some(n) = args.iter().find_map(|a| {
-        a.strip_prefix("--threads=")
-            .and_then(|v| v.parse::<usize>().ok())
-    }) {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(n)
-            .build_global()
-            .ok();
+    let trace = bench.trace();
+    if let Some(arg) = args.first() {
+        eprintln!("unknown argument: {arg}");
+        eprintln!(
+            "usage: validate_mc [--threads=N] [--trace=FILE] [--metrics=FILE] [--metrics-prom=FILE]"
+        );
+        std::process::exit(2);
     }
     println!("monte carlo threads: {}", rayon::current_num_threads());
     println!("\n## Clark max vs Monte Carlo (400k samples per case)\n");
@@ -151,4 +148,8 @@ fn main() {
         r.area,
         r.evals.into(),
     );
+    if let Err(e) = bench.finish("tree7+suite") {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
 }

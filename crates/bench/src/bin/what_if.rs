@@ -26,7 +26,7 @@
 //! asserts bit-identity in the same run, adds a warm-started
 //! deadline-re-solve demo, and writes `BENCH_incremental.json`.
 
-use sgs_bench::TraceArg;
+use sgs_bench::{BenchArgs, TraceArg};
 use sgs_core::{DelaySpec, Objective, Sizer};
 use sgs_netlist::{blif, generate, Circuit, GateId, Library};
 use sgs_ssta::{ssta, IncrementalSsta};
@@ -39,8 +39,8 @@ use std::time::Instant;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: what_if <netlist.blif|.v> [--script FILE.json] [--queries N] [--seed S] \
-         [--full] [--table FILE] [--trace FILE]\n\
-         \x20      what_if --bench [--queries N] [--out PATH] [--trace FILE]"
+         [--full] [--table FILE] [--trace FILE] [--metrics FILE] [--metrics-prom FILE]\n\
+         \x20      what_if --bench [--queries N] [--out PATH] [--trace FILE] [--metrics FILE]"
     );
     ExitCode::from(2)
 }
@@ -447,6 +447,7 @@ fn bench(args: Vec<String>) -> ExitCode {
     );
 
     let mut json = String::from("{\n");
+    json.push_str(&sgs_bench::bench_metadata_json("what_if", "suite+rdag40"));
     let _ = writeln!(json, "  \"queries\": {queries},");
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -497,16 +498,23 @@ fn bench(args: Vec<String>) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = match TraceArg::extract("what_if", &mut args) {
+    let bench_args = match BenchArgs::extract("what_if", &mut args) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("{e}");
             return usage();
         }
     };
-    match args.first().map(String::as_str) {
+    let code = match args.first().map(String::as_str) {
         Some("--bench") => bench(args[1..].to_vec()),
-        Some(_) => session(args, &trace),
+        Some(_) => session(args, bench_args.trace()),
         None => usage(),
+    };
+    // Circuit set depends on the mode (named netlist or the Table 1
+    // suite); the snapshot summarises the bin's whole run either way.
+    if let Err(e) = bench_args.finish("what_if") {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
+    code
 }

@@ -8,6 +8,169 @@
 use sgs_trace::{EvalReport, JsonlSink, RunReport, TraceEvent, TraceSink, Tracer};
 use std::time::Instant;
 
+/// Removes every occurrence of `--NAME=VALUE` / `--NAME VALUE` from
+/// `args` (the last occurrence wins) and returns the value, or an error
+/// when the flag is present without an operand.
+fn take_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let eq = format!("{name}=");
+    let mut val = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix(&eq) {
+            val = Some(v.to_string());
+            args.remove(i);
+        } else if args[i] == name {
+            if i + 1 >= args.len() {
+                return Err(format!("{name} needs an operand"));
+            }
+            val = Some(args[i + 1].clone());
+            args.drain(i..=i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(val)
+}
+
+/// The flags every bench binary accepts, shared so they parse (and error)
+/// identically everywhere:
+///
+/// * `--trace=FILE` — JSONL event trace ([`TraceArg`]).
+/// * `--metrics=FILE` — enables the [`sgs_metrics`] registry and writes a
+///   versioned snapshot on [`BenchArgs::finish`].
+/// * `--metrics-prom=FILE` — same registry, Prometheus text exposition.
+/// * `--threads=N` — sizes the global rayon pool before any work runs.
+///
+/// All four are stripped from the argument list; binaries then treat any
+/// remaining unknown flag as a usage error instead of silently ignoring
+/// it. Without `--metrics`/`--metrics-prom` the registry stays disabled
+/// and the instrumented code paths cost a relaxed atomic load each.
+pub struct BenchArgs {
+    trace: TraceArg,
+    metrics_path: Option<String>,
+    prom_path: Option<String>,
+    start: Instant,
+    bin: &'static str,
+}
+
+impl BenchArgs {
+    /// Strips the shared flags from `args`, builds the rayon pool and
+    /// enables the metrics registry as requested.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for a flag without an operand, an
+    /// unparsable `--threads` value, or an unwritable trace file.
+    pub fn extract(bin: &'static str, args: &mut Vec<String>) -> Result<Self, String> {
+        let trace = TraceArg::extract(bin, args)?;
+        let metrics_path = take_flag(args, "--metrics")?;
+        let prom_path = take_flag(args, "--metrics-prom")?;
+        if let Some(n) = take_flag(args, "--threads")? {
+            let n: usize = n
+                .parse()
+                .map_err(|_| format!("--threads needs a positive integer, got {n}"))?;
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .ok();
+        }
+        if metrics_path.is_some() || prom_path.is_some() {
+            sgs_metrics::reset();
+            sgs_metrics::enable();
+        }
+        Ok(BenchArgs {
+            trace,
+            metrics_path,
+            prom_path,
+            start: Instant::now(),
+            bin,
+        })
+    }
+
+    /// The composed `--trace` support (sink, tracer, run report).
+    pub fn trace(&self) -> &TraceArg {
+        &self.trace
+    }
+
+    /// Whether a metrics snapshot or Prometheus dump was requested.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics_path.is_some() || self.prom_path.is_some()
+    }
+
+    /// Sets the run-wall-clock gauge, snapshots the registry and writes
+    /// the requested output files. A no-op without
+    /// `--metrics`/`--metrics-prom`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when an output file cannot be
+    /// written.
+    pub fn finish(&self, circuit: &str) -> Result<(), String> {
+        if !self.metrics_enabled() {
+            return Ok(());
+        }
+        sgs_metrics::set_gauge(
+            sgs_metrics::Gauge::RunSeconds,
+            self.start.elapsed().as_secs_f64(),
+        );
+        let snap = sgs_metrics::snapshot(sgs_metrics::Metadata {
+            bin: self.bin.to_string(),
+            circuit: circuit.to_string(),
+            git_sha: git_sha(),
+            threads: rayon::current_num_threads(),
+            timestamp: run_timestamp(),
+        });
+        if let Some(p) = &self.metrics_path {
+            std::fs::write(p, snap.to_json())
+                .map_err(|e| format!("cannot write metrics snapshot {p}: {e}"))?;
+        }
+        if let Some(p) = &self.prom_path {
+            std::fs::write(p, sgs_metrics::prom::to_prometheus(&snap))
+                .map_err(|e| format!("cannot write Prometheus dump {p}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// The commit under test: `GITHUB_SHA` (CI), then `GIT_SHA` (local
+/// override), then `"unknown"`. Passed into the snapshot metadata so the
+/// library layer never shells out to git.
+pub fn git_sha() -> String {
+    std::env::var("GITHUB_SHA")
+        .or_else(|_| std::env::var("GIT_SHA"))
+        .unwrap_or_else(|_| "unknown".to_string())
+}
+
+/// The shared metadata block every `BENCH_*.json` artifact embeds, so all
+/// benchmark outputs carry the same provenance fields as metrics
+/// snapshots: `"schema_version": 1,` followed by a `"metadata"` object
+/// with bin, circuit set, git sha, thread count and timestamp. Returned
+/// pre-indented two spaces with a trailing comma, ready to open a
+/// top-level JSON object with.
+pub fn bench_metadata_json(bin: &str, circuit: &str) -> String {
+    format!(
+        "  \"schema_version\": {},\n  \"metadata\": {{\"bin\": \"{bin}\", \"circuit\": \"{circuit}\", \
+         \"git_sha\": \"{}\", \"threads\": {}, \"timestamp\": \"{}\"}},\n",
+        sgs_metrics::SCHEMA_VERSION,
+        git_sha(),
+        rayon::current_num_threads(),
+        run_timestamp(),
+    )
+}
+
+/// Seconds since the Unix epoch as a decimal string, honouring
+/// `SOURCE_DATE_EPOCH` for reproducible runs. Metadata only — cross-run
+/// comparison ignores it.
+pub fn run_timestamp() -> String {
+    if let Ok(t) = std::env::var("SOURCE_DATE_EPOCH") {
+        return t;
+    }
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs().to_string())
+        .unwrap_or_else(|_| "0".to_string())
+}
+
 /// `--trace=FILE` support shared by the bench binaries: strips the flag
 /// from the argument list, opens a [`JsonlSink`], and emits the final
 /// [`RunReport`] record. Without the flag everything is a disabled-tracer

@@ -216,6 +216,8 @@ impl<'a> Resolver<'a> {
     ///
     /// Panics if a gate id is out of range.
     pub fn what_if(&mut self, changes: &[(GateId, f64)]) -> WhatIfReport {
+        sgs_metrics::incr(sgs_metrics::Counter::ResolveWhatIfQueries);
+        let _timer = sgs_metrics::time_hist(sgs_metrics::HistId::WhatIfSeconds);
         let stats = self.inc.apply(changes);
         let delay = self.inc.delay();
         let report = WhatIfReport {
@@ -240,6 +242,8 @@ impl<'a> Resolver<'a> {
     /// [`Resolver::resolve_spec`] and [`Resolver::resolve_sizes`].
     fn run(&mut self, seed: Seed, pre_recomputed: usize) -> Result<ResolveOutcome, SizeError> {
         let start = Instant::now();
+        let _solve_phase = sgs_metrics::phase(sgs_metrics::Phase::Solve);
+        sgs_metrics::incr(sgs_metrics::Counter::ResolveSolves);
         let tracer = self.tracer();
         let clamps_before = sgs_statmath::clark::var_clamp_count();
         let x0 = self.problem.initial_point(self.inc.sizes());
@@ -252,6 +256,7 @@ impl<'a> Resolver<'a> {
             .is_some_and(|w| w.is_usable(self.problem.num_vars(), self.problem.num_constraints()));
         let result = {
             let _sp = tracer.span("auglag");
+            let _ph = sgs_metrics::phase(sgs_metrics::Phase::Auglag);
             auglag::solve_warm_traced(&self.problem, &x0, warm.as_ref(), &self.al_options, tracer)
         };
         let s = self.problem.extract_s(&result.x);
@@ -282,6 +287,7 @@ impl<'a> Resolver<'a> {
         }
         self.warm = Some(WarmStart::from_result(&result));
         let clark_var_clamps = sgs_statmath::clark::var_clamp_count().saturating_sub(clamps_before);
+        sgs_metrics::add(sgs_metrics::Counter::ClarkVarClamps, clark_var_clamps);
         tracer.emit(|| TraceEvent::Counter {
             name: "clark_var_clamped",
             value: clark_var_clamps,

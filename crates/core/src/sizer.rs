@@ -317,11 +317,17 @@ impl<'a> Sizer<'a> {
     /// first-order point nor an acceptable fallback is reached.
     pub fn solve(&self) -> Result<SizingResult, SizeError> {
         let start = Instant::now();
+        let _solve_phase = sgs_metrics::phase(sgs_metrics::Phase::Solve);
+        sgs_metrics::incr(sgs_metrics::Counter::SizerSolves);
         let tracer = self.tracer();
         if let Some(gate) = self.preflight {
             let _sp = tracer.span("preflight");
+            let _ph = sgs_metrics::phase(sgs_metrics::Phase::Preflight);
             gate.check(self.circuit, self.lib, &self.objective, &self.delay_spec)
-                .map_err(|summary| SizeError::PreflightFailed { summary })?;
+                .map_err(|summary| {
+                    sgs_metrics::incr(sgs_metrics::Counter::SizerPreflightRejections);
+                    SizeError::PreflightFailed { summary }
+                })?;
         }
         let clamps_before = sgs_statmath::clark::var_clamp_count();
         let n = self.circuit.num_gates();
@@ -331,6 +337,7 @@ impl<'a> Sizer<'a> {
         // (ReducedSpace).
         let red = {
             let _sp = tracer.span("warm_start");
+            let _ph = sgs_metrics::phase(sgs_metrics::Phase::WarmStart);
             reduced::solve_reduced_with_arrivals(
                 self.circuit,
                 self.lib,
@@ -345,6 +352,7 @@ impl<'a> Sizer<'a> {
         if self.solver == SolverChoice::ReducedSpace {
             let report = {
                 let _sp = tracer.span("report");
+                let _ph = sgs_metrics::phase(sgs_metrics::Phase::Report);
                 self.analyse(&red.s)
             };
             return Ok(SizingResult {
@@ -364,6 +372,7 @@ impl<'a> Sizer<'a> {
         // Full-space augmented-Lagrangian solve from the warm start.
         let problem = {
             let _sp = tracer.span("build_problem");
+            let _ph = sgs_metrics::phase(sgs_metrics::Phase::BuildProblem);
             SizingProblem::build_with_arrivals(
                 self.circuit,
                 self.lib,
@@ -374,6 +383,7 @@ impl<'a> Sizer<'a> {
         };
         let run_attempt = |s_init: &[f64]| {
             let _sp = tracer.span("auglag");
+            let _ph = sgs_metrics::phase(sgs_metrics::Phase::Auglag);
             let x0 = problem.initial_point(s_init);
             match self.poison_nan_after {
                 Some(after) => auglag::solve_traced(
@@ -392,6 +402,7 @@ impl<'a> Sizer<'a> {
         let mut attempt = 0;
         while result.status == SolveStatus::Diverged && attempt < self.max_restarts {
             attempt += 1;
+            sgs_metrics::incr(sgs_metrics::Counter::SizerRestarts);
             tracer.emit(|| TraceEvent::Restart {
                 attempt,
                 reason: format!(
@@ -411,6 +422,7 @@ impl<'a> Sizer<'a> {
         // intermediate variables then never corrupt the reported sizing.
         let (full_cand, red_cand) = {
             let _sp = tracer.span("evaluate");
+            let _ph = sgs_metrics::phase(sgs_metrics::Phase::Evaluate);
             (
                 self.evaluate_guarded(&s_full),
                 self.evaluate_guarded(&red.s),
@@ -431,6 +443,8 @@ impl<'a> Sizer<'a> {
             });
             let fallback = {
                 let _sp = tracer.span("greedy_fallback");
+                let _ph = sgs_metrics::phase(sgs_metrics::Phase::GreedyFallback);
+                sgs_metrics::incr(sgs_metrics::Counter::SizerGreedyFallbacks);
                 self.greedy_fallback()
             };
             let Some((s, objective)) = fallback else {
@@ -441,6 +455,7 @@ impl<'a> Sizer<'a> {
             };
             let report = {
                 let _sp = tracer.span("report");
+                let _ph = sgs_metrics::phase(sgs_metrics::Phase::Report);
                 self.analyse(&s)
             };
             return Ok(SizingResult {
@@ -463,6 +478,7 @@ impl<'a> Sizer<'a> {
 
         let report = {
             let _sp = tracer.span("report");
+            let _ph = sgs_metrics::phase(sgs_metrics::Phase::Report);
             self.analyse(&s)
         };
         Ok(SizingResult {
@@ -483,6 +499,7 @@ impl<'a> Sizer<'a> {
     /// solve, emitted as the `clark_var_clamped` trace counter.
     fn emit_clamp_delta(&self, tracer: &Tracer<'a>, before: u64) -> u64 {
         let delta = sgs_statmath::clark::var_clamp_count().saturating_sub(before);
+        sgs_metrics::add(sgs_metrics::Counter::ClarkVarClamps, delta);
         tracer.emit(|| TraceEvent::Counter {
             name: "clark_var_clamped",
             value: delta,

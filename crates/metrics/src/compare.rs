@@ -1,0 +1,340 @@
+//! Cross-run snapshot comparison — the perf-regression gate.
+//!
+//! [`compare`] diffs two [`Snapshot`]s metric-by-metric under one policy:
+//!
+//! - **Timing-like metrics** (names ending in `_seconds`, names starting
+//!   with `alloc_`, and all phase timings) regress only when the new run
+//!   is *slower/bigger* than `base * (1 + threshold)` plus a small
+//!   absolute slack — wall-clock is noisy, so CI uses generous
+//!   thresholds. Improvements never fail the gate.
+//! - **Everything else is deterministic** in this stack (eval counts,
+//!   iteration counts, Monte Carlo samples, convergence residuals,
+//!   histogram observation counts — PR 1 made them bit-identical at any
+//!   thread count), so *any* change is reported as a regression signal;
+//!   intentional changes are handled by regenerating the committed
+//!   baseline.
+//! - **Metadata is identity, not behaviour**: git sha, timestamp, circuit
+//!   and thread count are ignored except that differing schema versions
+//!   are schema drift.
+//! - **Missing/extra metrics are schema drift**, reported with their
+//!   names and a dedicated exit code — never a panic — so adding a metric
+//!   shows up as exactly that.
+
+use crate::hist::HistSnapshot;
+use crate::snapshot::Snapshot;
+
+/// Comparison policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareOptions {
+    /// Relative slow-down tolerance for timing-like metrics (`9.0` means
+    /// "fail only when more than 10x the baseline").
+    pub threshold: f64,
+    /// Absolute slack (seconds / bytes / calls) added on top of the
+    /// relative threshold so micro-timings near zero never trip the gate.
+    pub absolute_slack: f64,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        CompareOptions {
+            threshold: 0.25,
+            absolute_slack: 0.01,
+        }
+    }
+}
+
+/// Result of one comparison: human-readable lines plus the failure sets.
+#[derive(Debug, Clone, Default)]
+pub struct CompareOutcome {
+    /// Per-metric report lines (only metrics that changed).
+    pub lines: Vec<String>,
+    /// Metrics that regressed (each line names the metric).
+    pub regressions: Vec<String>,
+    /// Schema-drift findings (missing/extra metrics, version skew).
+    pub drift: Vec<String>,
+    /// Timing metrics that improved (informational).
+    pub improvements: Vec<String>,
+}
+
+impl CompareOutcome {
+    /// Process exit code: `0` clean, `1` regression, `3` drift only.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        if !self.regressions.is_empty() {
+            1
+        } else if !self.drift.is_empty() {
+            3
+        } else {
+            0
+        }
+    }
+}
+
+/// Whether a metric name is compared with the relative timing threshold
+/// instead of strict equality.
+#[must_use]
+pub fn is_timing_metric(name: &str) -> bool {
+    name.ends_with("_seconds") || name.starts_with("alloc_")
+}
+
+fn key_drift<A, B>(
+    kind: &str,
+    base: &std::collections::BTreeMap<String, A>,
+    new: &std::collections::BTreeMap<String, B>,
+    out: &mut CompareOutcome,
+) {
+    for k in base.keys() {
+        if !new.contains_key(k) {
+            out.drift.push(format!("{kind} {k}: missing in new run"));
+        }
+    }
+    for k in new.keys() {
+        if !base.contains_key(k) {
+            out.drift.push(format!("{kind} {k}: not in baseline"));
+        }
+    }
+}
+
+fn cmp_timing(name: &str, base: f64, new: f64, opts: &CompareOptions, out: &mut CompareOutcome) {
+    if !base.is_finite() || !new.is_finite() {
+        // NaN quantiles of empty histograms and friends: only a
+        // finite/non-finite flip is a change worth reporting.
+        if base.is_nan() != new.is_nan() {
+            out.regressions
+                .push(format!("{name}: {base} -> {new} (finiteness changed)"));
+            out.lines
+                .push(format!("REGRESSION {name}: {base} -> {new}"));
+        }
+        return;
+    }
+    let limit = base * (1.0 + opts.threshold) + opts.absolute_slack;
+    if new > limit {
+        out.regressions.push(format!(
+            "{name}: {base:.6} -> {new:.6} (limit {limit:.6}, threshold {:.0}%)",
+            opts.threshold * 100.0
+        ));
+        out.lines
+            .push(format!("REGRESSION {name}: {base:.6} -> {new:.6}"));
+    } else if new < base {
+        out.improvements
+            .push(format!("{name}: {base:.6} -> {new:.6}"));
+        out.lines
+            .push(format!("improved   {name}: {base:.6} -> {new:.6}"));
+    }
+}
+
+fn cmp_strict_f64(name: &str, base: f64, new: f64, out: &mut CompareOutcome) {
+    if base.total_cmp(&new) != std::cmp::Ordering::Equal {
+        out.regressions
+            .push(format!("{name}: {base} -> {new} (strict metric changed)"));
+        out.lines
+            .push(format!("REGRESSION {name}: {base} -> {new}"));
+    }
+}
+
+fn cmp_strict_u64(name: &str, base: u64, new: u64, out: &mut CompareOutcome) {
+    if base != new {
+        out.regressions
+            .push(format!("{name}: {base} -> {new} (strict metric changed)"));
+        out.lines
+            .push(format!("REGRESSION {name}: {base} -> {new}"));
+    }
+}
+
+fn cmp_hist(
+    name: &str,
+    base: &HistSnapshot,
+    new: &HistSnapshot,
+    opts: &CompareOptions,
+    out: &mut CompareOutcome,
+) {
+    // Observation counts are deterministic regardless of what the
+    // histogram measures (e.g. *how many* outer iterations ran).
+    cmp_strict_u64(&format!("{name}.count"), base.count, new.count, out);
+    let fields = [
+        ("sum", base.sum, new.sum),
+        ("min", base.min, new.min),
+        ("max", base.max, new.max),
+        ("p50", base.p50, new.p50),
+        ("p90", base.p90, new.p90),
+        ("p99", base.p99, new.p99),
+    ];
+    for (field, b, n) in fields {
+        let qname = format!("{name}.{field}");
+        if is_timing_metric(name) {
+            cmp_timing(&qname, b, n, opts, out);
+        } else {
+            cmp_strict_f64(&qname, b, n, out);
+        }
+    }
+}
+
+/// Diffs two snapshots under `opts`; see the module docs for the policy.
+#[must_use]
+pub fn compare(base: &Snapshot, new: &Snapshot, opts: &CompareOptions) -> CompareOutcome {
+    let mut out = CompareOutcome::default();
+    if base.schema_version != new.schema_version {
+        out.drift.push(format!(
+            "schema_version: baseline {} vs new {}",
+            base.schema_version, new.schema_version
+        ));
+    }
+    key_drift("counter", &base.counters, &new.counters, &mut out);
+    key_drift("gauge", &base.gauges, &new.gauges, &mut out);
+    key_drift("histogram", &base.hists, &new.hists, &mut out);
+    key_drift("phase", &base.phases, &new.phases, &mut out);
+
+    for (k, b) in &base.counters {
+        let Some(n) = new.counters.get(k) else {
+            continue;
+        };
+        if is_timing_metric(k) {
+            cmp_timing(k, *b as f64, *n as f64, opts, &mut out);
+        } else {
+            cmp_strict_u64(k, *b, *n, &mut out);
+        }
+    }
+    for (k, b) in &base.gauges {
+        let Some(n) = new.gauges.get(k) else { continue };
+        if is_timing_metric(k) {
+            cmp_timing(k, *b, *n, opts, &mut out);
+        } else {
+            cmp_strict_f64(k, *b, *n, &mut out);
+        }
+    }
+    for (k, b) in &base.hists {
+        let Some(n) = new.hists.get(k) else { continue };
+        cmp_hist(k, b, n, opts, &mut out);
+    }
+    for (k, b) in &base.phases {
+        let Some(n) = new.phases.get(k) else { continue };
+        cmp_strict_u64(&format!("phase {k}.count"), b.count, n.count, &mut out);
+        cmp_timing(
+            &format!("phase {k}.seconds"),
+            b.seconds,
+            n.seconds,
+            opts,
+            &mut out,
+        );
+    }
+    out
+}
+
+/// Parses a `--threshold=N%` operand (percent sign optional) into a
+/// relative ratio (`"25%"` → `0.25`).
+///
+/// # Errors
+///
+/// Returns a message on non-numeric or negative input.
+pub fn parse_threshold(text: &str) -> Result<f64, String> {
+    let trimmed = text.strip_suffix('%').unwrap_or(text);
+    let pct: f64 = trimmed
+        .parse()
+        .map_err(|_| format!("bad threshold '{text}' (expected e.g. 25%)"))?;
+    if pct.is_nan() || pct < 0.0 {
+        return Err(format!("threshold '{text}' must be non-negative"));
+    }
+    Ok(pct / 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{Metadata, PhaseSnap, SCHEMA_VERSION};
+    use std::collections::BTreeMap;
+
+    fn snap() -> Snapshot {
+        let mut counters = BTreeMap::new();
+        counters.insert("nlp_solves".to_string(), 2u64);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("run_seconds".to_string(), 1.0);
+        gauges.insert("nlp_last_c_norm".to_string(), 1e-9);
+        let mut phases = BTreeMap::new();
+        phases.insert(
+            "solve".to_string(),
+            PhaseSnap {
+                name: "solve".into(),
+                parent: None,
+                seconds: 0.9,
+                count: 1,
+            },
+        );
+        Snapshot {
+            schema_version: SCHEMA_VERSION,
+            meta: Metadata::default(),
+            counters,
+            gauges,
+            hists: BTreeMap::new(),
+            phases,
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_are_clean() {
+        let a = snap();
+        let out = compare(&a, &a.clone(), &CompareOptions::default());
+        assert_eq!(out.exit_code(), 0, "{:?}", out);
+    }
+
+    #[test]
+    fn metadata_differences_are_ignored() {
+        let a = snap();
+        let mut b = snap();
+        b.meta.git_sha = "other".into();
+        b.meta.timestamp = "later".into();
+        b.meta.threads = 8;
+        let out = compare(&a, &b, &CompareOptions::default());
+        assert_eq!(out.exit_code(), 0);
+    }
+
+    #[test]
+    fn slow_timing_regresses_fast_timing_improves() {
+        let a = snap();
+        let mut b = snap();
+        *b.gauges.get_mut("run_seconds").unwrap() = 10.0;
+        let out = compare(&a, &b, &CompareOptions::default());
+        assert_eq!(out.exit_code(), 1);
+        assert!(out.regressions.iter().any(|r| r.contains("run_seconds")));
+
+        let mut c = snap();
+        *c.gauges.get_mut("run_seconds").unwrap() = 0.5;
+        let out = compare(&a, &c, &CompareOptions::default());
+        assert_eq!(out.exit_code(), 0);
+        assert!(out.improvements.iter().any(|r| r.contains("run_seconds")));
+    }
+
+    #[test]
+    fn strict_metrics_fail_on_any_change() {
+        let a = snap();
+        let mut b = snap();
+        *b.counters.get_mut("nlp_solves").unwrap() = 3;
+        let out = compare(&a, &b, &CompareOptions::default());
+        assert_eq!(out.exit_code(), 1);
+        assert!(out.regressions.iter().any(|r| r.contains("nlp_solves")));
+
+        let mut c = snap();
+        *c.gauges.get_mut("nlp_last_c_norm").unwrap() = 2e-9;
+        let out = compare(&a, &c, &CompareOptions::default());
+        assert_eq!(out.exit_code(), 1);
+    }
+
+    #[test]
+    fn missing_and_extra_metrics_are_drift() {
+        let a = snap();
+        let mut b = snap();
+        b.counters.remove("nlp_solves");
+        b.counters.insert("brand_new".to_string(), 1);
+        let out = compare(&a, &b, &CompareOptions::default());
+        assert_eq!(out.exit_code(), 3);
+        assert!(out.drift.iter().any(|d| d.contains("nlp_solves")));
+        assert!(out.drift.iter().any(|d| d.contains("brand_new")));
+    }
+
+    #[test]
+    fn threshold_parsing() {
+        assert_eq!(parse_threshold("25%").unwrap(), 0.25);
+        assert_eq!(parse_threshold("900").unwrap(), 9.0);
+        assert!(parse_threshold("abc").is_err());
+        assert!(parse_threshold("-5%").is_err());
+    }
+}

@@ -1,0 +1,445 @@
+//! Log-bucketed concurrent histograms with an exact small-sample path.
+//!
+//! Bucketing follows the HDR/DDSketch family: a value's bucket is derived
+//! directly from its IEEE-754 bit pattern — the unbiased exponent selects
+//! a *binade* `[2^e, 2^(e+1))` and the top [`SUBBUCKET_BITS`] mantissa
+//! bits split each binade into [`SUBBUCKETS`] geometric sub-buckets. The
+//! relative width of every bucket is therefore at most `1/SUBBUCKETS`
+//! (3.125%), which is the quantile-estimate error bound the differential
+//! oracle in `tests/proptest_hist.rs` pins down.
+//!
+//! Binades outside `[2^MIN_EXP, 2^(MAX_EXP+1))` — roughly
+//! `[9.1e-13, 4.4e12]`, ample for seconds, iteration counts and gate
+//! counts — collapse into dedicated underflow/overflow buckets, as do
+//! zero, negative and non-finite observations (which the instrumented
+//! code never produces, but a histogram must not panic on).
+//!
+//! The first [`EXACT_CAP`] observations are additionally kept verbatim,
+//! so small samples (the common case: one solve has a handful of outer
+//! iterations) report *exact* nearest-rank quantiles; the bucket walk is
+//! only consulted beyond the cap.
+//!
+//! Everything on the observe path is a handful of relaxed/CAS atomic
+//! operations on fixed storage — no locks, no allocation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of mantissa bits used to subdivide each binade.
+pub const SUBBUCKET_BITS: u32 = 5;
+/// Geometric sub-buckets per binade (`2^SUBBUCKET_BITS`).
+pub const SUBBUCKETS: usize = 1 << SUBBUCKET_BITS;
+/// Smallest unbiased exponent with its own binade; values below fall in
+/// the underflow bucket.
+pub const MIN_EXP: i32 = -40;
+/// Largest unbiased exponent with its own binade; values at or above
+/// `2^(MAX_EXP+1)` fall in the overflow bucket.
+pub const MAX_EXP: i32 = 40;
+/// Number of resolved binades.
+pub const N_BINADES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+/// Total bucket count: underflow + resolved binades + overflow.
+pub const N_BUCKETS: usize = 2 + N_BINADES * SUBBUCKETS;
+/// Observations stored verbatim for the exact small-sample quantile path.
+pub const EXACT_CAP: usize = 512;
+
+/// Maps an observation to its bucket index.
+///
+/// Index `0` is the underflow bucket (zero, negatives, NaN, and positive
+/// values below `2^MIN_EXP`); index `N_BUCKETS - 1` is the overflow
+/// bucket (`+inf` and values at or above `2^(MAX_EXP+1)`).
+#[must_use]
+pub fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 {
+        return 0;
+    }
+    if v == f64::INFINITY {
+        return N_BUCKETS - 1;
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023; // subnormals land at -1023
+    if exp < MIN_EXP {
+        return 0;
+    }
+    if exp > MAX_EXP {
+        return N_BUCKETS - 1;
+    }
+    let sub = ((bits >> (52 - SUBBUCKET_BITS)) & (SUBBUCKETS as u64 - 1)) as usize;
+    1 + ((exp - MIN_EXP) as usize) * SUBBUCKETS + sub
+}
+
+/// Half-open value range `[lo, hi)` covered by a bucket index (mantissa
+/// truncation puts a value exactly at a bucket's lower edge *inside* that
+/// bucket).
+///
+/// The underflow bucket reports `[0, 2^MIN_EXP)`; the overflow bucket
+/// reports `[2^(MAX_EXP+1), +inf)`.
+#[must_use]
+pub fn bucket_bounds(idx: usize) -> (f64, f64) {
+    assert!(idx < N_BUCKETS, "bucket index {idx} out of range");
+    if idx == 0 {
+        return (0.0, (2.0f64).powi(MIN_EXP));
+    }
+    if idx == N_BUCKETS - 1 {
+        return ((2.0f64).powi(MAX_EXP + 1), f64::INFINITY);
+    }
+    let binade = MIN_EXP + ((idx - 1) / SUBBUCKETS) as i32;
+    let sub = (idx - 1) % SUBBUCKETS;
+    let scale = (2.0f64).powi(binade);
+    (
+        scale * (1.0 + sub as f64 / SUBBUCKETS as f64),
+        scale * (1.0 + (sub + 1) as f64 / SUBBUCKETS as f64),
+    )
+}
+
+/// A concurrent log-bucketed histogram (fixed storage, const-initialisable
+/// so it can live in a `static` registry).
+pub struct Histogram {
+    count: AtomicU64,
+    /// `f64` bit pattern of the running sum, advanced by CAS.
+    sum_bits: AtomicU64,
+    /// `f64` bit pattern of the minimum (starts at `+inf`).
+    min_bits: AtomicU64,
+    /// `f64` bit pattern of the maximum (starts at `-inf`).
+    max_bits: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+    /// `f64` bit patterns of the first [`EXACT_CAP`] observations.
+    exact: [AtomicU64; EXACT_CAP],
+}
+
+impl Histogram {
+    /// An empty histogram (usable as a `static` initialiser).
+    #[must_use]
+    pub const fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0), // 0u64 == 0.0f64.to_bits()
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: [const { AtomicU64::new(0) }; N_BUCKETS],
+            exact: [const { AtomicU64::new(0) }; EXACT_CAP],
+        }
+    }
+
+    /// Records one observation. Lock-free: a few relaxed atomic RMWs.
+    pub fn observe(&self, v: f64) {
+        let idx = self.count.fetch_add(1, Ordering::Relaxed);
+        if (idx as usize) < EXACT_CAP {
+            self.exact[idx as usize].store(v.to_bits(), Ordering::Relaxed);
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // CAS-add the sum; CAS min/max under the f64 total order.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        update_extreme(&self.min_bits, v, |cand, cur| {
+            cand.total_cmp(&cur) == std::cmp::Ordering::Less
+        });
+        update_extreme(&self.max_bits, v, |cand, cur| {
+            cand.total_cmp(&cur) == std::cmp::Ordering::Greater
+        });
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Clears all state back to the empty histogram.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0, Ordering::Relaxed);
+        self.min_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        // `exact` slots beyond the live count are never read.
+    }
+
+    /// Captures the current contents as an owned [`HistSnapshot`].
+    ///
+    /// Intended to be taken quiescently (end of run / under test
+    /// serialisation); concurrent observes are not torn, but may be
+    /// partially included.
+    #[must_use]
+    pub fn snapshot(&self, name: &str) -> HistSnapshot {
+        let count = self.count.load(Ordering::Acquire);
+        let mut buckets = BTreeMap::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.insert(i as u32, c);
+            }
+        }
+        let exact = if count as usize <= EXACT_CAP {
+            let mut xs: Vec<f64> = self.exact[..count as usize]
+                .iter()
+                .map(|b| f64::from_bits(b.load(Ordering::Relaxed)))
+                .collect();
+            xs.sort_by(f64::total_cmp);
+            Some(xs)
+        } else {
+            None
+        };
+        let mut snap = HistSnapshot {
+            name: name.to_string(),
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+            p50: f64::NAN,
+            p90: f64::NAN,
+            p99: f64::NAN,
+            buckets,
+            exact,
+        };
+        snap.refresh_quantiles();
+        snap
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+fn update_extreme(slot: &AtomicU64, v: f64, better: impl Fn(f64, f64) -> bool) {
+    let mut cur = slot.load(Ordering::Relaxed);
+    while better(v, f64::from_bits(cur)) {
+        match slot.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// An owned, mergeable histogram snapshot (what run snapshots serialise).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSnapshot {
+    /// Stable metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Minimum observation (`+inf` when empty).
+    pub min: f64,
+    /// Maximum observation (`-inf` when empty).
+    pub max: f64,
+    /// Median estimate (exact below [`EXACT_CAP`] samples).
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// Sparse nonzero bucket counts, keyed by bucket index.
+    pub buckets: BTreeMap<u32, u64>,
+    /// Sorted verbatim samples, present while `count <= EXACT_CAP`.
+    pub exact: Option<Vec<f64>>,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot with the given name.
+    #[must_use]
+    pub fn empty(name: &str) -> Self {
+        HistSnapshot {
+            name: name.to_string(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            p50: f64::NAN,
+            p90: f64::NAN,
+            p99: f64::NAN,
+            buckets: BTreeMap::new(),
+            exact: Some(Vec::new()),
+        }
+    }
+
+    /// Nearest-rank quantile for `q` in `(0, 1]`.
+    ///
+    /// Exact (a recorded sample) while the verbatim sample list is
+    /// present; otherwise the upper bound of the bucket containing the
+    /// rank, clamped to the exact maximum — so the estimate is always
+    /// within one relative bucket width (`1/SUBBUCKETS`) of the true
+    /// sample quantile.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if let Some(xs) = &self.exact {
+            if xs.len() as u64 == self.count {
+                return xs[(rank - 1) as usize];
+            }
+        }
+        let mut cum = 0u64;
+        for (&idx, &c) in &self.buckets {
+            cum += c;
+            if cum >= rank {
+                let (_, hi) = bucket_bounds(idx as usize);
+                // A quantile can never exceed the recorded maximum.
+                return if hi > self.max { self.max } else { hi };
+            }
+        }
+        self.max
+    }
+
+    /// Recomputes the stored `p50`/`p90`/`p99` fields from the current
+    /// bucket/exact state.
+    pub fn refresh_quantiles(&mut self) {
+        self.p50 = self.quantile(0.50);
+        self.p90 = self.quantile(0.90);
+        self.p99 = self.quantile(0.99);
+    }
+
+    /// Merges two snapshots of the same metric.
+    ///
+    /// Commutative bit-for-bit: every component combine (integer adds,
+    /// pairwise f64 add, total-order min/max, sorted sample union) is
+    /// symmetric in its arguments, so `merge(a, b) == merge(b, a)`
+    /// exactly — the property `tests/proptest_hist.rs` pins.
+    #[must_use]
+    pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
+        let mut buckets = self.buckets.clone();
+        for (&idx, &c) in &other.buckets {
+            *buckets.entry(idx).or_insert(0) += c;
+        }
+        let count = self.count + other.count;
+        let exact = match (&self.exact, &other.exact) {
+            (Some(a), Some(b)) if count as usize <= EXACT_CAP => {
+                let mut xs: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+                xs.sort_by(f64::total_cmp);
+                Some(xs)
+            }
+            _ => None,
+        };
+        let mut merged = HistSnapshot {
+            name: self.name.clone(),
+            count,
+            sum: self.sum + other.sum,
+            min: total_min(self.min, other.min),
+            max: total_max(self.max, other.max),
+            p50: f64::NAN,
+            p90: f64::NAN,
+            p99: f64::NAN,
+            buckets,
+            exact,
+        };
+        merged.refresh_quantiles();
+        merged
+    }
+}
+
+fn total_min(a: f64, b: f64) -> f64 {
+    if a.total_cmp(&b) == std::cmp::Ordering::Greater {
+        b
+    } else {
+        a
+    }
+}
+
+fn total_max(a: f64, b: f64) -> f64 {
+    if a.total_cmp(&b) == std::cmp::Ordering::Less {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_the_positive_axis() {
+        // Every interior bucket's upper bound is the next bucket's lower
+        // bound, and bucket_index is consistent with bucket_bounds.
+        for idx in 1..N_BUCKETS - 2 {
+            let (_, hi) = bucket_bounds(idx);
+            let (lo_next, _) = bucket_bounds(idx + 1);
+            assert_eq!(hi, lo_next, "gap between buckets {idx} and {}", idx + 1);
+        }
+        for &v in &[1e-12, 1e-6, 0.5, 1.0, 1.5, 3.0, 1e6, 4e12] {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(
+                lo <= v && v < hi,
+                "value {v} outside bucket {idx}: [{lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_values_land_in_sentinel_buckets() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1e-300), 0);
+        assert_eq!(bucket_index(f64::INFINITY), N_BUCKETS - 1);
+        assert_eq!(bucket_index(1e300), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn exact_small_sample_quantiles_are_exact() {
+        let h = Histogram::new();
+        for v in [5.0, 1.0, 4.0, 2.0, 3.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot("t");
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.sum, 15.0);
+        assert_eq!(s.quantile(0.5), 3.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert_eq!(s.quantile(0.2), 1.0);
+    }
+
+    #[test]
+    fn beyond_cap_quantiles_fall_back_to_buckets() {
+        let h = Histogram::new();
+        let n = EXACT_CAP * 4;
+        for i in 0..n {
+            h.observe(1.0 + i as f64); // 1..=2048
+        }
+        let s = h.snapshot("t");
+        assert_eq!(s.count, n as u64);
+        assert!(s.exact.is_none());
+        let est = s.quantile(0.5);
+        let exact = 1.0 + (n / 2 - 1) as f64;
+        let rel = (est - exact).abs() / exact;
+        assert!(
+            rel <= 1.0 / SUBBUCKETS as f64,
+            "p50 estimate {est} vs exact {exact}: rel err {rel}"
+        );
+        assert_eq!(s.quantile(1.0), s.max);
+    }
+
+    #[test]
+    fn reset_empties_the_histogram() {
+        let h = Histogram::new();
+        h.observe(1.0);
+        h.reset();
+        let s = h.snapshot("t");
+        assert_eq!(s.count, 0);
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.exact.as_deref(), Some(&[][..]));
+    }
+}

@@ -1,0 +1,94 @@
+//! Prometheus text exposition of a run snapshot (`--metrics-prom`).
+//!
+//! Standard text format, version 0.0.4: counters as `counter`, gauges as
+//! `gauge`, histograms as `summary` (quantile labels + `_sum`/`_count`),
+//! phase timings as two labelled gauge families. All families carry the
+//! `sgs_` prefix.
+
+use crate::snapshot::Snapshot;
+use std::fmt::Write as _;
+
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the snapshot in Prometheus text exposition format.
+#[must_use]
+pub fn to_prometheus(s: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(
+        out,
+        "# HELP sgs_build_info Run identity (value is always 1)."
+    );
+    let _ = writeln!(out, "# TYPE sgs_build_info gauge");
+    let _ = writeln!(
+        out,
+        "sgs_build_info{{bin=\"{}\",circuit=\"{}\",git_sha=\"{}\",threads=\"{}\"}} 1",
+        s.meta.bin, s.meta.circuit, s.meta.git_sha, s.meta.threads
+    );
+    for (name, v) in &s.counters {
+        let _ = writeln!(out, "# TYPE sgs_{name} counter");
+        let _ = writeln!(out, "sgs_{name} {v}");
+    }
+    for (name, v) in &s.gauges {
+        let _ = writeln!(out, "# TYPE sgs_{name} gauge");
+        let _ = writeln!(out, "sgs_{name} {}", prom_f64(*v));
+    }
+    for (name, h) in &s.hists {
+        let _ = writeln!(out, "# TYPE sgs_{name} summary");
+        for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
+            let _ = writeln!(out, "sgs_{name}{{quantile=\"{q}\"}} {}", prom_f64(v));
+        }
+        let _ = writeln!(out, "sgs_{name}_sum {}", prom_f64(h.sum));
+        let _ = writeln!(out, "sgs_{name}_count {}", h.count);
+    }
+    let _ = writeln!(out, "# TYPE sgs_phase_seconds gauge");
+    for (name, p) in &s.phases {
+        let _ = writeln!(
+            out,
+            "sgs_phase_seconds{{phase=\"{name}\"}} {}",
+            prom_f64(p.seconds)
+        );
+    }
+    let _ = writeln!(out, "# TYPE sgs_phase_count gauge");
+    for (name, p) in &s.phases {
+        let _ = writeln!(out, "sgs_phase_count{{phase=\"{name}\"}} {}", p.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{Metadata, SCHEMA_VERSION};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn exposition_contains_all_families() {
+        let mut counters = BTreeMap::new();
+        counters.insert("nlp_solves".to_string(), 4u64);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("run_seconds".to_string(), 0.5);
+        let s = Snapshot {
+            schema_version: SCHEMA_VERSION,
+            meta: Metadata::default(),
+            counters,
+            gauges,
+            hists: BTreeMap::new(),
+            phases: BTreeMap::new(),
+        };
+        let text = to_prometheus(&s);
+        assert!(text.contains("# TYPE sgs_nlp_solves counter"));
+        assert!(text.contains("sgs_nlp_solves 4"));
+        assert!(text.contains("sgs_run_seconds 0.5"));
+        assert!(text.contains("sgs_build_info"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based differential oracle for the log-bucketed histogram:
+//! the bucket-walk quantile estimate must stay within one bucket width of
+//! the exact sorted-sample quantile, and snapshot merging must be
+//! commutative bit for bit.
+
+use proptest::prelude::*;
+use sgs_metrics::hist::{bucket_bounds, bucket_index, Histogram, EXACT_CAP, SUBBUCKETS};
+use sgs_metrics::HistSnapshot;
+
+/// The value domain the instrumented code observes: wall-clock seconds
+/// and gate counts, spanning microseconds to hours.
+fn sample() -> impl Strategy<Value = f64> {
+    (-20.0..12.0f64).prop_map(|e| e.exp2())
+}
+
+/// Exact nearest-rank quantile over a sorted copy of `xs`.
+fn exact_quantile(xs: &[f64], q: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn snapshot_of(xs: &[f64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &x in xs {
+        h.observe(x);
+    }
+    h.snapshot("test")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    // Small samples keep the verbatim list, so quantiles are *exact*
+    // sorted-sample quantiles.
+    #[test]
+    fn small_sample_quantiles_are_exact(
+        xs in prop::collection::vec(sample(), 1..64),
+    ) {
+        let snap = snapshot_of(&xs);
+        for q in [0.5, 0.9, 0.99] {
+            let est = snap.quantile(q);
+            let exact = exact_quantile(&xs, q);
+            prop_assert_eq!(
+                est.to_bits(), exact.to_bits(),
+                "q{} estimate {} vs exact {}", q, est, exact
+            );
+        }
+    }
+
+    // Beyond the exact-sample cap the bucket walk takes over; the
+    // estimate must stay within one relative bucket width (1/SUBBUCKETS)
+    // of the true sorted-sample quantile, never below it by more than a
+    // bucket, and never above the recorded max.
+    #[test]
+    fn bucketed_quantiles_within_one_bucket_width(
+        xs in prop::collection::vec(sample(), (EXACT_CAP + 1)..(EXACT_CAP + 300)),
+    ) {
+        let snap = snapshot_of(&xs);
+        prop_assert!(snap.exact.is_none(), "cap exceeded, exact list must drop");
+        let width = 1.0 / SUBBUCKETS as f64;
+        for q in [0.5, 0.9, 0.99] {
+            let est = snap.quantile(q);
+            let exact = exact_quantile(&xs, q);
+            // The estimate is the upper bound of the bucket holding the
+            // ranked sample (clamped to max), so est >= exact always and
+            // est <= exact * (1 + bucket width).
+            prop_assert!(est >= exact, "q{q}: est {est} below exact {exact}");
+            prop_assert!(
+                est <= exact * (1.0 + width) + 1e-300,
+                "q{q}: est {est} beyond one bucket width of exact {exact}"
+            );
+            prop_assert!(est <= snap.max, "q{q}: est {est} beyond max {}", snap.max);
+        }
+    }
+
+    // The ranked sample really lives inside the half-open bucket the
+    // walk stops at: `bucket_bounds(bucket_index(x))` contains `x`.
+    #[test]
+    fn bucket_bounds_contain_their_samples(x in sample()) {
+        let idx = bucket_index(x);
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= x && x < hi, "{x} outside [{lo}, {hi}) of bucket {idx}");
+    }
+
+    // merge(a, b) == merge(b, a) bit-identically, across the exact-list
+    // and bucketed regimes (the union may cross EXACT_CAP).
+    #[test]
+    fn merge_is_commutative_bitwise(
+        a in prop::collection::vec(sample(), 0..400),
+        b in prop::collection::vec(sample(), 0..400),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let ab = sa.merge(&sb);
+        let ba = sb.merge(&sa);
+        prop_assert_eq!(ab.count, ba.count);
+        prop_assert_eq!(ab.sum.to_bits(), ba.sum.to_bits());
+        prop_assert_eq!(ab.min.to_bits(), ba.min.to_bits());
+        prop_assert_eq!(ab.max.to_bits(), ba.max.to_bits());
+        prop_assert_eq!(ab.p50.to_bits(), ba.p50.to_bits());
+        prop_assert_eq!(ab.p90.to_bits(), ba.p90.to_bits());
+        prop_assert_eq!(ab.p99.to_bits(), ba.p99.to_bits());
+        prop_assert_eq!(&ab.buckets, &ba.buckets);
+        match (&ab.exact, &ba.exact) {
+            (Some(xs), Some(ys)) => {
+                prop_assert_eq!(xs.len(), ys.len());
+                for (x, y) in xs.iter().zip(ys) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "exact-list presence differs between orders"),
+        }
+    }
+
+    // Merging with an empty snapshot is the identity on every statistic.
+    #[test]
+    fn merge_with_empty_is_identity(
+        xs in prop::collection::vec(sample(), 1..200),
+    ) {
+        let snap = snapshot_of(&xs);
+        let merged = snap.merge(&HistSnapshot::empty("test"));
+        prop_assert_eq!(merged.count, snap.count);
+        prop_assert_eq!(merged.sum.to_bits(), snap.sum.to_bits());
+        prop_assert_eq!(merged.min.to_bits(), snap.min.to_bits());
+        prop_assert_eq!(merged.max.to_bits(), snap.max.to_bits());
+        prop_assert_eq!(merged.p50.to_bits(), snap.p50.to_bits());
+        prop_assert_eq!(&merged.buckets, &snap.buckets);
+    }
+
+    // Count, sum, min and max aggregate exactly regardless of bucketing.
+    #[test]
+    fn summary_stats_are_exact(
+        xs in prop::collection::vec(sample(), 1..700),
+    ) {
+        let snap = snapshot_of(&xs);
+        prop_assert_eq!(snap.count, xs.len() as u64);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(snap.min.to_bits(), min.to_bits());
+        prop_assert_eq!(snap.max.to_bits(), max.to_bits());
+        prop_assert!((snap.sum - xs.iter().sum::<f64>()).abs() <= 1e-9 * snap.sum.abs());
+    }
+}

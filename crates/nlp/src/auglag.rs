@@ -376,8 +376,13 @@ pub fn solve_cached<P: NlpProblem>(
     let started = Instant::now();
     let counts0 = problem.counts();
 
+    sgs_metrics::incr(sgs_metrics::Counter::NlpSolves);
     let accepted = warm.filter(|w| w.is_usable(n, m));
     if warm.is_some() {
+        sgs_metrics::incr(sgs_metrics::Counter::NlpWarmOffered);
+        if accepted.is_some() {
+            sgs_metrics::incr(sgs_metrics::Counter::NlpWarmAccepted);
+        }
         tracer.emit(|| TraceEvent::Counter {
             name: "warm_start_hit",
             value: u64::from(accepted.is_some()),
@@ -418,6 +423,22 @@ pub fn solve_cached<P: NlpProblem>(
             evals: counts_since(problem.counts(), counts0),
             status,
         };
+        {
+            use sgs_metrics::{add, incr, set_gauge, Counter, Gauge};
+            if result.status == SolveStatus::Diverged {
+                incr(Counter::NlpDiverged);
+            }
+            add(Counter::NlpEvalsObjective, result.evals.objective as u64);
+            add(Counter::NlpEvalsGradient, result.evals.gradient as u64);
+            add(
+                Counter::NlpEvalsConstraints,
+                result.evals.constraints as u64,
+            );
+            add(Counter::NlpEvalsJacobian, result.evals.jacobian as u64);
+            add(Counter::NlpEvalsHessian, result.evals.hessian as u64);
+            set_gauge(Gauge::NlpLastObjective, result.f);
+            set_gauge(Gauge::NlpLastCNorm, result.c_norm);
+        }
         tracer.emit(|| {
             TraceEvent::SolveDone(SolveRecord {
                 status: result.status.as_str().to_string(),
@@ -454,6 +475,9 @@ pub fn solve_cached<P: NlpProblem>(
             }
         }
 
+        // Dropped at every exit from this loop body (including the early
+        // returns below), recording the iteration's wall-clock.
+        let _outer_timer = sgs_metrics::time_hist(sgs_metrics::HistId::NlpOuterSeconds);
         let mut al = AugLagFn::new(problem, lambda.clone(), rho);
         let inner_opts = TrOptions {
             tol: omega.max(opts.tol_opt * 0.1),
@@ -461,12 +485,21 @@ pub fn solve_cached<P: NlpProblem>(
         };
         let x_prev = x.clone();
         let inner_span = tracer.span("inner_tr");
+        let inner_phase = sgs_metrics::phase(sgs_metrics::Phase::InnerTr);
         let r = tr::minimize(&mut al, &x, &l, &u, &inner_opts);
+        drop(inner_phase);
         inner_span.finish();
         x = r.x;
         inner_total += r.iterations;
         cg_total += r.cg_iterations;
         last_pg = r.pg_norm;
+        {
+            use sgs_metrics::{add, incr, set_gauge, Counter, Gauge};
+            incr(Counter::NlpOuterIterations);
+            add(Counter::NlpInnerIterations, r.iterations as u64);
+            add(Counter::NlpCgIterations, r.cg_iterations as u64);
+            set_gauge(Gauge::NlpLastPgNorm, r.pg_norm);
+        }
 
         problem.constraints(&x, &mut c);
         let cn = c_inf_norm(&c);

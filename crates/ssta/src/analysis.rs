@@ -102,6 +102,8 @@ pub fn ssta_with_model_and_arrivals(
             "input arrival length mismatch"
         );
     }
+    sgs_metrics::incr(sgs_metrics::Counter::SstaFullPasses);
+    let _timer = sgs_metrics::time_hist(sgs_metrics::HistId::SstaFullSeconds);
     let arrivals = if circuit.num_gates() >= PAR_GATE_THRESHOLD && rayon::current_num_threads() > 1
     {
         arrivals_levelized(circuit, model, s, input_arrivals)

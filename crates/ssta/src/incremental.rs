@@ -257,6 +257,13 @@ impl<'a> IncrementalSsta<'a> {
         }
         self.updates += 1;
         self.total_recomputed += stats.gates_recomputed as u64;
+        {
+            use sgs_metrics::{add, incr, observe, Counter, HistId};
+            incr(Counter::SstaIncrementalUpdates);
+            add(Counter::SstaGatesRecomputed, stats.gates_recomputed as u64);
+            add(Counter::SstaFrontierPruned, stats.frontier_pruned as u64);
+            observe(HistId::SstaIncrementalGates, stats.gates_recomputed as f64);
+        }
         stats
     }
 

@@ -252,6 +252,8 @@ pub fn monte_carlo_with_model(
 ) -> McReport {
     assert_eq!(s.len(), circuit.num_gates(), "speed vector length mismatch");
     assert!(opts.samples > 0, "need at least one sample");
+    sgs_metrics::incr(sgs_metrics::Counter::McRuns);
+    sgs_metrics::add(sgs_metrics::Counter::McSamples, opts.samples as u64);
     let n = circuit.num_gates();
     // Precompute per-gate delay distributions once.
     let dists: Vec<Normal> = circuit
