@@ -162,6 +162,14 @@ impl<T: Send> ParIter<T> {
         }
     }
 
+    /// Pair items positionally with another parallel iterator, stopping
+    /// at the shorter of the two (as real rayon's indexed `zip` does).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
     /// Run `f` on every item in parallel.
     pub fn for_each<F>(self, f: F)
     where
@@ -378,6 +386,26 @@ mod tests {
             .map(|i| i as u64)
             .reduce(|| 0, |a, b| a + b);
         assert_eq!(r, 10);
+    }
+
+    #[test]
+    fn zip_pairs_positionally() {
+        let mut scratch = vec![0usize; 3];
+        let mut out = vec![0u64; 30];
+        scratch
+            .par_iter_mut()
+            .zip(out.par_chunks_mut(10))
+            .enumerate()
+            .for_each(|(ci, (s, chunk))| {
+                *s = ci;
+                for v in chunk.iter_mut() {
+                    *v = ci as u64;
+                }
+            });
+        assert_eq!(scratch, vec![0, 1, 2]);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[15], 1);
+        assert_eq!(out[29], 2);
     }
 
     #[test]

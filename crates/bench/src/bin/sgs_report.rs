@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! sgs_report render <metrics.json> [--trace run.jsonl]
-//! sgs_report compare <base.json> <new.json> [--threshold=N%] [--slack=S]
+//! sgs_report compare <base.json> <new.json> [--threshold=N%] [--slack=S] [--budget metric=max]...
 //! sgs_report lint <metrics.json>...
 //! ```
 //!
@@ -16,8 +16,11 @@
 //! `compare` diffs two snapshots metric by metric: deterministic metrics
 //! (iteration and evaluation counters, histogram counts) must match
 //! exactly, timing-like metrics (`*_seconds`, `alloc_*`) may grow up to
-//! the threshold. Exit codes: `0` clean, `1` regression, `3` schema
-//! drift only (missing/extra metrics, version skew) — the CI
+//! the threshold. `--budget metric=max` additionally pins an absolute
+//! ceiling on a counter or gauge of the *new* run (repeatable) — the
+//! allocation gate uses it so the budget keeps holding even across
+//! baseline regenerations. Exit codes: `0` clean, `1` regression, `3`
+//! schema drift only (missing/extra metrics, version skew) — the CI
 //! perf-regression gate against `benchmarks/baselines/`.
 //!
 //! `lint` validates snapshot files structurally (schema version, bucket
@@ -31,6 +34,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: sgs_report render <metrics.json> [--trace run.jsonl]\n\
          \x20      sgs_report compare <base.json> <new.json> [--threshold=N%] [--slack=S]\n\
+         \x20              [--budget metric=max]...\n\
          \x20      sgs_report lint <metrics.json>..."
     );
     ExitCode::from(2)
@@ -94,10 +98,28 @@ fn render(args: &[String]) -> ExitCode {
 
 fn run_compare(args: &[String]) -> ExitCode {
     let mut opts = CompareOptions::default();
+    let mut budgets: Vec<compare::Budget> = Vec::new();
     let mut paths: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if let Some(t) = arg.strip_prefix("--threshold=") {
+        if let Some(b) = arg.strip_prefix("--budget=") {
+            match compare::parse_budget(b) {
+                Ok(v) => budgets.push(v),
+                Err(e) => {
+                    eprintln!("sgs_report: {e}");
+                    return usage();
+                }
+            }
+        } else if arg == "--budget" {
+            match it.next().map(|b| compare::parse_budget(b)) {
+                Some(Ok(v)) => budgets.push(v),
+                Some(Err(e)) => {
+                    eprintln!("sgs_report: {e}");
+                    return usage();
+                }
+                None => return usage(),
+            }
+        } else if let Some(t) = arg.strip_prefix("--threshold=") {
             match compare::parse_threshold(t) {
                 Ok(v) => opts.threshold = v,
                 Err(e) => {
@@ -132,7 +154,8 @@ fn run_compare(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let outcome = compare::compare(&base, &new, &opts);
+    let mut outcome = compare::compare(&base, &new, &opts);
+    compare::check_budgets(&new, &budgets, &mut outcome);
     println!(
         "comparing {base_path} ({}:{}) -> {new_path} ({}:{}), threshold {:.0}%, slack {}",
         base.meta.bin,

@@ -127,7 +127,8 @@ fn main() -> ExitCode {
     println!("{circuit}");
     {
         let _ph = sgs_metrics::phase(sgs_metrics::Phase::Baseline);
-        let baseline = sgs_ssta::ssta(&circuit, &lib, &vec![1.0; circuit.num_gates()]);
+        let unit_speeds = vec![1.0; circuit.num_gates()];
+        let baseline = sgs_ssta::ssta(&circuit, &lib, &unit_speeds);
         println!(
             "unsized: mu = {:.4}, sigma = {:.4}",
             baseline.delay.mean(),

@@ -176,6 +176,53 @@ fn missing_and_extra_metrics_are_drift_not_panics() {
 }
 
 #[test]
+fn budget_flag_gates_on_absolute_ceilings() {
+    let dir = tmp_dir("budget");
+    let snap = sample_snapshot(); // alloc_bytes = 1_000_000
+    let a = write(&dir, "a.json", &snap);
+    let b = write(&dir, "b.json", &snap);
+
+    // Identical runs, budget honoured: clean.
+    let out = report(&["compare", &a, &b, "--budget", "alloc_bytes=2000000"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("budget ok"), "stdout: {stdout}");
+
+    // Identical runs, budget exceeded: regression naming the metric,
+    // even though baseline and new run agree bit-for-bit.
+    let out = report(&["compare", &a, &b, "--budget=alloc_bytes=500000"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    assert!(
+        stderr.contains("alloc_bytes") && stderr.contains("budget"),
+        "stderr: {stderr}"
+    );
+
+    // A budget on a metric the run does not report is schema drift.
+    let out = report(&["compare", &a, &b, "--budget", "no_such=1"]);
+    assert_eq!(out.status.code(), Some(3));
+
+    // Malformed budgets are usage errors.
+    assert_eq!(
+        report(&["compare", &a, &b, "--budget", "alloc_bytes"])
+            .status
+            .code(),
+        Some(2)
+    );
+    assert_eq!(
+        report(&["compare", &a, &b, "--budget=alloc_bytes=wat"])
+            .status
+            .code(),
+        Some(2)
+    );
+}
+
+#[test]
 fn render_prints_profile_and_counters() {
     let dir = tmp_dir("render");
     let snap = sample_snapshot();

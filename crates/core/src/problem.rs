@@ -682,14 +682,14 @@ impl SizingProblem {
                 Con::MaxMu { a, b, .. } => {
                     let g = shared.as_ref().unwrap();
                     push(out, 1.0);
-                    for (slot, _) in clark_slots(*a, *b) {
+                    for &(slot, _) in clark_slots(*a, *b).as_slice() {
                         push(out, -g.dmu[slot]);
                     }
                 }
                 Con::MaxVar { a, b, .. } => {
                     let g = shared.as_ref().unwrap();
                     push(out, 1.0);
-                    for (slot, _) in clark_slots(*a, *b) {
+                    for &(slot, _) in clark_slots(*a, *b).as_slice() {
                         push(out, -g.dvar[slot]);
                     }
                 }
@@ -874,16 +874,32 @@ fn fold_max(
     acc
 }
 
-/// Iterates the (slot, variable) pairs of a Clark max's four inputs that
-/// are actual problem variables.
-fn clark_slots(a: Operand, b: Operand) -> Vec<(usize, usize)> {
-    let mut v = Vec::with_capacity(4);
+/// The (slot, variable) pairs of a Clark max's four inputs that are
+/// actual problem variables, stored inline: this is queried for every max
+/// constraint on every Jacobian and Hessian evaluation, so it must not
+/// heap-allocate.
+#[derive(Debug, Clone, Copy)]
+struct ClarkSlots {
+    slots: [(usize, usize); 4],
+    len: usize,
+}
+
+impl ClarkSlots {
+    fn as_slice(&self) -> &[(usize, usize)] {
+        &self.slots[..self.len]
+    }
+}
+
+fn clark_slots(a: Operand, b: Operand) -> ClarkSlots {
+    let mut slots = [(0usize, 0usize); 4];
+    let mut len = 0;
     for (slot, op, pair_slot) in [(0, a, 0), (1, a, 1), (2, b, 0), (3, b, 1)] {
         if let Some(var) = op.slot_var(pair_slot) {
-            v.push((slot, var));
+            slots[len] = (slot, var);
+            len += 1;
         }
     }
-    v
+    ClarkSlots { slots, len }
 }
 
 fn clark_eval_grad(a: Operand, b: Operand, x: &[f64], eps: f64) -> ClarkGrad {
@@ -900,7 +916,7 @@ fn jac_width(con: &Con) -> usize {
     match con {
         Con::Delay { fanout, .. } => 2 + fanout.len(),
         Con::VarT { .. } => 2,
-        Con::MaxMu { a, b, .. } | Con::MaxVar { a, b, .. } => 1 + clark_slots(*a, *b).len(),
+        Con::MaxMu { a, b, .. } | Con::MaxVar { a, b, .. } => 1 + clark_slots(*a, *b).len,
         Con::ArrMu { u, .. } | Con::ArrVar { u, .. } => 2 + matches!(u, Term::Var(_)) as usize,
         Con::DelayCap { iv, slack, .. } => 1 + iv.is_some() as usize + slack.is_some() as usize,
     }
@@ -912,7 +928,7 @@ fn hess_width(con: &Con) -> usize {
     match con {
         Con::Delay { .. } | Con::VarT { .. } => 1,
         Con::MaxMu { a, b, .. } | Con::MaxVar { a, b, .. } => {
-            let k = clark_slots(*a, *b).len();
+            let k = clark_slots(*a, *b).len;
             k * (k + 1) / 2
         }
         Con::ArrMu { .. } | Con::ArrVar { .. } => 0,
@@ -978,8 +994,8 @@ impl NlpProblem for SizingProblem {
         self.cons.len()
     }
 
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-        (self.lower.clone(), self.upper.clone())
+    fn bounds(&self) -> (&[f64], &[f64]) {
+        (&self.lower, &self.upper)
     }
 
     fn objective(&self, x: &[f64]) -> f64 {
@@ -1049,7 +1065,7 @@ impl NlpProblem for SizingProblem {
                 }
                 Con::MaxMu { out, a, b } | Con::MaxVar { out, a, b } => {
                     s.push((ci, *out));
-                    for (_, var) in clark_slots(*a, *b) {
+                    for &(_, var) in clark_slots(*a, *b).as_slice() {
                         s.push((ci, var));
                     }
                 }
@@ -1111,6 +1127,7 @@ impl NlpProblem for SizingProblem {
                 Con::VarT { imt, .. } => s.push((*imt, *imt)),
                 Con::MaxMu { a, b, .. } | Con::MaxVar { a, b, .. } => {
                     let slots = clark_slots(*a, *b);
+                    let slots = slots.as_slice();
                     for i in 0..slots.len() {
                         for j in i..slots.len() {
                             s.push(ordered(slots[i].1, slots[j].1));
@@ -1165,6 +1182,7 @@ fn emit_clark_hess(
     lam: f64,
 ) {
     let slots = clark_slots(*a, *b);
+    let slots = slots.as_slice();
     for i in 0..slots.len() {
         for j in i..slots.len() {
             let (si, vi) = slots[i];
@@ -1222,7 +1240,8 @@ mod tests {
             generate::ripple_carry_adder(4),
         ] {
             let p = SizingProblem::build(&circuit, &lib(), Objective::MeanDelay, DelaySpec::None);
-            let x = p.initial_point(&vec![1.0; circuit.num_gates()]);
+            let ones = vec![1.0; circuit.num_gates()];
+            let x = p.initial_point(&ones);
             let mut c = vec![0.0; p.num_constraints()];
             p.constraints(&x, &mut c);
             let worst = c.iter().fold(0.0f64, |a, &v| a.max(v.abs()));

@@ -46,7 +46,10 @@ enum Event {
     Arr { gate: usize, u: OpRef },
 }
 
-/// Forward tape of one evaluation.
+/// Forward tape of one evaluation. Held as reusable scratch inside
+/// [`ReducedObjective`]: the L-BFGS loop evaluates thousands of times,
+/// so the tape's vectors are cleared and refilled rather than
+/// reallocated.
 #[derive(Debug, Clone)]
 struct Tape {
     mu_t: Vec<f64>,
@@ -58,6 +61,50 @@ struct Tape {
     var_tmax: f64,
     /// Per-gate arrival moments (needed for per-output constraints).
     arr: Vec<(f64, f64)>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Tape {
+            mu_t: Vec::new(),
+            load: Vec::new(),
+            nodes: Vec::new(),
+            events: Vec::new(),
+            tmax: OpRef::Const { mu: 0.0, var: 0.0 },
+            mu_tmax: 0.0,
+            var_tmax: 0.0,
+            arr: Vec::new(),
+        }
+    }
+}
+
+/// Reusable adjoint buffers for the reverse sweep.
+#[derive(Debug, Clone, Default)]
+struct AdjointBufs {
+    a_arr_mu: Vec<f64>,
+    a_arr_var: Vec<f64>,
+    a_node_mu: Vec<f64>,
+    a_node_var: Vec<f64>,
+    a_mt: Vec<f64>,
+    a_vt: Vec<f64>,
+}
+
+impl AdjointBufs {
+    fn reset(&mut self, n: usize, nodes: usize) {
+        for v in [
+            &mut self.a_arr_mu,
+            &mut self.a_arr_var,
+            &mut self.a_mt,
+            &mut self.a_vt,
+        ] {
+            v.clear();
+            v.resize(n, 0.0);
+        }
+        for v in [&mut self.a_node_mu, &mut self.a_node_var] {
+            v.clear();
+            v.resize(nodes, 0.0);
+        }
+    }
 }
 
 /// The reduced-space objective `F(S)` with adjoint gradients, implementing
@@ -73,6 +120,9 @@ pub struct ReducedObjective<'a> {
     kappa2: f64,
     eps: f64,
     input_arrivals: Option<Vec<sgs_statmath::Normal>>,
+    // Per-evaluation scratch, reused across the L-BFGS iterations.
+    scratch: Tape,
+    adj: AdjointBufs,
 }
 
 impl<'a> ReducedObjective<'a> {
@@ -87,6 +137,8 @@ impl<'a> ReducedObjective<'a> {
             kappa2: lib.sigma_factor * lib.sigma_factor,
             eps: clark::DEFAULT_EPS,
             input_arrivals: None,
+            scratch: Tape::default(),
+            adj: AdjointBufs::default(),
         }
     }
 
@@ -116,14 +168,32 @@ impl<'a> ReducedObjective<'a> {
         }
     }
 
-    /// Forward sweep: SSTA with a gradient tape.
+    /// Forward sweep: SSTA with a gradient tape. Allocates a fresh tape —
+    /// the cold-path entry for [`ReducedObjective::violation`] and
+    /// [`ReducedObjective::delay_moments`]; the hot path goes through
+    /// [`ReducedObjective::forward_into`].
     fn forward(&self, s: &[f64]) -> Tape {
+        let mut tape = Tape::default();
+        self.forward_into(s, &mut tape);
+        tape
+    }
+
+    /// Forward sweep into a caller-provided tape, reusing its buffers.
+    fn forward_into(&self, s: &[f64], tape: &mut Tape) {
         let n = self.circuit.num_gates();
-        let mut mu_t = vec![0.0; n];
-        let mut load = vec![0.0; n];
-        let mut arr: Vec<(f64, f64)> = vec![(0.0, 0.0); n];
-        let mut nodes: Vec<MaxNode> = Vec::new();
-        let mut events: Vec<Event> = Vec::new();
+        tape.mu_t.clear();
+        tape.mu_t.resize(n, 0.0);
+        tape.load.clear();
+        tape.load.resize(n, 0.0);
+        tape.arr.clear();
+        tape.arr.resize(n, (0.0, 0.0));
+        tape.nodes.clear();
+        tape.events.clear();
+        let mu_t = &mut tape.mu_t;
+        let load = &mut tape.load;
+        let arr = &mut tape.arr;
+        let nodes = &mut tape.nodes;
+        let events = &mut tape.events;
 
         let value_of = |r: OpRef, arr: &[(f64, f64)], nodes: &[MaxNode]| -> (f64, f64) {
             match r {
@@ -148,8 +218,8 @@ impl<'a> ReducedObjective<'a> {
                     Signal::Pi(p) => self.pi_ref(p),
                     Signal::Gate(src) => OpRef::Arr(src.index()),
                 };
-                let (ma, va) = value_of(acc, &arr, &nodes);
-                let (mb, vb) = value_of(op, &arr, &nodes);
+                let (ma, va) = value_of(acc, arr, nodes);
+                let (mb, vb) = value_of(op, arr, nodes);
                 if matches!(acc, OpRef::Const { .. }) && matches!(op, OpRef::Const { .. }) {
                     let gr = clark::max_grad(ma, va, mb, vb, self.eps);
                     acc = OpRef::Const {
@@ -167,7 +237,7 @@ impl<'a> ReducedObjective<'a> {
                     acc = OpRef::Node(nodes.len() - 1);
                 }
             }
-            let (umu, uvar) = value_of(acc, &arr, &nodes);
+            let (umu, uvar) = value_of(acc, arr, nodes);
             let vt = self.kappa2 * mu_t[g] * mu_t[g];
             arr[g] = (umu + mu_t[g], uvar + vt);
             events.push(Event::Arr { gate: g, u: acc });
@@ -177,8 +247,8 @@ impl<'a> ReducedObjective<'a> {
         let mut acc = OpRef::Arr(self.circuit.outputs()[0].index());
         for &o in &self.circuit.outputs()[1..] {
             let op = OpRef::Arr(o.index());
-            let (ma, va) = value_of(acc, &arr, &nodes);
-            let (mb, vb) = value_of(op, &arr, &nodes);
+            let (ma, va) = value_of(acc, arr, nodes);
+            let (mb, vb) = value_of(op, arr, nodes);
             let gr = clark::max_grad(ma, va, mb, vb, self.eps);
             nodes.push(MaxNode {
                 grad: gr,
@@ -188,18 +258,10 @@ impl<'a> ReducedObjective<'a> {
             events.push(Event::Node(nodes.len() - 1));
             acc = OpRef::Node(nodes.len() - 1);
         }
-        let (mu_tmax, var_tmax) = value_of(acc, &arr, &nodes);
-
-        Tape {
-            mu_t,
-            load,
-            nodes,
-            events,
-            tmax: acc,
-            mu_tmax,
-            var_tmax,
-            arr,
-        }
+        let (mu_tmax, var_tmax) = value_of(acc, arr, nodes);
+        tape.tmax = acc;
+        tape.mu_tmax = mu_tmax;
+        tape.var_tmax = var_tmax;
     }
 
     /// Objective + penalty value from tape results.
@@ -315,22 +377,30 @@ impl GradFn for ReducedObjective<'_> {
     }
 
     fn value(&mut self, x: &[f64]) -> f64 {
-        let tape = self.forward(x);
-        self.value_from(x, &tape)
+        let mut tape = std::mem::take(&mut self.scratch);
+        self.forward_into(x, &mut tape);
+        let v = self.value_from(x, &tape);
+        self.scratch = tape;
+        v
     }
 
     fn grad(&mut self, x: &[f64], g: &mut [f64]) {
         let n = self.circuit.num_gates();
-        let tape = self.forward(x);
+        let mut tape = std::mem::take(&mut self.scratch);
+        let mut adj = std::mem::take(&mut self.adj);
+        self.forward_into(x, &mut tape);
         g.fill(0.0);
 
-        // Adjoints.
-        let mut a_arr_mu = vec![0.0; n];
-        let mut a_arr_var = vec![0.0; n];
-        let mut a_node_mu = vec![0.0; tape.nodes.len()];
-        let mut a_node_var = vec![0.0; tape.nodes.len()];
-        let mut a_mt = vec![0.0; n];
-        let mut a_vt = vec![0.0; n];
+        // Adjoints, in buffers reused across evaluations.
+        adj.reset(n, tape.nodes.len());
+        let AdjointBufs {
+            a_arr_mu,
+            a_arr_var,
+            a_node_mu,
+            a_node_var,
+            a_mt,
+            a_vt,
+        } = &mut adj;
 
         let (dmu, dvar) = self.objective_seeds(x, &tape, g);
         // Per-output penalty: seed each constrained output's arrival
@@ -420,6 +490,9 @@ impl GradFn for ReducedObjective<'_> {
                 g[j.index()] += amt * c * self.model.c_in(j) / x[gi];
             }
         }
+
+        self.scratch = tape;
+        self.adj = adj;
     }
 }
 

@@ -220,7 +220,7 @@ impl<'a> Sizer<'a> {
     }
 
     /// Attaches a trace sink. The solve then emits phase spans
-    /// (`warm_start`, `build_problem`, `auglag`, `evaluate`, `report`),
+    /// (`reduced_space`, `build_problem`, `auglag`, `evaluate`, `report`),
     /// the augmented-Lagrangian outer-iteration records, and restart /
     /// divergence events. The default is no sink, which costs nothing on
     /// the hot path.
@@ -336,8 +336,8 @@ impl<'a> Sizer<'a> {
         // Reduced-space pass: warm start (FullSpace) or the whole solve
         // (ReducedSpace).
         let red = {
-            let _sp = tracer.span("warm_start");
-            let _ph = sgs_metrics::phase(sgs_metrics::Phase::WarmStart);
+            let _sp = tracer.span("reduced_space");
+            let _ph = sgs_metrics::phase(sgs_metrics::Phase::ReducedSpace);
             reduced::solve_reduced_with_arrivals(
                 self.circuit,
                 self.lib,
@@ -587,10 +587,13 @@ pub(crate) fn objective_value(objective: &Objective, s: &[f64], delay: Normal) -
 }
 
 /// Delay-spec violation given clean per-gate arrivals and circuit delay.
-pub(crate) fn spec_violation(
+/// Generic over the arrival storage layout so both report vectors and the
+/// incremental engine's structure-of-arrays state can be checked without
+/// a conversion copy.
+pub(crate) fn spec_violation<A: sgs_ssta::ArrivalRead + ?Sized>(
     spec: &DelaySpec,
     circuit: &Circuit,
-    arrivals: &[Normal],
+    arrivals: &A,
     delay: Normal,
 ) -> f64 {
     let mu = delay.mean();
@@ -605,7 +608,7 @@ pub(crate) fn spec_violation(
             .iter()
             .zip(d)
             .map(|(&o, &d_o)| {
-                let a = arrivals[o.index()];
+                let a = arrivals.arrival(o.index());
                 (a.mean() + k * a.sigma() - d_o).max(0.0)
             })
             .fold(0.0, f64::max),
@@ -671,7 +674,7 @@ impl NlpProblem for PoisonNanAfter<'_> {
     fn num_constraints(&self) -> usize {
         self.inner.num_constraints()
     }
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+    fn bounds(&self) -> (&[f64], &[f64]) {
         self.inner.bounds()
     }
     fn objective(&self, x: &[f64]) -> f64 {
@@ -878,7 +881,7 @@ mod tests {
         // The trace itself carries the expected structure.
         assert!(sink.count(|e| matches!(e, TraceEvent::Outer(_))) >= 1);
         assert!(sink.span_seconds("auglag") > 0.0);
-        assert!(sink.span_seconds("warm_start") > 0.0);
+        assert!(sink.span_seconds("reduced_space") > 0.0);
     }
 
     #[test]

@@ -220,6 +220,84 @@ pub fn compare(base: &Snapshot, new: &Snapshot, opts: &CompareOptions) -> Compar
     out
 }
 
+/// An absolute ceiling on one metric of the *new* run, independent of
+/// the baseline.
+///
+/// Relative thresholds catch drift between two runs, but they inherit
+/// whatever the committed baseline happens to say; a budget pins a hard
+/// line (`alloc_calls=25000`) that keeps holding even if the baseline is
+/// regenerated after a regression. Budgets are checked against counters
+/// and gauges by exact name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Budget {
+    /// Counter or gauge name the ceiling applies to.
+    pub metric: String,
+    /// Inclusive maximum the new run may report.
+    pub max: f64,
+}
+
+/// Parses a `--budget metric=max` operand (`"alloc_calls=25000"`).
+///
+/// # Errors
+///
+/// Returns a message when the operand has no `=`, the maximum is not a
+/// number, or the maximum is negative/NaN.
+pub fn parse_budget(text: &str) -> Result<Budget, String> {
+    let Some((metric, max)) = text.split_once('=') else {
+        return Err(format!(
+            "bad budget '{text}' (expected metric=max, e.g. alloc_calls=25000)"
+        ));
+    };
+    if metric.is_empty() {
+        return Err(format!("bad budget '{text}' (empty metric name)"));
+    }
+    let max: f64 = max
+        .parse()
+        .map_err(|_| format!("bad budget '{text}' (maximum must be a number)"))?;
+    if max.is_nan() || max < 0.0 {
+        return Err(format!("budget '{text}' must have a non-negative maximum"));
+    }
+    Ok(Budget {
+        metric: metric.to_string(),
+        max,
+    })
+}
+
+fn budget_value(snap: &Snapshot, metric: &str) -> Option<f64> {
+    #[allow(clippy::cast_precision_loss)] // counters are far below 2^53
+    snap.counters
+        .get(metric)
+        .map(|v| *v as f64)
+        .or_else(|| snap.gauges.get(metric).copied())
+}
+
+/// Checks absolute `budgets` against the `new` snapshot, folding
+/// violations into `out` as regressions (a metric missing from the
+/// snapshot is schema drift — the budget names something the run no
+/// longer reports).
+pub fn check_budgets(new: &Snapshot, budgets: &[Budget], out: &mut CompareOutcome) {
+    for b in budgets {
+        match budget_value(new, &b.metric) {
+            None => out.drift.push(format!(
+                "budget {}: metric not present in new run",
+                b.metric
+            )),
+            // NaN counts as over budget: a budgeted metric going
+            // non-finite is never a pass.
+            Some(v) if v > b.max || v.is_nan() => {
+                out.regressions
+                    .push(format!("{}: {v} exceeds budget {}", b.metric, b.max));
+                out.lines
+                    .push(format!("OVER BUDGET {}: {v} > {}", b.metric, b.max));
+            }
+            Some(v) => {
+                out.lines
+                    .push(format!("budget ok  {}: {v} <= {}", b.metric, b.max));
+            }
+        }
+    }
+}
+
 /// Parses a `--threshold=N%` operand (percent sign optional) into a
 /// relative ratio (`"25%"` → `0.25`).
 ///
@@ -328,6 +406,49 @@ mod tests {
         assert_eq!(out.exit_code(), 3);
         assert!(out.drift.iter().any(|d| d.contains("nlp_solves")));
         assert!(out.drift.iter().any(|d| d.contains("brand_new")));
+    }
+
+    #[test]
+    fn budget_parsing() {
+        assert_eq!(
+            parse_budget("alloc_calls=25000").unwrap(),
+            Budget {
+                metric: "alloc_calls".into(),
+                max: 25000.0
+            }
+        );
+        assert!(parse_budget("alloc_calls").is_err());
+        assert!(parse_budget("=5").is_err());
+        assert!(parse_budget("alloc_calls=lots").is_err());
+        assert!(parse_budget("alloc_calls=-1").is_err());
+    }
+
+    #[test]
+    fn budgets_gate_on_absolute_ceilings() {
+        let mut s = snap();
+        s.counters.insert("alloc_calls".to_string(), 2321);
+
+        // Under budget: clean, with an informational line.
+        let mut out = CompareOutcome::default();
+        check_budgets(&s, &[parse_budget("alloc_calls=25000").unwrap()], &mut out);
+        assert_eq!(out.exit_code(), 0, "{out:?}");
+        assert!(out.lines.iter().any(|l| l.contains("budget ok")));
+
+        // Over budget: a regression even though no baseline is involved.
+        let mut out = CompareOutcome::default();
+        check_budgets(&s, &[parse_budget("alloc_calls=2000").unwrap()], &mut out);
+        assert_eq!(out.exit_code(), 1);
+        assert!(out.regressions.iter().any(|r| r.contains("alloc_calls")));
+
+        // Gauges are budgetable too, exactly at the limit is OK.
+        let mut out = CompareOutcome::default();
+        check_budgets(&s, &[parse_budget("run_seconds=1.0").unwrap()], &mut out);
+        assert_eq!(out.exit_code(), 0, "{out:?}");
+
+        // A budget naming a metric the run no longer reports is drift.
+        let mut out = CompareOutcome::default();
+        check_budgets(&s, &[parse_budget("no_such_metric=1").unwrap()], &mut out);
+        assert_eq!(out.exit_code(), 3);
     }
 
     #[test]

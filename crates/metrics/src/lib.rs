@@ -172,8 +172,10 @@ metric_enum! {
         Solve => "solve",
         /// Preflight analyzer gate inside a solve.
         Preflight => "preflight",
-        /// Warm-start screening inside a solve.
-        WarmStart => "warm_start",
+        /// Reduced-space (adjoint-gradient) sizing pass inside a
+        /// solve: the whole solve under `SolverChoice::ReducedSpace`,
+        /// the full-space solver's warm-start seed otherwise.
+        ReducedSpace => "reduced_space",
         /// Sizing-problem construction inside a solve.
         BuildProblem => "build_problem",
         /// The augmented-Lagrangian optimisation itself.
@@ -206,7 +208,7 @@ impl Phase {
         match self {
             Phase::Load | Phase::Baseline | Phase::Solve | Phase::Analyze | Phase::Emit => None,
             Phase::Preflight
-            | Phase::WarmStart
+            | Phase::ReducedSpace
             | Phase::BuildProblem
             | Phase::Auglag
             | Phase::Evaluate

@@ -247,16 +247,16 @@ impl<P: NlpProblem> SmoothFn for AugLagFn<'_, P> {
         self.hess.set_values(&self.hess_vals);
     }
 
-    fn hess_vec(&self, v: &[f64], out: &mut [f64]) {
+    fn hess_vec(&mut self, v: &[f64], out: &mut [f64]) {
         out.fill(0.0);
         self.hess.mul_vec_add(v, out);
-        // Gauss-Newton term rho J' (J v).
-        let mut jv = vec![0.0; self.c.len()];
-        self.jac.mul_vec(v, &mut jv);
-        for e in jv.iter_mut() {
+        // Gauss-Newton term rho J' (J v), through the reused `jv` scratch:
+        // this runs once per CG iteration and must not allocate.
+        self.jac.mul_vec(v, &mut self.jv);
+        for e in self.jv.iter_mut() {
             *e *= self.rho;
         }
-        self.jac.mul_transpose_vec_add(&jv, out);
+        self.jac.mul_transpose_vec_add(&self.jv, out);
     }
 }
 
@@ -389,7 +389,7 @@ pub fn solve_cached<P: NlpProblem>(
         });
     }
     let mut x = accepted.map_or_else(|| x0.to_vec(), |w| w.x.clone());
-    tr::project(&mut x, &l, &u);
+    tr::project(&mut x, l, u);
     let mut lambda = accepted.map_or_else(|| vec![0.0; m], |w| w.lambda.clone());
     let mut rho = accepted.map_or(opts.rho0, |w| w.rho);
     // Conn-Gould-Toint tolerance schedules.
@@ -400,6 +400,13 @@ pub fn solve_cached<P: NlpProblem>(
 
     let mut c = vec![0.0; m];
     let mut last_pg = f64::INFINITY;
+
+    // Everything the ~245 inner and ~6,900 CG iterations touch is
+    // allocated exactly once, here: the augmented-Lagrangian scratch
+    // (constraint, multiplier and CSR value buffers) and the trust-region
+    // workspace. The outer loop only refreshes `lambda`/`rho` in place.
+    let mut al = AugLagFn::new(problem, lambda.clone(), rho);
+    let mut ws = tr::SolveWorkspace::new(n);
 
     // Every exit funnels through here so the trace always ends with a
     // solve_done record matching the returned result.
@@ -478,7 +485,8 @@ pub fn solve_cached<P: NlpProblem>(
         // Dropped at every exit from this loop body (including the early
         // returns below), recording the iteration's wall-clock.
         let _outer_timer = sgs_metrics::time_hist(sgs_metrics::HistId::NlpOuterSeconds);
-        let mut al = AugLagFn::new(problem, lambda.clone(), rho);
+        al.lambda.copy_from_slice(&lambda);
+        al.rho = rho;
         let inner_opts = TrOptions {
             tol: omega.max(opts.tol_opt * 0.1),
             ..opts.inner.clone()
@@ -486,7 +494,7 @@ pub fn solve_cached<P: NlpProblem>(
         let x_prev = x.clone();
         let inner_span = tracer.span("inner_tr");
         let inner_phase = sgs_metrics::phase(sgs_metrics::Phase::InnerTr);
-        let r = tr::minimize(&mut al, &x, &l, &u, &inner_opts);
+        let r = tr::minimize_with(&mut al, &x, l, u, &inner_opts, &mut ws);
         drop(inner_phase);
         inner_span.finish();
         x = r.x;
@@ -794,7 +802,7 @@ mod tests {
         fn num_constraints(&self) -> usize {
             self.inner.num_constraints()
         }
-        fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        fn bounds(&self) -> (&[f64], &[f64]) {
             self.inner.bounds()
         }
         fn objective(&self, x: &[f64]) -> f64 {

@@ -48,16 +48,49 @@ impl From<EvalCounts> for sgs_trace::EvalReport {
 }
 
 /// A memo slot: the point it was evaluated at plus the stored result.
+/// `valid` gates the slot so its buffers survive invalidation and are
+/// reused by the next store — after warm-up, hits and misses both run
+/// allocation-free.
+#[derive(Default)]
 struct Slot<T> {
+    valid: bool,
     x: Vec<f64>,
     value: T,
 }
 
-impl<T: Clone> Slot<T> {
-    fn hit(slot: &Option<Slot<T>>, x: &[f64]) -> Option<T> {
-        slot.as_ref()
-            .and_then(|s| same_point(&s.x, x).then(|| s.value.clone()))
+impl Slot<f64> {
+    fn hit(&self, x: &[f64]) -> Option<f64> {
+        (self.valid && same_point(&self.x, x)).then_some(self.value)
     }
+
+    fn store(&mut self, x: &[f64], value: f64) {
+        copy_into(&mut self.x, x);
+        self.value = value;
+        self.valid = true;
+    }
+}
+
+impl Slot<Vec<f64>> {
+    /// Copies the memoised result into `out` on a hit.
+    fn hit_into(&self, x: &[f64], out: &mut [f64]) -> bool {
+        let hit = self.valid && same_point(&self.x, x);
+        if hit {
+            out.copy_from_slice(&self.value);
+        }
+        hit
+    }
+
+    fn store(&mut self, x: &[f64], value: &[f64]) {
+        copy_into(&mut self.x, x);
+        copy_into(&mut self.value, value);
+        self.valid = true;
+    }
+}
+
+/// `dst = src`, reusing `dst`'s buffer when the capacity suffices.
+fn copy_into(dst: &mut Vec<f64>, src: &[f64]) {
+    dst.clear();
+    dst.extend_from_slice(src);
 }
 
 /// Bitwise vector equality — the cache key comparison.
@@ -70,10 +103,10 @@ fn same_point(a: &[f64], x: &[f64]) -> bool {
 /// the same point. See the module docs for the invalidation rule.
 pub struct CachedProblem<'a, P: NlpProblem> {
     inner: &'a P,
-    objective: RefCell<Option<Slot<f64>>>,
-    gradient: RefCell<Option<Slot<Vec<f64>>>>,
-    constraints: RefCell<Option<Slot<Vec<f64>>>>,
-    jacobian: RefCell<Option<Slot<Vec<f64>>>>,
+    objective: RefCell<Slot<f64>>,
+    gradient: RefCell<Slot<Vec<f64>>>,
+    constraints: RefCell<Slot<Vec<f64>>>,
+    jacobian: RefCell<Slot<Vec<f64>>>,
     counts: Cell<EvalCounts>,
 }
 
@@ -82,10 +115,10 @@ impl<'a, P: NlpProblem> CachedProblem<'a, P> {
     pub fn new(inner: &'a P) -> Self {
         CachedProblem {
             inner,
-            objective: RefCell::new(None),
-            gradient: RefCell::new(None),
-            constraints: RefCell::new(None),
-            jacobian: RefCell::new(None),
+            objective: RefCell::new(Slot::default()),
+            gradient: RefCell::new(Slot::default()),
+            constraints: RefCell::new(Slot::default()),
+            jacobian: RefCell::new(Slot::default()),
             counts: Cell::new(EvalCounts::default()),
         }
     }
@@ -111,50 +144,39 @@ impl<P: NlpProblem> NlpProblem for CachedProblem<'_, P> {
         self.inner.num_constraints()
     }
 
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+    fn bounds(&self) -> (&[f64], &[f64]) {
         self.inner.bounds()
     }
 
     fn objective(&self, x: &[f64]) -> f64 {
         let mut slot = self.objective.borrow_mut();
-        if let Some(v) = Slot::hit(&slot, x) {
+        if let Some(v) = slot.hit(x) {
             return v;
         }
         let v = self.inner.objective(x);
         self.bump(|c| c.objective += 1);
-        *slot = Some(Slot {
-            x: x.to_vec(),
-            value: v,
-        });
+        slot.store(x, v);
         v
     }
 
     fn gradient(&self, x: &[f64], g: &mut [f64]) {
         let mut slot = self.gradient.borrow_mut();
-        if let Some(v) = Slot::hit(&slot, x) {
-            g.copy_from_slice(&v);
+        if slot.hit_into(x, g) {
             return;
         }
         self.inner.gradient(x, g);
         self.bump(|c| c.gradient += 1);
-        *slot = Some(Slot {
-            x: x.to_vec(),
-            value: g.to_vec(),
-        });
+        slot.store(x, g);
     }
 
     fn constraints(&self, x: &[f64], c: &mut [f64]) {
         let mut slot = self.constraints.borrow_mut();
-        if let Some(v) = Slot::hit(&slot, x) {
-            c.copy_from_slice(&v);
+        if slot.hit_into(x, c) {
             return;
         }
         self.inner.constraints(x, c);
         self.bump(|counts| counts.constraints += 1);
-        *slot = Some(Slot {
-            x: x.to_vec(),
-            value: c.to_vec(),
-        });
+        slot.store(x, c);
     }
 
     fn jacobian_structure(&self) -> Vec<(usize, usize)> {
@@ -163,16 +185,12 @@ impl<P: NlpProblem> NlpProblem for CachedProblem<'_, P> {
 
     fn jacobian_values(&self, x: &[f64], vals: &mut [f64]) {
         let mut slot = self.jacobian.borrow_mut();
-        if let Some(v) = Slot::hit(&slot, x) {
-            vals.copy_from_slice(&v);
+        if slot.hit_into(x, vals) {
             return;
         }
         self.inner.jacobian_values(x, vals);
         self.bump(|c| c.jacobian += 1);
-        *slot = Some(Slot {
-            x: x.to_vec(),
-            value: vals.to_vec(),
-        });
+        slot.store(x, vals);
     }
 
     fn hessian_structure(&self) -> Vec<(usize, usize)> {

@@ -81,7 +81,15 @@ pub fn minimize<F: GradFn>(
     let mut g = vec![0.0; n];
     f.grad(&x, &mut g);
 
-    let mut hist: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new(); // (s, y, 1/y's)
+    // (s, y, 1/y's) history plus hoisted per-iteration scratch: the loop
+    // below allocates only when a new history pair is retained.
+    let mut hist: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new();
+    let mut d = vec![0.0; n];
+    let mut alphas: Vec<f64> = Vec::with_capacity(opts.memory);
+    let mut xn = vec![0.0; n];
+    let mut gn = vec![0.0; n];
+    let mut sbuf = vec![0.0; n];
+    let mut ybuf = vec![0.0; n];
     let mut pg = pg_norm(&x, &g, l, u);
     let mut resets = 0u32;
 
@@ -97,8 +105,10 @@ pub fn minimize<F: GradFn>(
         }
 
         // Two-loop recursion on the raw gradient.
-        let mut d: Vec<f64> = g.iter().map(|v| -v).collect();
-        let mut alphas = Vec::with_capacity(hist.len());
+        for i in 0..n {
+            d[i] = -g[i];
+        }
+        alphas.clear();
         for (s, y, rho) in hist.iter().rev() {
             let a = rho * dot(s, &d);
             alphas.push(a);
@@ -110,7 +120,7 @@ pub fn minimize<F: GradFn>(
                 *e *= gamma.max(1e-12);
             }
         }
-        for ((s, y, rho), a) in hist.iter().zip(alphas.into_iter().rev()) {
+        for ((s, y, rho), &a) in hist.iter().zip(alphas.iter().rev()) {
             let b = rho * dot(y, &d);
             axpy(&mut d, a - b, s);
         }
@@ -124,7 +134,6 @@ pub fn minimize<F: GradFn>(
         // Backtracking Armijo on the projected path x(t) = P(x + t d).
         let mut t = 1.0;
         let mut accepted = false;
-        let mut xn = vec![0.0; n];
         let mut fn_ = fx;
         for _ in 0..60 {
             for i in 0..n {
@@ -163,20 +172,27 @@ pub fn minimize<F: GradFn>(
             };
         }
 
-        let mut gn = vec![0.0; n];
         f.grad(&xn, &mut gn);
-        let s: Vec<f64> = (0..n).map(|i| xn[i] - x[i]).collect();
-        let y: Vec<f64> = (0..n).map(|i| gn[i] - g[i]).collect();
-        let ys = dot(&y, &s);
-        if ys > 1e-12 * dot(&y, &y).sqrt() * dot(&s, &s).sqrt() {
-            if hist.len() == opts.memory {
-                hist.pop_front();
-            }
-            hist.push_back((s, y.clone(), 1.0 / ys));
+        for i in 0..n {
+            sbuf[i] = xn[i] - x[i];
+            ybuf[i] = gn[i] - g[i];
         }
-        x = xn;
+        let ys = dot(&ybuf, &sbuf);
+        if ys > 1e-12 * dot(&ybuf, &ybuf).sqrt() * dot(&sbuf, &sbuf).sqrt() {
+            if hist.len() == opts.memory {
+                // Recycle the evicted pair's buffers instead of
+                // allocating a fresh one per retained step.
+                let (mut so, mut yo, _) = hist.pop_front().expect("history non-empty");
+                so.copy_from_slice(&sbuf);
+                yo.copy_from_slice(&ybuf);
+                hist.push_back((so, yo, 1.0 / ys));
+            } else {
+                hist.push_back((sbuf.clone(), ybuf.clone(), 1.0 / ys));
+            }
+        }
+        std::mem::swap(&mut x, &mut xn);
         fx = fn_;
-        g = gn;
+        std::mem::swap(&mut g, &mut gn);
         pg = pg_norm(&x, &g, l, u);
     }
 

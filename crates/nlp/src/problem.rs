@@ -25,8 +25,9 @@ pub trait NlpProblem {
     fn num_constraints(&self) -> usize;
 
     /// Lower and upper variable bounds, each of length `n`. Use
-    /// `f64::NEG_INFINITY` / `f64::INFINITY` for free variables.
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>);
+    /// `f64::NEG_INFINITY` / `f64::INFINITY` for free variables. Returned
+    /// as borrowed slices so the solver's hot loops never copy them.
+    fn bounds(&self) -> (&[f64], &[f64]);
 
     /// Objective value.
     fn objective(&self, x: &[f64]) -> f64;

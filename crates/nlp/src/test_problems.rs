@@ -20,8 +20,8 @@ impl NlpProblem for Rosenbrock {
     fn num_constraints(&self) -> usize {
         0
     }
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-        (vec![-INF; 2], vec![INF; 2])
+    fn bounds(&self) -> (&[f64], &[f64]) {
+        (&[-INF; 2], &[INF; 2])
     }
     fn objective(&self, x: &[f64]) -> f64 {
         (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
@@ -56,8 +56,8 @@ impl NlpProblem for SumToOne {
     fn num_constraints(&self) -> usize {
         1
     }
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-        (vec![-INF; 2], vec![INF; 2])
+    fn bounds(&self) -> (&[f64], &[f64]) {
+        (&[-INF; 2], &[INF; 2])
     }
     fn objective(&self, x: &[f64]) -> f64 {
         x[0] * x[0] + x[1] * x[1]
@@ -97,8 +97,8 @@ impl NlpProblem for Hs6 {
     fn num_constraints(&self) -> usize {
         1
     }
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-        (vec![-INF; 2], vec![INF; 2])
+    fn bounds(&self) -> (&[f64], &[f64]) {
+        (&[-INF; 2], &[INF; 2])
     }
     fn objective(&self, x: &[f64]) -> f64 {
         (1.0 - x[0]).powi(2)
@@ -137,8 +137,8 @@ impl NlpProblem for Hs7 {
     fn num_constraints(&self) -> usize {
         1
     }
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-        (vec![-INF; 2], vec![INF; 2])
+    fn bounds(&self) -> (&[f64], &[f64]) {
+        (&[-INF; 2], &[INF; 2])
     }
     fn objective(&self, x: &[f64]) -> f64 {
         (1.0 + x[0] * x[0]).ln() - x[1]
@@ -180,8 +180,8 @@ impl NlpProblem for Hs28 {
     fn num_constraints(&self) -> usize {
         1
     }
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-        (vec![-INF; 3], vec![INF; 3])
+    fn bounds(&self) -> (&[f64], &[f64]) {
+        (&[-INF; 3], &[INF; 3])
     }
     fn objective(&self, x: &[f64]) -> f64 {
         (x[0] + x[1]).powi(2) + (x[1] + x[2]).powi(2)
@@ -232,8 +232,8 @@ macro_rules! product_impl {
             fn num_constraints(&self) -> usize {
                 1
             }
-            fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-                (vec![$xlo, 1.0], vec![10.0, 10.0])
+            fn bounds(&self) -> (&[f64], &[f64]) {
+                (&[$xlo, 1.0], &[10.0, 10.0])
             }
             fn objective(&self, x: &[f64]) -> f64 {
                 x[0] + x[1]
@@ -277,8 +277,8 @@ impl NlpProblem for Hs48 {
     fn num_constraints(&self) -> usize {
         2
     }
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-        (vec![-INF; 5], vec![INF; 5])
+    fn bounds(&self) -> (&[f64], &[f64]) {
+        (&[-INF; 5], &[INF; 5])
     }
     fn objective(&self, x: &[f64]) -> f64 {
         (x[0] - 1.0).powi(2) + (x[1] - x[2]).powi(2) + (x[3] - x[4]).powi(2)
@@ -324,8 +324,8 @@ impl NlpProblem for Hs51 {
     fn num_constraints(&self) -> usize {
         3
     }
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-        (vec![-INF; 5], vec![INF; 5])
+    fn bounds(&self) -> (&[f64], &[f64]) {
+        (&[-INF; 5], &[INF; 5])
     }
     fn objective(&self, x: &[f64]) -> f64 {
         (x[0] - x[1]).powi(2)
@@ -371,8 +371,8 @@ impl NlpProblem for Infeasible {
     fn num_constraints(&self) -> usize {
         1
     }
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-        (vec![-INF], vec![INF])
+    fn bounds(&self) -> (&[f64], &[f64]) {
+        (&[-INF], &[INF])
     }
     fn objective(&self, x: &[f64]) -> f64 {
         x[0] * x[0]
@@ -409,8 +409,8 @@ impl NlpProblem for SlackIneq {
     fn num_constraints(&self) -> usize {
         1
     }
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-        (vec![-INF, 0.0], vec![INF, INF])
+    fn bounds(&self) -> (&[f64], &[f64]) {
+        (&[-INF, 0.0], &[INF, INF])
     }
     fn objective(&self, x: &[f64]) -> f64 {
         (x[0] - 3.0).powi(2)
@@ -465,7 +465,7 @@ impl<P: NlpProblem> NlpProblem for PoisonAfter<'_, P> {
     fn num_constraints(&self) -> usize {
         self.inner.num_constraints()
     }
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+    fn bounds(&self) -> (&[f64], &[f64]) {
         self.inner.bounds()
     }
     fn objective(&self, x: &[f64]) -> f64 {

@@ -22,7 +22,48 @@ pub trait SmoothFn {
     /// [`SmoothFn::hess_vec`] calls.
     fn prepare_hess(&mut self, x: &[f64]);
     /// `out = H v` using the Hessian cached by the last `prepare_hess`.
-    fn hess_vec(&self, v: &[f64], out: &mut [f64]);
+    /// Takes `&mut self` so implementations can reuse internal scratch
+    /// buffers — this call sits on the CG hot path and must not allocate.
+    fn hess_vec(&mut self, v: &[f64], out: &mut [f64]);
+}
+
+/// Reusable scratch for [`minimize_with`]: every per-iteration temporary
+/// of the trust-region loop and its projected-CG subproblem (iterate,
+/// gradient, trial point, free-variable mask, CG direction/residual
+/// vectors) lives here, allocated once and reused across iterations and
+/// across repeated solves. [`minimize`] allocates one internally; callers
+/// that solve many subproblems (the augmented-Lagrangian outer loop) hold
+/// one and pass it in so the inner iterations are allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace {
+    x: Vec<f64>,
+    g: Vec<f64>,
+    xnew: Vec<f64>,
+    free: Vec<bool>,
+    p: Vec<f64>,
+    r: Vec<f64>,
+    d: Vec<f64>,
+    hd: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// Creates a workspace sized for `n` variables.
+    pub fn new(n: usize) -> Self {
+        let mut ws = SolveWorkspace::default();
+        ws.resize(n);
+        ws
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.x.resize(n, 0.0);
+        self.g.resize(n, 0.0);
+        self.xnew.resize(n, 0.0);
+        self.free.resize(n, true);
+        self.p.resize(n, 0.0);
+        self.r.resize(n, 0.0);
+        self.d.resize(n, 0.0);
+        self.hd.resize(n, 0.0);
+    }
 }
 
 /// Options for [`minimize`].
@@ -103,6 +144,23 @@ pub fn minimize<F: SmoothFn>(
     u: &[f64],
     opts: &TrOptions,
 ) -> TrResult {
+    minimize_with(f, x0, l, u, opts, &mut SolveWorkspace::new(f.n()))
+}
+
+/// [`minimize`] with caller-owned scratch: reusing `ws` across repeated
+/// solves makes every inner iteration allocation-free.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `f.n()` or if any `l[i] > u[i]`.
+pub fn minimize_with<F: SmoothFn>(
+    f: &mut F,
+    x0: &[f64],
+    l: &[f64],
+    u: &[f64],
+    opts: &TrOptions,
+    ws: &mut SolveWorkspace,
+) -> TrResult {
     let n = f.n();
     assert_eq!(x0.len(), n);
     assert_eq!(l.len(), n);
@@ -116,11 +174,21 @@ pub fn minimize<F: SmoothFn>(
         opts.max_cg
     };
 
-    let mut x = x0.to_vec();
-    project(&mut x, l, u);
-    let mut fx = f.value(&x);
-    let mut g = vec![0.0; n];
-    f.grad(&x, &mut g);
+    ws.resize(n);
+    let SolveWorkspace {
+        x,
+        g,
+        xnew,
+        free,
+        p,
+        r,
+        d,
+        hd,
+    } = ws;
+    x.copy_from_slice(x0);
+    project(x, l, u);
+    let mut fx = f.value(x);
+    f.grad(x, g);
     let gnorm = g.iter().map(|v| v * v).sum::<f64>().sqrt();
     let mut delta = if opts.delta0 > 0.0 {
         opts.delta0
@@ -130,7 +198,7 @@ pub fn minimize<F: SmoothFn>(
     let delta_max = 1e10;
 
     let mut cg_total = 0usize;
-    let mut pg = projected_gradient_norm(&x, &g, l, u);
+    let mut pg = projected_gradient_norm(x, g, l, u);
     // Most recent trial point with a non-finite value that no accepted
     // finite step has superseded; see [`TrResult::bad_point`].
     let mut last_bad: Option<Vec<f64>> = if fx.is_finite() {
@@ -142,7 +210,7 @@ pub fn minimize<F: SmoothFn>(
     for iter in 0..opts.max_iter {
         if pg <= opts.tol {
             return TrResult {
-                x,
+                x: x.clone(),
                 f: fx,
                 pg_norm: pg,
                 iterations: iter,
@@ -151,13 +219,14 @@ pub fn minimize<F: SmoothFn>(
                 bad_point: last_bad,
             };
         }
-        f.prepare_hess(&x);
+        f.prepare_hess(x);
 
         // Retry with shrinking radius until a step is accepted or the
         // radius collapses.
         let mut accepted = false;
         while !accepted {
-            let (p, pred, ncg, hit_boundary) = solve_subproblem(f, &x, &g, l, u, delta, max_cg);
+            let (pred, ncg, hit_boundary) =
+                solve_subproblem(f, x, g, l, u, delta, max_cg, free, p, r, d, hd);
             cg_total += ncg;
             if pred <= f64::EPSILON * (1.0 + fx.abs()) {
                 delta *= 0.5;
@@ -165,7 +234,7 @@ pub fn minimize<F: SmoothFn>(
                     // No decrease possible: declare convergence at the
                     // achieved projected-gradient level.
                     return TrResult {
-                        x,
+                        x: x.clone(),
                         f: fx,
                         pg_norm: pg,
                         iterations: iter,
@@ -176,12 +245,12 @@ pub fn minimize<F: SmoothFn>(
                 }
                 continue;
             }
-            let mut xnew = x.clone();
+            xnew.copy_from_slice(x);
             for i in 0..n {
                 xnew[i] += p[i];
             }
-            project(&mut xnew, l, u);
-            let fnew = f.value(&xnew);
+            project(xnew, l, u);
+            let fnew = f.value(xnew);
             let ared = fx - fnew;
             let rho = ared / pred;
             if !fnew.is_finite() {
@@ -198,17 +267,17 @@ pub fn minimize<F: SmoothFn>(
                 delta = (2.0 * delta).min(delta_max);
             }
             if rho > 1e-4 && ared > 0.0 {
-                x = xnew;
+                std::mem::swap(x, xnew);
                 fx = fnew;
-                f.grad(&x, &mut g);
-                pg = projected_gradient_norm(&x, &g, l, u);
+                f.grad(x, g);
+                pg = projected_gradient_norm(x, g, l, u);
                 accepted = true;
                 // A finite step was accepted: earlier non-finite trials
                 // were transient, not divergence.
                 last_bad = None;
             } else if delta < 1e-14 {
                 return TrResult {
-                    x,
+                    x: x.clone(),
                     f: fx,
                     pg_norm: pg,
                     iterations: iter,
@@ -221,7 +290,7 @@ pub fn minimize<F: SmoothFn>(
     }
 
     TrResult {
-        x,
+        x: x.clone(),
         f: fx,
         pg_norm: pg,
         iterations: opts.max_iter,
@@ -232,60 +301,64 @@ pub fn minimize<F: SmoothFn>(
 }
 
 /// Approximately minimises the quadratic model `g'p + p'Hp/2` over the
-/// trust region and bounds with projected Steihaug-Toint CG.
+/// trust region and bounds with projected Steihaug-Toint CG, writing the
+/// step into the caller's `p` buffer (all scratch is caller-provided so
+/// the subproblem allocates nothing).
 ///
-/// Returns `(p, predicted_reduction, cg_iterations, hit_boundary)`.
+/// Returns `(predicted_reduction, cg_iterations, hit_boundary)`.
+#[allow(clippy::too_many_arguments)]
 fn solve_subproblem<F: SmoothFn>(
-    f: &F,
+    f: &mut F,
     x: &[f64],
     g: &[f64],
     l: &[f64],
     u: &[f64],
     delta: f64,
     max_cg: usize,
-) -> (Vec<f64>, f64, usize, bool) {
+    free: &mut [bool],
+    p: &mut [f64],
+    r: &mut [f64],
+    d: &mut [f64],
+    hd: &mut [f64],
+) -> (f64, usize, bool) {
     let n = x.len();
     let eps_act = 1e-12;
     // Freeze variables pinned at a bound with the gradient pushing outward.
-    let mut free = vec![true; n];
     for i in 0..n {
         let at_lower = l[i].is_finite() && x[i] - l[i] <= eps_act * (1.0 + l[i].abs());
         let at_upper = u[i].is_finite() && u[i] - x[i] <= eps_act * (1.0 + u[i].abs());
-        if (at_lower && g[i] >= 0.0) || (at_upper && g[i] <= 0.0) {
-            free[i] = false;
-        }
+        free[i] = !((at_lower && g[i] >= 0.0) || (at_upper && g[i] <= 0.0));
     }
 
-    let mut p = vec![0.0; n];
-    let mut r: Vec<f64> = g
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| if free[i] { v } else { 0.0 })
-        .collect();
+    p.fill(0.0);
+    for i in 0..n {
+        r[i] = if free[i] { g[i] } else { 0.0 };
+    }
     let mut rr: f64 = r.iter().map(|v| v * v).sum();
     let rr0 = rr;
     if rr0 == 0.0 {
-        return (p, 0.0, 0, false);
+        return (0.0, 0, false);
     }
     let ctol = 0.01f64.min(rr0.sqrt().sqrt()); // superlinear forcing term
-    let mut d: Vec<f64> = r.iter().map(|v| -v).collect();
-    let mut hd = vec![0.0; n];
+    for i in 0..n {
+        d[i] = -r[i];
+    }
     let mut hit_boundary = false;
     let mut ncg = 0usize;
 
     while ncg < max_cg {
         ncg += 1;
-        f.hess_vec(&d, &mut hd);
+        f.hess_vec(d, hd);
         for i in 0..n {
             if !free[i] {
                 hd[i] = 0.0;
             }
         }
-        let kappa: f64 = d.iter().zip(&hd).map(|(a, b)| a * b).sum();
+        let kappa: f64 = d.iter().zip(hd.iter()).map(|(a, b)| a * b).sum();
         let dd: f64 = d.iter().map(|v| v * v).sum();
         if kappa <= 1e-16 * dd {
             // Negative / zero curvature: go to the nearest boundary.
-            let tau = step_to_boundary(&p, &d, x, l, u, delta);
+            let tau = step_to_boundary(p, d, x, l, u, delta);
             for i in 0..n {
                 p[i] += tau * d[i];
             }
@@ -293,7 +366,7 @@ fn solve_subproblem<F: SmoothFn>(
             break;
         }
         let alpha = rr / kappa;
-        let tau = step_to_boundary(&p, &d, x, l, u, delta);
+        let tau = step_to_boundary(p, d, x, l, u, delta);
         if alpha >= tau {
             for i in 0..n {
                 p[i] += tau * d[i];
@@ -317,11 +390,11 @@ fn solve_subproblem<F: SmoothFn>(
     }
 
     // Predicted reduction -m(p) = -(g'p + p'Hp/2).
-    f.hess_vec(&p, &mut hd);
-    let gp: f64 = g.iter().zip(&p).map(|(a, b)| a * b).sum();
-    let php: f64 = p.iter().zip(&hd).map(|(a, b)| a * b).sum();
+    f.hess_vec(p, hd);
+    let gp: f64 = g.iter().zip(p.iter()).map(|(a, b)| a * b).sum();
+    let php: f64 = p.iter().zip(hd.iter()).map(|(a, b)| a * b).sum();
     let pred = -(gp + 0.5 * php);
-    (p, pred, ncg, hit_boundary)
+    (pred, ncg, hit_boundary)
 }
 
 /// Largest `tau >= 0` with `|p + tau d| <= delta` and
@@ -385,7 +458,7 @@ mod tests {
             }
         }
         fn prepare_hess(&mut self, _x: &[f64]) {}
-        fn hess_vec(&self, v: &[f64], out: &mut [f64]) {
+        fn hess_vec(&mut self, v: &[f64], out: &mut [f64]) {
             let n = self.n();
             for i in 0..n {
                 out[i] = (0..n).map(|j| self.h[i][j] * v[j]).sum();
@@ -412,7 +485,7 @@ mod tests {
         fn prepare_hess(&mut self, x: &[f64]) {
             self.hx = [x[0], x[1]];
         }
-        fn hess_vec(&self, v: &[f64], out: &mut [f64]) {
+        fn hess_vec(&mut self, v: &[f64], out: &mut [f64]) {
             let [x0, x1] = self.hx;
             let h00 = 2.0 - 400.0 * (x1 - 3.0 * x0 * x0);
             let h01 = -400.0 * x0;

@@ -32,7 +32,7 @@ impl SmoothFn for SepQuad {
         }
     }
     fn prepare_hess(&mut self, _x: &[f64]) {}
-    fn hess_vec(&self, v: &[f64], out: &mut [f64]) {
+    fn hess_vec(&mut self, v: &[f64], out: &mut [f64]) {
         for i in 0..v.len() {
             out[i] = 2.0 * self.w[i] * v[i];
         }
@@ -100,6 +100,8 @@ struct EqQuad {
     c: Vec<f64>,
     a: Vec<f64>,
     b: f64,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
 }
 
 impl NlpProblem for EqQuad {
@@ -109,11 +111,8 @@ impl NlpProblem for EqQuad {
     fn num_constraints(&self) -> usize {
         1
     }
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-        (
-            vec![f64::NEG_INFINITY; self.c.len()],
-            vec![f64::INFINITY; self.c.len()],
-        )
+    fn bounds(&self) -> (&[f64], &[f64]) {
+        (&self.lo, &self.hi)
     }
     fn objective(&self, x: &[f64]) -> f64 {
         x.iter()
@@ -167,7 +166,13 @@ proptest! {
             a[0] += 1.0;
         }
         let b = 3.0 * next();
-        let p = EqQuad { c: c.clone(), a: a.clone(), b };
+        let p = EqQuad {
+            c: c.clone(),
+            a: a.clone(),
+            b,
+            lo: vec![f64::NEG_INFINITY; n],
+            hi: vec![f64::INFINITY; n],
+        };
         let r = sgs_nlp::solve(&p, &vec![0.0; n], &sgs_nlp::AugLagOptions::default());
         prop_assert!(r.status.is_success(), "{:?}", r.status);
         let aa: f64 = a.iter().map(|v| v * v).sum();

@@ -4,16 +4,17 @@
 //!
 //! Arrival propagation is inherently sequential along paths but parallel
 //! across a topological level: every gate at level `L` depends only on
-//! arrivals at levels `< L`. [`ssta_levelized`] exploits this, mapping
-//! over each level's gates with rayon and writing results back in gate
-//! order. Because each gate's arrival is the same pure function of its
-//! fan-in arrivals either way, the levelized path is bit-identical to the
-//! sequential left fold. [`ssta`] auto-dispatches: circuits below
-//! [`PAR_GATE_THRESHOLD`] gates (or single-threaded runs) keep the cheap
-//! sequential path.
+//! arrivals at levels `< L`. [`ssta_levelized`] exploits this through the
+//! structure-of-arrays sweep in [`crate::soa`]: each level's fan-in
+//! moments are gathered into contiguous arrays and folded by the batched
+//! Clark kernel, with wide levels split across rayon threads. Because
+//! each gate's arrival is the same pure function of its fan-in arrivals
+//! either way, the levelized path is bit-identical to the sequential left
+//! fold. [`ssta`] auto-dispatches: circuits below [`PAR_GATE_THRESHOLD`]
+//! gates (or single-threaded runs) keep the cheap sequential path.
 
 use crate::delay::DelayModel;
-use rayon::prelude::*;
+use crate::soa::{ArrivalRead, ArrivalSoa, LevelSweeper};
 use sgs_netlist::{Circuit, GateId, Library, Signal};
 use sgs_statmath::{clark, Normal};
 
@@ -155,16 +156,17 @@ pub fn ssta_levelized(circuit: &Circuit, lib: &Library, s: &[f64]) -> SstaReport
     report_from_arrivals(circuit, arrivals)
 }
 
-/// Arrival of `sig` given already-computed gate arrivals.
+/// Arrival of `sig` given already-computed gate arrivals (in either
+/// storage layout — see [`ArrivalRead`]).
 #[inline]
-pub(crate) fn arrival_of(
+pub(crate) fn arrival_of<A: ArrivalRead + ?Sized>(
     sig: Signal,
-    arrivals: &[Normal],
+    arrivals: &A,
     input_arrivals: Option<&[Normal]>,
 ) -> Normal {
     match sig {
         Signal::Pi(p) => input_arrivals.map_or_else(Normal::default, |ia| ia[p]),
-        Signal::Gate(g) => arrivals[g.index()],
+        Signal::Gate(g) => arrivals.arrival(g.index()),
     }
 }
 
@@ -172,11 +174,11 @@ pub(crate) fn arrival_of(
 /// fold, paper Eq. 18b) plus the gate delay (paper Eq. 4). The single
 /// pure function both propagation orders evaluate.
 #[inline]
-pub(crate) fn gate_arrival(
+pub(crate) fn gate_arrival<A: ArrivalRead + ?Sized>(
     circuit: &Circuit,
     model: &DelayModel,
     s: &[f64],
-    arrivals: &[Normal],
+    arrivals: &A,
     input_arrivals: Option<&[Normal]>,
     idx: usize,
 ) -> Normal {
@@ -196,8 +198,8 @@ pub(crate) fn arrivals_sequential(
     model: &DelayModel,
     s: &[f64],
     input_arrivals: Option<&[Normal]>,
-) -> Vec<Normal> {
-    let mut arrivals: Vec<Normal> = Vec::with_capacity(circuit.num_gates());
+) -> ArrivalSoa {
+    let mut arrivals = ArrivalSoa::with_capacity(circuit.num_gates());
     for idx in 0..circuit.num_gates() {
         let a = gate_arrival(circuit, model, s, &arrivals, input_arrivals, idx);
         arrivals.push(a);
@@ -205,40 +207,21 @@ pub(crate) fn arrivals_sequential(
     arrivals
 }
 
-/// Level-parallel propagation: gates grouped by topological level; each
-/// level's arrivals are computed in parallel from the (immutable) prior
-/// levels, then written back in gate order. Reads and writes never
-/// overlap within a level, so the schedule cannot affect the result.
+/// Level-batched propagation: gates grouped by topological level; each
+/// level's fan-in moments are gathered into contiguous arrays and folded
+/// by [`clark::max_batch`], with wide levels chunked across rayon
+/// threads (see [`LevelSweeper`]). Reads and writes never overlap within
+/// a level and the per-lane arithmetic is the scalar kernel's, so the
+/// schedule cannot affect the result.
 fn arrivals_levelized(
     circuit: &Circuit,
     model: &DelayModel,
     s: &[f64],
     input_arrivals: Option<&[Normal]>,
-) -> Vec<Normal> {
-    let levels = circuit.levels();
-    let depth = levels.iter().copied().max().unwrap_or(0);
-    let mut by_level: Vec<Vec<usize>> = vec![Vec::new(); depth + 1];
-    for (i, &l) in levels.iter().enumerate() {
-        by_level[l].push(i);
-    }
-    let mut arrivals: Vec<Normal> = vec![Normal::default(); circuit.num_gates()];
-    for level in &by_level {
-        if level.is_empty() {
-            continue;
-        }
-        let computed: Vec<(usize, Normal)> = level
-            .par_iter()
-            .map(|&idx| {
-                (
-                    idx,
-                    gate_arrival(circuit, model, s, &arrivals, input_arrivals, idx),
-                )
-            })
-            .collect();
-        for (idx, a) in computed {
-            arrivals[idx] = a;
-        }
-    }
+) -> ArrivalSoa {
+    let mut sweeper = LevelSweeper::new(circuit);
+    let mut arrivals = ArrivalSoa::zeroed(circuit.num_gates());
+    sweeper.sweep(circuit, model, s, input_arrivals, &mut arrivals);
     arrivals
 }
 
@@ -246,14 +229,25 @@ fn arrivals_levelized(
 /// primary outputs, folded left in output-list order. Every analysis
 /// entry point (and the incremental engine) shares this one fold so the
 /// operand order — and therefore the bit pattern — cannot drift.
-pub(crate) fn delay_from_arrivals(circuit: &Circuit, arrivals: &[Normal]) -> Normal {
-    clark::max_n(circuit.outputs().iter().map(|&o| arrivals[o.index()]))
-        .expect("validated circuits have outputs")
+pub(crate) fn delay_from_arrivals<A: ArrivalRead + ?Sized>(
+    circuit: &Circuit,
+    arrivals: &A,
+) -> Normal {
+    clark::max_n(
+        circuit
+            .outputs()
+            .iter()
+            .map(|&o| arrivals.arrival(o.index())),
+    )
+    .expect("validated circuits have outputs")
 }
 
-fn report_from_arrivals(circuit: &Circuit, arrivals: Vec<Normal>) -> SstaReport {
+fn report_from_arrivals(circuit: &Circuit, arrivals: ArrivalSoa) -> SstaReport {
     let delay = delay_from_arrivals(circuit, &arrivals);
-    SstaReport { arrivals, delay }
+    SstaReport {
+        arrivals: arrivals.to_normals(),
+        delay,
+    }
 }
 
 /// Traditional deterministic STA: every gate contributes `mu_t + margin_k *

@@ -33,6 +33,7 @@
 
 use crate::analysis::{arrivals_sequential, delay_from_arrivals, gate_arrival, SstaReport};
 use crate::delay::DelayModel;
+use crate::soa::ArrivalSoa;
 use sgs_netlist::{Circuit, GateId, Library, Signal};
 use sgs_statmath::{clark, Normal};
 use std::cmp::Reverse;
@@ -82,7 +83,8 @@ pub struct IncrementalSsta<'a> {
     fanouts: Vec<Vec<GateId>>,
     input_arrivals: Option<Vec<Normal>>,
     s: Vec<f64>,
-    arrivals: Vec<Normal>,
+    /// Per-gate arrival moments in the shared structure-of-arrays layout.
+    arrivals: ArrivalSoa,
     delay: Normal,
     /// Scratch membership flags for the worklist (all false between calls).
     dirty: Vec<bool>,
@@ -144,7 +146,7 @@ impl<'a> IncrementalSsta<'a> {
         let mut out_prefix = Vec::with_capacity(circuit.outputs().len());
         for (p, &o) in circuit.outputs().iter().enumerate() {
             out_pos[o.index()] = out_pos[o.index()].min(p);
-            let a = arrivals[o.index()];
+            let a = arrivals.get(o.index());
             out_prefix.push(match out_prefix.last() {
                 Some(&acc) => clark::max(acc, a),
                 None => a,
@@ -223,13 +225,13 @@ impl<'a> IncrementalSsta<'a> {
                 idx,
             );
             stats.gates_recomputed += 1;
-            if same_bits(a, self.arrivals[idx]) {
+            if same_bits(a, self.arrivals.get(idx)) {
                 // Exactly unchanged: everything downstream reads the same
                 // operands as before, so the frontier stops here.
                 stats.frontier_pruned += 1;
                 continue;
             }
-            self.arrivals[idx] = a;
+            self.arrivals.set(idx, a);
             first_changed_out = first_changed_out.min(self.out_pos[idx]);
             for &f in &self.fanouts[idx] {
                 let fi = f.index();
@@ -245,7 +247,7 @@ impl<'a> IncrementalSsta<'a> {
             // so the suffix recomputation reproduces the full fold exactly.
             let outputs = self.circuit.outputs();
             for (p, o) in outputs.iter().enumerate().skip(first_changed_out) {
-                let a = self.arrivals[o.index()];
+                let a = self.arrivals.get(o.index());
                 self.out_prefix[p] = if p == 0 {
                     a
                 } else {
@@ -294,8 +296,9 @@ impl<'a> IncrementalSsta<'a> {
         &self.s
     }
 
-    /// Current per-gate arrival distributions (indexed by gate id).
-    pub fn arrivals(&self) -> &[Normal] {
+    /// Current per-gate arrival moments (indexed by gate id), in the
+    /// structure-of-arrays layout shared with the analysis sweeps.
+    pub fn arrivals(&self) -> &ArrivalSoa {
         &self.arrivals
     }
 
@@ -307,7 +310,7 @@ impl<'a> IncrementalSsta<'a> {
     /// Snapshot of the current state as an [`SstaReport`].
     pub fn report(&self) -> SstaReport {
         SstaReport {
-            arrivals: self.arrivals.clone(),
+            arrivals: self.arrivals.to_normals(),
             delay: self.delay,
         }
     }
@@ -336,7 +339,7 @@ mod tests {
 
     fn assert_state_matches(inc: &IncrementalSsta<'_>, fresh: &SstaReport) {
         for (i, (a, b)) in inc.arrivals().iter().zip(&fresh.arrivals).enumerate() {
-            assert!(same_bits(*a, *b), "gate {i}: {a:?} != {b:?}");
+            assert!(same_bits(a, *b), "gate {i}: {a:?} != {b:?}");
         }
         assert!(
             same_bits(inc.delay(), fresh.delay),

@@ -22,6 +22,8 @@
 //!   tightness, validated against Monte Carlo;
 //! * [`incremental`] — dirty-cone re-propagation after size changes,
 //!   bit-identical to a from-scratch run (the what-if query engine);
+//! * [`soa`] — structure-of-arrays arrival storage and the level-batched
+//!   Clark-max sweep shared by the full, parallel and incremental paths;
 //! * [`wire`] — per-edge statistical wire delays, the paper's general
 //!   delay model of Fig. 1 / Eq. 2.
 //!
@@ -46,6 +48,7 @@ pub mod delay;
 pub mod incremental;
 pub mod monte_carlo;
 pub mod power;
+pub mod soa;
 pub mod wire;
 
 pub use analysis::{
@@ -57,3 +60,4 @@ pub use incremental::{IncrementalSsta, UpdateStats};
 pub use monte_carlo::{
     monte_carlo, monte_carlo_traced, monte_carlo_with_model, McOptions, McReport,
 };
+pub use soa::{ArrivalRead, ArrivalSoa, LevelSweeper};

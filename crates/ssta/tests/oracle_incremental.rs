@@ -47,7 +47,7 @@ fn assert_oracle(inc: &IncrementalSsta<'_>, circuit: &Circuit, s: &[f64], check_
     assert_eq!(inc.sizes(), s, "engine size vector drifted");
     let fresh = ssta(circuit, &lib(), s);
     for (i, (a, b)) in inc.arrivals().iter().zip(&fresh.arrivals).enumerate() {
-        assert!(same_bits(*a, *b), "arrival of gate {i}: {a:?} != {b:?}");
+        assert!(same_bits(a, *b), "arrival of gate {i}: {a:?} != {b:?}");
     }
     assert!(
         same_bits(inc.delay(), fresh.delay),
@@ -74,7 +74,7 @@ fn assert_oracle(inc: &IncrementalSsta<'_>, circuit: &Circuit, s: &[f64], check_
             .zip(&from_scratch.arrivals)
             .enumerate()
         {
-            assert!(same_bits(*a, *b), "criticality arrival of gate {i}");
+            assert!(same_bits(a, *b), "criticality arrival of gate {i}");
         }
     }
 }
@@ -229,7 +229,7 @@ fn input_arrival_runs_stay_identical() {
         inc.apply(&[(GateId(g), v)]);
         let fresh = ssta_with_arrivals(&circuit, &lib(), &s, Some(&late));
         for (a, b) in inc.arrivals().iter().zip(&fresh.arrivals) {
-            assert!(same_bits(*a, *b));
+            assert!(same_bits(a, *b));
         }
         assert!(same_bits(inc.delay(), fresh.delay));
     }

@@ -633,6 +633,368 @@ mod tests {
     }
 }
 
+/// Lanes processed per unrolled step of the batched kernels. Four lanes
+/// keep the transcendental evaluations (`exp` inside the pdf, the cdf
+/// series) adjacent so the out-of-order core overlaps their latency, while
+/// the per-lane arithmetic stays scalar — and therefore bit-identical to
+/// the one-pair functions.
+const BATCH_LANES: usize = 4;
+
+/// One lane of the batched moment kernel: exactly the operations of
+/// [`moments_generic::<f64>`] given the precomputed frame values, plus the
+/// counted clamp of [`max_eps`]. Returns `(mu_c, var_c, clamped)`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn batch_moments_lane(
+    mu_a: f64,
+    var_a: f64,
+    mu_b: f64,
+    var_b: f64,
+    theta: f64,
+    phi: f64,
+    cdf_p: f64,
+    cdf_m: f64,
+) -> (f64, f64, bool) {
+    let mu_c = mu_a * cdf_p + mu_b * cdf_m + theta * phi;
+    let e2 =
+        (var_a + mu_a * mu_a) * cdf_p + (var_b + mu_b * mu_b) * cdf_m + (mu_a + mu_b) * theta * phi;
+    let var = e2 - mu_c * mu_c;
+    if var >= 0.0 {
+        (mu_c, var, false)
+    } else {
+        // NaN falls here too but is a divergence, not a clamp — mirror
+        // `clamp_var` exactly, including what gets counted.
+        (mu_c, 0.0, var < 0.0)
+    }
+}
+
+/// Batched Clark maximum over structure-of-arrays operands: lane `i`
+/// computes `max(N(mu_a[i], var_a[i]), N(mu_b[i], var_b[i]))` into
+/// `(out_mu[i], out_var[i])`.
+///
+/// Every lane is **bit-identical** to [`max_eps`] on the same operands —
+/// same operation order, same smoothing floor, same counted variance
+/// clamp — for any batch size and any position within the batch. The
+/// speedup comes purely from schedule: operands stream from contiguous
+/// arrays, the main loop is unrolled [`BATCH_LANES`] wide, and the
+/// expensive `erf`/`exp`-class evaluations (pdf, both cdf orientations)
+/// are hoisted into their own per-lane passes so their latencies overlap.
+/// Clamp firings are accumulated locally and published to the process-wide
+/// counter (see [`var_clamp_count`]) with a single atomic add per call.
+///
+/// # Panics
+///
+/// Panics if the six slices do not all have the same length.
+pub fn max_batch(
+    mu_a: &[f64],
+    var_a: &[f64],
+    mu_b: &[f64],
+    var_b: &[f64],
+    eps: f64,
+    out_mu: &mut [f64],
+    out_var: &mut [f64],
+) {
+    let n = mu_a.len();
+    assert_eq!(var_a.len(), n, "batch length mismatch");
+    assert_eq!(mu_b.len(), n, "batch length mismatch");
+    assert_eq!(var_b.len(), n, "batch length mismatch");
+    assert_eq!(out_mu.len(), n, "batch length mismatch");
+    assert_eq!(out_var.len(), n, "batch length mismatch");
+    let eps2 = eps * eps;
+    let mut clamped = 0u64;
+
+    let mut i = 0;
+    while i + BATCH_LANES <= n {
+        let mut theta = [0.0; BATCH_LANES];
+        let mut alpha = [0.0; BATCH_LANES];
+        let mut phi = [0.0; BATCH_LANES];
+        let mut cdf_p = [0.0; BATCH_LANES];
+        let mut cdf_m = [0.0; BATCH_LANES];
+        for l in 0..BATCH_LANES {
+            let t = (var_a[i + l] + var_b[i + l] + eps2).sqrt();
+            theta[l] = t;
+            alpha[l] = (mu_a[i + l] - mu_b[i + l]) / t;
+        }
+        for l in 0..BATCH_LANES {
+            phi[l] = crate::special::normal_pdf(alpha[l]);
+        }
+        for l in 0..BATCH_LANES {
+            cdf_p[l] = crate::special::normal_cdf(alpha[l]);
+        }
+        for l in 0..BATCH_LANES {
+            cdf_m[l] = crate::special::normal_cdf(-alpha[l]);
+        }
+        for l in 0..BATCH_LANES {
+            let (mu, var, c) = batch_moments_lane(
+                mu_a[i + l],
+                var_a[i + l],
+                mu_b[i + l],
+                var_b[i + l],
+                theta[l],
+                phi[l],
+                cdf_p[l],
+                cdf_m[l],
+            );
+            out_mu[i + l] = mu;
+            out_var[i + l] = var;
+            clamped += u64::from(c);
+        }
+        i += BATCH_LANES;
+    }
+    while i < n {
+        let theta = (var_a[i] + var_b[i] + eps2).sqrt();
+        let alpha = (mu_a[i] - mu_b[i]) / theta;
+        let phi = crate::special::normal_pdf(alpha);
+        let cdf_p = crate::special::normal_cdf(alpha);
+        let cdf_m = crate::special::normal_cdf(-alpha);
+        let (mu, var, c) = batch_moments_lane(
+            mu_a[i], var_a[i], mu_b[i], var_b[i], theta, phi, cdf_p, cdf_m,
+        );
+        out_mu[i] = mu;
+        out_var[i] = var;
+        clamped += u64::from(c);
+        i += 1;
+    }
+    if clamped > 0 {
+        VAR_CLAMP_COUNT.fetch_add(clamped, Ordering::Relaxed);
+    }
+}
+
+/// One lane of the batched gradient kernel: exactly [`max_grad`] given the
+/// precomputed frame values (which use the `1 - Phi(alpha)` complement,
+/// like [`frame`]). Returns the gradient struct plus the clamp flag.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn batch_grad_lane(
+    mu_a: f64,
+    var_a: f64,
+    mu_b: f64,
+    var_b: f64,
+    theta: f64,
+    alpha: f64,
+    phi: f64,
+    cdf_p: f64,
+) -> (ClarkGrad, bool) {
+    let cdf_m = 1.0 - cdf_p;
+    let mu_c = mu_a * cdf_p + mu_b * cdf_m + theta * phi;
+    let e2 =
+        (var_a + mu_a * mu_a) * cdf_p + (var_b + mu_b * mu_b) * cdf_m + (mu_a + mu_b) * theta * phi;
+    let w = var_a - var_b;
+    let s = mu_a + mu_b;
+
+    let dmu = [cdf_p, phi / (2.0 * theta), cdf_m, phi / (2.0 * theta)];
+    let k_a = theta + w / theta;
+    let k_b = theta - w / theta;
+    let m = s / (2.0 * theta) - w * alpha / (2.0 * theta * theta);
+    let de2 = [
+        2.0 * mu_a * cdf_p + phi * k_a,
+        cdf_p + phi * m,
+        2.0 * mu_b * cdf_m + phi * k_b,
+        cdf_m + phi * m,
+    ];
+    let mut dvar = [0.0; 4];
+    for i in 0..4 {
+        dvar[i] = de2[i] - 2.0 * mu_c * dmu[i];
+    }
+    let var = e2 - mu_c * mu_c;
+    let (var, clamp) = if var >= 0.0 {
+        (var, false)
+    } else {
+        (0.0, var < 0.0)
+    };
+    (
+        ClarkGrad {
+            mu: mu_c,
+            var,
+            dmu,
+            dvar,
+        },
+        clamp,
+    )
+}
+
+/// Batched [`max_grad`]: lane `i` evaluates the Clark moments **and exact
+/// first derivatives** for the operand quadruple `(mu_a[i], var_a[i],
+/// mu_b[i], var_b[i])` into `out[i]`.
+///
+/// Bit-identical to calling [`max_grad`] per lane (which computes the
+/// complementary cdf as `1 - Phi(alpha)`, unlike the moment-only path);
+/// the transcendental evaluations are hoisted and the loop unrolled as in
+/// [`max_batch`], and variance clamps are counted with one atomic add.
+///
+/// # Panics
+///
+/// Panics if the five slices do not all have the same length.
+pub fn max_grad_batch(
+    mu_a: &[f64],
+    var_a: &[f64],
+    mu_b: &[f64],
+    var_b: &[f64],
+    eps: f64,
+    out: &mut [ClarkGrad],
+) {
+    let n = mu_a.len();
+    assert_eq!(var_a.len(), n, "batch length mismatch");
+    assert_eq!(mu_b.len(), n, "batch length mismatch");
+    assert_eq!(var_b.len(), n, "batch length mismatch");
+    assert_eq!(out.len(), n, "batch length mismatch");
+    let eps2 = eps * eps;
+    let mut clamped = 0u64;
+
+    let mut i = 0;
+    while i + BATCH_LANES <= n {
+        let mut theta = [0.0; BATCH_LANES];
+        let mut alpha = [0.0; BATCH_LANES];
+        let mut phi = [0.0; BATCH_LANES];
+        let mut cdf_p = [0.0; BATCH_LANES];
+        for l in 0..BATCH_LANES {
+            let t = (var_a[i + l] + var_b[i + l] + eps2).sqrt();
+            theta[l] = t;
+            alpha[l] = (mu_a[i + l] - mu_b[i + l]) / t;
+        }
+        for l in 0..BATCH_LANES {
+            phi[l] = crate::special::normal_pdf(alpha[l]);
+        }
+        for l in 0..BATCH_LANES {
+            cdf_p[l] = crate::special::normal_cdf(alpha[l]);
+        }
+        for l in 0..BATCH_LANES {
+            let (g, c) = batch_grad_lane(
+                mu_a[i + l],
+                var_a[i + l],
+                mu_b[i + l],
+                var_b[i + l],
+                theta[l],
+                alpha[l],
+                phi[l],
+                cdf_p[l],
+            );
+            out[i + l] = g;
+            clamped += u64::from(c);
+        }
+        i += BATCH_LANES;
+    }
+    while i < n {
+        let theta = (var_a[i] + var_b[i] + eps2).sqrt();
+        let alpha = (mu_a[i] - mu_b[i]) / theta;
+        let phi = crate::special::normal_pdf(alpha);
+        let cdf_p = crate::special::normal_cdf(alpha);
+        let (g, c) = batch_grad_lane(
+            mu_a[i], var_a[i], mu_b[i], var_b[i], theta, alpha, phi, cdf_p,
+        );
+        out[i] = g;
+        clamped += u64::from(c);
+        i += 1;
+    }
+    if clamped > 0 {
+        VAR_CLAMP_COUNT.fetch_add(clamped, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+
+    /// Operand sets exercising dominance, near-ties and clamp-prone
+    /// cancellation, tiled to arbitrary batch lengths.
+    fn operands(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let base: &[[f64; 4]] = &[
+            [0.0, 1.0, 0.0, 1.0],
+            [5.0, 2.0, 4.5, 0.5],
+            [-3.0, 0.1, -2.9, 0.4],
+            [10.0, 4.0, 2.0, 0.01],
+            [0.3, 1e-4, 0.30001, 1e-4],
+            [-1.0, 9.0, 4.0, 1e-6],
+            [100.0, 25.0, 99.0, 36.0],
+            [2.0, 1e-12, 30.0, 1e-12], // dominant: clamp-prone
+        ];
+        let pick = |i: usize, j: usize| base[i % base.len()][j];
+        (
+            (0..n).map(|i| pick(i, 0)).collect(),
+            (0..n).map(|i| pick(i, 1)).collect(),
+            (0..n).map(|i| pick(i, 2)).collect(),
+            (0..n).map(|i| pick(i, 3)).collect(),
+        )
+    }
+
+    #[test]
+    fn moments_bitwise_match_scalar_at_every_length() {
+        for n in [0, 1, 2, 3, 4, 5, 7, 8, 9, 16, 33] {
+            let (ma, va, mb, vb) = operands(n);
+            let mut om = vec![0.0; n];
+            let mut ov = vec![0.0; n];
+            max_batch(&ma, &va, &mb, &vb, DEFAULT_EPS, &mut om, &mut ov);
+            for i in 0..n {
+                let want = max_eps(
+                    Normal::from_mean_var(ma[i], va[i]),
+                    Normal::from_mean_var(mb[i], vb[i]),
+                    DEFAULT_EPS,
+                );
+                assert_eq!(om[i].to_bits(), want.mean().to_bits(), "mu lane {i} of {n}");
+                assert_eq!(ov[i].to_bits(), want.var().to_bits(), "var lane {i} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn grads_bitwise_match_scalar_at_every_length() {
+        for n in [1, 3, 4, 6, 8, 11, 32] {
+            let (ma, va, mb, vb) = operands(n);
+            let mut out = vec![
+                ClarkGrad {
+                    mu: 0.0,
+                    var: 0.0,
+                    dmu: [0.0; 4],
+                    dvar: [0.0; 4],
+                };
+                n
+            ];
+            max_grad_batch(&ma, &va, &mb, &vb, DEFAULT_EPS, &mut out);
+            for i in 0..n {
+                let want = max_grad(ma[i], va[i], mb[i], vb[i], DEFAULT_EPS);
+                assert_eq!(out[i], want, "lane {i} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_counter_advances_exactly_as_scalar() {
+        let (ma, va, mb, vb) = operands(64);
+        // Scalar pass: count clamps the one-pair way.
+        let before = var_clamp_count();
+        for i in 0..64 {
+            let _ = max_eps(
+                Normal::from_mean_var(ma[i], va[i]),
+                Normal::from_mean_var(mb[i], vb[i]),
+                DEFAULT_EPS,
+            );
+        }
+        let scalar_clamps = var_clamp_count() - before;
+        // Batched pass must advance the counter by the same amount.
+        let mut om = vec![0.0; 64];
+        let mut ov = vec![0.0; 64];
+        let before = var_clamp_count();
+        max_batch(&ma, &va, &mb, &vb, DEFAULT_EPS, &mut om, &mut ov);
+        assert_eq!(var_clamp_count() - before, scalar_clamps);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch length mismatch")]
+    fn length_mismatch_rejected() {
+        let mut om = [0.0; 2];
+        let mut ov = [0.0; 2];
+        max_batch(
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[0.0],
+            &[1.0, 1.0],
+            DEFAULT_EPS,
+            &mut om,
+            &mut ov,
+        );
+    }
+}
+
 /// Moments of `max(A, B)` for **correlated** jointly normal operands with
 /// correlation coefficient `rho` — Clark's general case, which the paper
 /// lists as future work ("dealing with correlations between stochastic

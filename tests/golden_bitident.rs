@@ -1,0 +1,138 @@
+//! Bit-identity golden tests for the metered solve path.
+//!
+//! The allocation-free hot paths (workspace-reused inner iterations,
+//! preallocated CSR assembly, the SoA levelized sweep and the batched
+//! Clark kernel) are refactors, not re-derivations: they must reproduce
+//! the pre-refactor solver *bit for bit*. These tests pin the full
+//! iterate vector, the objective, the `Tmax` moments and the Clark
+//! variance-clamp count of the two metered circuits (`tree7`, `rdag40`)
+//! against goldens generated before the refactor. Values are stored as
+//! 17-significant-digit decimals (which round-trip `f64` exactly) and
+//! compared on the *bit pattern*, not within a tolerance.
+//!
+//! Regenerate intentionally with:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test -p sgs-core --test golden_bitident
+//! ```
+
+use sgs_core::{DelaySpec, Objective, Sizer};
+use sgs_netlist::{blif, generate, Circuit, Library};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn lib() -> Library {
+    Library::paper_default()
+}
+
+fn rdag40() -> Circuit {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../benchmarks/rdag40.blif");
+    let text = std::fs::read_to_string(&path).expect("benchmarks/rdag40.blif exists");
+    blif::parse(&text).expect("rdag40.blif parses")
+}
+
+/// Renders one solve as `key value` lines with exact-round-trip decimals.
+fn render(circuit: &Circuit, deadline: f64) -> String {
+    let r = Sizer::new(circuit, &lib())
+        .objective(Objective::Area)
+        .delay_spec(DelaySpec::MaxMeanPlusKSigma {
+            k: 3.0,
+            d: deadline,
+        })
+        .solve()
+        .expect("solve succeeds");
+    let mut out = String::new();
+    writeln!(out, "objective {:.17e}", r.objective).unwrap();
+    writeln!(out, "mu_tmax {:.17e}", r.delay.mean()).unwrap();
+    writeln!(out, "var_tmax {:.17e}", r.delay.var()).unwrap();
+    writeln!(out, "clark_var_clamps {}", r.clark_var_clamps).unwrap();
+    for (g, s) in r.s.iter().enumerate() {
+        writeln!(out, "s[{g}] {s:.17e}").unwrap();
+    }
+    out
+}
+
+/// Asserts `actual` matches the golden file bit for bit: every numeric
+/// field must parse to the same `f64` bit pattern (or the same integer).
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with REGEN_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    let exp_lines: Vec<&str> = expected.lines().collect();
+    let act_lines: Vec<&str> = actual.lines().collect();
+    assert_eq!(
+        exp_lines.len(),
+        act_lines.len(),
+        "{name}: line count changed"
+    );
+    for (e, a) in exp_lines.iter().zip(&act_lines) {
+        let (ek, ev) = e.split_once(' ').unwrap();
+        let (ak, av) = a.split_once(' ').unwrap();
+        assert_eq!(ek, ak, "{name}: key changed");
+        if ek == "clark_var_clamps" {
+            assert_eq!(ev, av, "{name}: {ek} changed");
+            continue;
+        }
+        let ev: f64 = ev.parse().unwrap();
+        let av: f64 = av.parse().unwrap();
+        assert_eq!(
+            ev.to_bits(),
+            av.to_bits(),
+            "{name}: {ek} drifted: golden {ev:.17e} vs actual {av:.17e}"
+        );
+    }
+}
+
+/// The tree benchmark under the metered CI configuration
+/// (`--objective area --deadline 12`).
+#[test]
+fn bitident_tree7_area_d12() {
+    let c = generate::tree7();
+    check_golden("bitident_tree7.txt", &render(&c, 12.0));
+}
+
+/// The random-DAG benchmark under the metered CI configuration
+/// (`--objective area --deadline 20`).
+#[test]
+fn bitident_rdag40_area_d20() {
+    let c = rdag40();
+    check_golden("bitident_rdag40.txt", &render(&c, 20.0));
+}
+
+/// Sequential and forced-parallel constraint assembly must agree bit for
+/// bit on the solved iterates (thread-count invariance of the solve).
+#[test]
+fn bitident_assembly_par_threshold_invariant() {
+    use sgs_core::SizingProblem;
+    use sgs_nlp::auglag;
+
+    let c = rdag40();
+    let spec = DelaySpec::MaxMeanPlusKSigma { k: 3.0, d: 20.0 };
+    let solve_with = |threshold: usize| {
+        let mut p = SizingProblem::build(&c, &lib(), Objective::Area, spec.clone());
+        p.set_par_threshold(threshold);
+        let x0 = p.initial_point(&vec![1.0; c.num_gates()]);
+        let r = auglag::solve(&p, &x0, &auglag::AugLagOptions::default());
+        (r.x, r.f)
+    };
+    let (x_seq, f_seq) = solve_with(usize::MAX);
+    let (x_par, f_par) = solve_with(0);
+    assert_eq!(f_seq.to_bits(), f_par.to_bits(), "objective differs");
+    for (i, (a, b)) in x_seq.iter().zip(&x_par).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "iterate {i} differs");
+    }
+}

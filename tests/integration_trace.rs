@@ -66,7 +66,7 @@ fn memory_sink_records_every_outer_iteration_and_full_wall_clock() {
 
     // Top-level sizer phases cover >= 95% of the reported wall clock.
     let covered: f64 = [
-        "warm_start",
+        "reduced_space",
         "build_problem",
         "auglag",
         "evaluate",
