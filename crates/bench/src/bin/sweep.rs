@@ -1,0 +1,493 @@
+//! Scenario sweep driver: area-vs-deadline Pareto frontiers, robustness
+//! (mu + k sigma) sweeps and multi-corner frontiers over warm-started
+//! `Resolver` sessions.
+//!
+//! ```text
+//! sweep <netlist.blif|.v> [--points N] [--deadlines a,b,...] [--table FILE]
+//! sweep --bench [--points N] [--out PATH]
+//! sweep --lint FILE...
+//! ```
+//!
+//! Session mode traces the frontier on a named netlist — over an
+//! auto-derived grid ([`SweepEngine::deadline_frontier`]) or explicit
+//! `--deadlines` — and prints one row per feasible point at 17
+//! significant digits (the golden-table format, `--table` writes it to a
+//! file).
+//!
+//! `--bench` traces the rdag40 frontier (the committed benchmark's
+//! generator twin), asserts the frontier contract in-run — point count,
+//! warm-interior fraction, dominance, a single infeasible-to-feasible
+//! transition, the bitwise evaluation tier (reported values bit-identical
+//! to a fresh SSTA at the accepted sizes) and sampled cold re-solve
+//! agreement — then adds a k-sweep and a three-corner sweep and writes
+//! `BENCH_sweep.json`: a schema-valid metrics snapshot (lint/compare
+//! accept it directly) extended with `frontier` / `k_sweep` / `corners`
+//! result blocks.
+//!
+//! `--lint` re-parses committed frontier tables and exits nonzero if any
+//! violates dominance (deadlines not ascending, or area increasing as the
+//! deadline relaxes) — the CI guard against committing a non-dominant
+//! frontier.
+
+use sgs_bench::BenchArgs;
+use sgs_core::{Corner, DelaySpec, Frontier, Objective, Sizer, SweepConfig, SweepEngine};
+use sgs_netlist::{blif, generate, Circuit, Library};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sweep <netlist.blif|.v> [--points N] [--deadlines a,b,...] [--table FILE] \
+         [--trace FILE] [--metrics FILE] [--metrics-prom FILE]\n\
+         \x20      sweep --bench [--points N] [--out PATH] [--trace FILE] [--metrics FILE]\n\
+         \x20      sweep --lint FILE..."
+    );
+    ExitCode::from(2)
+}
+
+/// The 17-significant-digit frontier table (feasible points only; an
+/// infeasible point has no `(area, mu, sigma)` to print). Shared by the
+/// session printer, the golden test and the `--lint` parser.
+fn render_table(name: &str, gates: usize, frontier: &Frontier) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# sweep circuit {name} gates {gates} points {} feasible {}",
+        frontier.points.len(),
+        frontier.feasible_count(),
+    );
+    let _ = writeln!(out, "# columns: deadline area mu sigma");
+    for (i, p) in frontier.points.iter().filter(|p| p.feasible).enumerate() {
+        let _ = writeln!(
+            out,
+            "point_{i:02}  {:+.17e}  {:+.17e}  {:+.17e}  {:+.17e}",
+            p.deadline, p.area, p.mu, p.sigma
+        );
+    }
+    out
+}
+
+/// A finite float as JSON, `null` otherwise (infeasible points carry
+/// NaN values, which raw JSON cannot).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn parse_points(args: &mut Vec<String>) -> Result<Option<usize>, ()> {
+    if let Some(i) = args.iter().position(|a| a == "--points") {
+        if i + 1 >= args.len() {
+            return Err(());
+        }
+        let n: usize = args[i + 1].parse().map_err(|_| ())?;
+        args.drain(i..=i + 1);
+        return Ok(Some(n));
+    }
+    Ok(None)
+}
+
+fn session(mut args: Vec<String>) -> ExitCode {
+    let path = args.remove(0);
+    let points = match parse_points(&mut args) {
+        Ok(p) => p,
+        Err(()) => return usage(),
+    };
+    let mut deadlines: Option<Vec<f64>> = None;
+    let mut table: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deadlines" => match it.next() {
+                Some(list) => {
+                    let parsed: Result<Vec<f64>, _> =
+                        list.split(',').map(str::parse::<f64>).collect();
+                    match parsed {
+                        Ok(ds) if !ds.is_empty() => deadlines = Some(ds),
+                        _ => return usage(),
+                    }
+                }
+                None => return usage(),
+            },
+            "--table" => table = it.next().cloned(),
+            _ => return usage(),
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = if path.ends_with(".v") {
+        sgs_netlist::verilog::parse(&text)
+    } else {
+        blif::parse(&text)
+    };
+    let circuit = match parsed {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lib = Library::paper_default();
+    let mut config = SweepConfig::default();
+    if let Some(n) = points {
+        config.points = n.max(2);
+    }
+    let engine = SweepEngine::new(&circuit, &lib).config(config);
+    let traced = match deadlines {
+        Some(ds) => engine.trace(&ds),
+        None => engine.deadline_frontier(),
+    };
+    let frontier = match traced {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = frontier.check_dominance(1e-6) {
+        eprintln!("frontier violates dominance: {e}");
+        return ExitCode::FAILURE;
+    }
+    let rendered = render_table(circuit.name(), circuit.num_gates(), &frontier);
+    print!("{rendered}");
+    if let Some(file) = table {
+        if let Err(e) = std::fs::write(&file, &rendered) {
+            eprintln!("cannot write {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "# feasible {}  transitions {}  warm interior {:.0}%  refined {}",
+        frontier.feasible_count(),
+        frontier.transitions(),
+        frontier.warm_interior_fraction() * 100.0,
+        frontier.points.iter().filter(|p| p.refined).count(),
+    );
+    ExitCode::SUCCESS
+}
+
+/// The committed rdag40 benchmark's generator twin.
+fn rdag40() -> Circuit {
+    generate::random_dag(&generate::RandomDagSpec {
+        name: "rdag40".into(),
+        cells: 40,
+        inputs: 8,
+        depth: 8,
+        seed: 40,
+        ..Default::default()
+    })
+}
+
+/// Serialises one frontier as a JSON points array (two-space indent
+/// inside a named block).
+fn frontier_json(frontier: &Frontier) -> String {
+    let mut json = String::from("[\n");
+    for (i, p) in frontier.points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"deadline\": {}, \"feasible\": {}, \"refined\": {}, \
+             \"cache_hit\": {}, \"warm_start_hit\": {}, \"area\": {}, \"mu\": {}, \
+             \"sigma\": {}, \"outer_iterations\": {}, \"seconds\": {:.6}}}{}",
+            json_num(p.deadline),
+            p.feasible,
+            p.refined,
+            p.cache_hit,
+            p.warm_start_hit,
+            json_num(p.area),
+            json_num(p.mu),
+            json_num(p.sigma),
+            p.outer_iterations,
+            p.seconds,
+            if i + 1 < frontier.points.len() {
+                ","
+            } else {
+                ""
+            },
+        );
+    }
+    json.push_str("    ]");
+    json
+}
+
+fn bench(mut args: Vec<String>) -> ExitCode {
+    let points = match parse_points(&mut args) {
+        Ok(p) => p.unwrap_or(14),
+        Err(()) => return usage(),
+    };
+    let mut out_path = String::from("BENCH_sweep.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next().cloned() {
+                Some(p) => out_path = p,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    // The bench artifact *is* a metrics snapshot, so the registry is on
+    // for this mode regardless of --metrics.
+    sgs_metrics::reset();
+    sgs_metrics::enable();
+    let start = Instant::now();
+    let circuit = rdag40();
+    let lib = Library::paper_default();
+    let config = SweepConfig {
+        points,
+        ..SweepConfig::default()
+    };
+    let engine = SweepEngine::new(&circuit, &lib).config(config.clone());
+
+    // --- Deadline frontier + the in-run frontier contract. ------------
+    let frontier = engine.deadline_frontier().expect("rdag40 sweep converges");
+    let feasible = frontier.feasible_count();
+    assert!(
+        feasible >= 12,
+        "rdag40 frontier must trace >= 12 feasible points, got {feasible}"
+    );
+    let warm = frontier.warm_interior_fraction();
+    assert!(
+        warm >= 0.75,
+        "need >= 75% of interior points warm-started, got {:.0}%",
+        warm * 100.0
+    );
+    frontier.check_dominance(1e-6).expect("frontier dominance");
+    assert!(
+        frontier.transitions() <= 1,
+        "more than one infeasible-to-feasible transition"
+    );
+    assert!(
+        frontier.points.iter().any(|p| !p.feasible),
+        "the below-minimum probe must be infeasible"
+    );
+    // Bitwise evaluation tier: every reported (mu, sigma, area) is
+    // bit-identical to a from-scratch SSTA + sum(s) at the point's sizes.
+    frontier
+        .verify_evaluation(&circuit, &lib)
+        .expect("warm frontier values bit-identical to fresh evaluation");
+    // Solver tier: independent cold solves at sampled specs agree on
+    // feasibility and area (different iterates of the same NLP — a small
+    // relative tolerance, not bit-equality, is the contract here).
+    let feasible_pts: Vec<_> = frontier.points.iter().filter(|p| p.feasible).collect();
+    for idx in [0, feasible_pts.len() / 2, feasible_pts.len() - 1] {
+        let p = feasible_pts[idx];
+        let cold = Sizer::new(&circuit, &lib)
+            .objective(Objective::Area)
+            .delay_spec(DelaySpec::MaxMean(p.deadline))
+            .solve()
+            .expect("cold re-solve feasible at a swept deadline");
+        let rel = (cold.area - p.area).abs() / (1.0 + p.area.abs());
+        assert!(
+            rel <= 5e-3,
+            "cold re-solve at deadline {} disagrees: warm area {}, cold {}",
+            p.deadline,
+            p.area,
+            cold.area
+        );
+    }
+    println!(
+        "rdag40 frontier: {} points ({} feasible, {} refined), warm interior {:.0}%",
+        frontier.points.len(),
+        feasible,
+        frontier.points.iter().filter(|p| p.refined).count(),
+        warm * 100.0,
+    );
+
+    // --- Robustness sweep. --------------------------------------------
+    let ks = [0.0, 1.0, 2.0, 3.0];
+    let k_points = engine.k_sweep(&ks).expect("rdag40 k-sweep converges");
+    for w in k_points.windows(2) {
+        assert!(
+            w[1].objective >= w[0].objective - 1e-6 * (1.0 + w[0].objective.abs()),
+            "V(k) must be non-decreasing"
+        );
+    }
+    println!(
+        "rdag40 k-sweep: {}",
+        k_points
+            .iter()
+            .map(|p| format!("V({})={:.3}", p.k, p.objective))
+            .collect::<Vec<_>>()
+            .join("  "),
+    );
+
+    // --- Multi-corner frontier. ---------------------------------------
+    let corners = [
+        Corner::nominal(),
+        Corner::scaled("slow", 1.15, 1.10),
+        Corner::scaled("fast", 0.90, 0.95),
+    ];
+    let corner_engine = SweepEngine::new(&circuit, &lib).config(SweepConfig {
+        points: (points / 2).max(6),
+        ..config
+    });
+    let cf = corner_engine
+        .corner_frontier(&corners)
+        .expect("rdag40 corner sweep converges");
+    cf.merged
+        .check_dominance(1e-6)
+        .expect("worst-corner frontier dominance");
+    println!(
+        "rdag40 corners: {} sessions, merged {} points ({} feasible)",
+        cf.corners.len(),
+        cf.merged.points.len(),
+        cf.merged.feasible_count(),
+    );
+
+    // --- BENCH_sweep.json: metrics snapshot + result blocks. ----------
+    sgs_metrics::set_gauge(
+        sgs_metrics::Gauge::RunSeconds,
+        start.elapsed().as_secs_f64(),
+    );
+    let snap = sgs_metrics::snapshot(sgs_metrics::Metadata {
+        bin: "sweep".to_string(),
+        circuit: "rdag40".to_string(),
+        git_sha: sgs_bench::git_sha(),
+        threads: rayon::current_num_threads(),
+        timestamp: sgs_bench::run_timestamp(),
+    });
+    let mut json = snap
+        .to_json()
+        .strip_suffix("\n}\n")
+        .expect("snapshot JSON ends with its root close")
+        .to_string();
+    json.push_str(",\n  \"frontier\": {\n    \"circuit\": \"rdag40\",\n    \"points\": ");
+    json.push_str(&frontier_json(&frontier));
+    json.push_str("\n  },\n  \"k_sweep\": [\n");
+    for (i, p) in k_points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"k\": {}, \"objective\": {}, \"mu\": {}, \"sigma\": {}, \
+             \"area\": {}, \"warm_start_hit\": {}}}{}",
+            json_num(p.k),
+            json_num(p.objective),
+            json_num(p.mu),
+            json_num(p.sigma),
+            json_num(p.area),
+            p.warm_start_hit,
+            if i + 1 < k_points.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n  \"corners\": [\n");
+    for (i, t) in cf.corners.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"t_int_scale\": {}, \"c_in_scale\": {}, \
+             \"feasible_points\": {}}}{}",
+            t.corner.name,
+            json_num(t.corner.t_int_scale),
+            json_num(t.corner.c_in_scale),
+            t.frontier.feasible_count(),
+            if i + 1 < cf.corners.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+/// Parses a rendered frontier table and checks dominance: deadlines
+/// strictly ascending, area non-increasing as the deadline relaxes.
+fn lint_table(path: &str, text: &str) -> Result<(), String> {
+    let mut rows: Vec<(f64, f64)> = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        if cols.len() != 5 {
+            return Err(format!(
+                "{path}:{}: expected 5 columns, got {}",
+                ln + 1,
+                cols.len()
+            ));
+        }
+        let deadline: f64 = cols[1]
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad deadline {}", ln + 1, cols[1]))?;
+        let area: f64 = cols[2]
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad area {}", ln + 1, cols[2]))?;
+        rows.push((deadline, area));
+    }
+    if rows.is_empty() {
+        return Err(format!("{path}: no frontier rows"));
+    }
+    for w in rows.windows(2) {
+        let (d0, a0) = w[0];
+        let (d1, a1) = w[1];
+        if d1 <= d0 {
+            return Err(format!("{path}: deadlines not ascending ({d0} then {d1})"));
+        }
+        if a1 > a0 + 1e-6 * (1.0 + a0.abs()) {
+            return Err(format!(
+                "{path}: dominance violated — area rises from {a0} (deadline {d0}) \
+                 to {a1} (deadline {d1})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn lint(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        return usage();
+    }
+    let mut failed = false;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match lint_table(path, &text) {
+            Ok(()) => println!("{path}: frontier dominant"),
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_args = match BenchArgs::extract("sweep", &mut args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let code = match args.first().map(String::as_str) {
+        Some("--bench") => bench(args[1..].to_vec()),
+        Some("--lint") => lint(&args[1..]),
+        Some(_) => session(args),
+        None => usage(),
+    };
+    if let Err(e) = bench_args.finish("sweep") {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    code
+}

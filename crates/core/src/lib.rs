@@ -49,8 +49,13 @@ pub mod reduced;
 pub mod resolve;
 pub mod sizer;
 pub mod spec;
+pub mod sweep;
 
 pub use problem::SizingProblem;
 pub use resolve::{ResolveOutcome, Resolver, WhatIfReport};
 pub use sizer::{Preflight, SizeError, Sizer, SizingResult, SolverChoice};
 pub use spec::{DelaySpec, Objective};
+pub use sweep::{
+    corner_library, Corner, CornerFrontier, CornerTrace, Frontier, FrontierPoint, KPoint,
+    SweepConfig, SweepEngine,
+};

@@ -185,6 +185,32 @@ impl<'a> Resolver<'a> {
         self.run(Seed::Carry, 0)
     }
 
+    /// Moves the sigma multiplier of a [`Objective::MeanPlusKSigma`]
+    /// objective to `k` and re-solves warm from the previous solution.
+    /// Only the scalar inside the existing formulation changes
+    /// ([`SizingProblem::set_objective_k`] — the objective's Hessian slot
+    /// is keyed on the variant, not the value, so the sparsity pattern is
+    /// identical for every `k`), and the previous `(x, lambda, rho)` is
+    /// carried verbatim. This is the robustness-sweep twin of
+    /// [`Resolver::resolve_spec`].
+    ///
+    /// # Errors
+    ///
+    /// [`SizeError::SolverFailed`] as for [`Resolver::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured objective is not
+    /// [`Objective::MeanPlusKSigma`], or if `k` is not finite.
+    pub fn resolve_objective_k(&mut self, k: f64) -> Result<ResolveOutcome, SizeError> {
+        match &mut self.objective {
+            Objective::MeanPlusKSigma(cur) => *cur = k,
+            other => panic!("resolve_objective_k needs a mu + k sigma objective, got {other}"),
+        }
+        self.problem.set_objective_k(k);
+        self.run(Seed::Carry, 0)
+    }
+
     /// Applies size changes through the incremental engine (dirty cone
     /// only), then re-solves warm: the previous multipliers and penalty
     /// are kept while the iterate restarts from the exactly feasible
@@ -490,6 +516,38 @@ mod tests {
             0,
             "cold solve must not emit a warm_start_hit counter"
         );
+    }
+
+    #[test]
+    fn warm_resolve_objective_k_sweeps_robustness() {
+        let c = generate::tree7();
+        let l = lib();
+        let mut r = Sizer::new(&c, &l)
+            .objective(Objective::MeanPlusKSigma(0.0))
+            .resolver();
+        let cold = r.solve().unwrap();
+        // V(k) = min mu + k sigma is non-decreasing in k: the optimum at
+        // a larger k upper-bounds the smaller-k objective at its point.
+        let mut last = cold.result.objective;
+        for k in [0.5, 1.0, 2.0, 3.0] {
+            let out = r.resolve_objective_k(k).unwrap();
+            assert!(out.warm_start_hit, "k {k} should re-solve warm");
+            assert!(
+                out.result.objective >= last - 1e-6 * (1.0 + last.abs()),
+                "V({k}) = {} dropped below {last}",
+                out.result.objective
+            );
+            last = out.result.objective;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mu + k sigma objective")]
+    fn resolve_objective_k_rejects_other_objectives() {
+        let c = generate::tree7();
+        let l = lib();
+        let mut r = Sizer::new(&c, &l).objective(Objective::Area).resolver();
+        let _ = r.resolve_objective_k(1.0);
     }
 
     #[test]

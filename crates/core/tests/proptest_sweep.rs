@@ -1,0 +1,162 @@
+//! Property battery for the sweep engine: random DAGs × random deadline
+//! grids × random k-sweeps.
+//!
+//! Pinned properties:
+//!
+//! * the traced frontier is monotone (dominant) in the deadline, and the
+//!   optimal value of a `mu + k sigma` sweep is monotone in `k`;
+//! * every returned feasible point really meets its deadline per a
+//!   from-scratch [`ssta`] re-check, and its reported `(mu, sigma, area)`
+//!   are bit-identical to that fresh evaluation;
+//! * a no-op sweep step (exactly repeated deadline) returns bit-identical
+//!   sizes, served from the cache instead of a re-solve.
+
+use proptest::prelude::*;
+use sgs_core::{SweepConfig, SweepEngine};
+use sgs_netlist::generate::{self, RandomDagSpec};
+use sgs_netlist::Library;
+use sgs_ssta::ssta;
+
+fn small_circuit() -> impl Strategy<Value = sgs_netlist::Circuit> {
+    (2usize..4, 2usize..6, any::<u64>()).prop_flat_map(|(depth, inputs, seed)| {
+        (depth.max(4)..depth.max(4) + 8).prop_map(move |cells| {
+            generate::random_dag(&RandomDagSpec {
+                name: "prop".into(),
+                cells,
+                inputs,
+                depth,
+                seed,
+                ..Default::default()
+            })
+        })
+    })
+}
+
+/// A deadline grid in walk order: a guaranteed-feasible anchor just above
+/// the unsized baseline, then descending random fractions of it (possibly
+/// dipping into infeasibility — that is part of the property).
+fn walk_grid(circuit: &sgs_netlist::Circuit, lib: &Library, fractions: &[f64]) -> Vec<f64> {
+    let baseline = ssta(circuit, lib, &vec![1.0; circuit.num_gates()])
+        .delay
+        .mean();
+    let mut grid = vec![baseline * 1.02];
+    let mut fs = fractions.to_vec();
+    fs.sort_by(|a, b| b.total_cmp(a));
+    grid.extend(fs.iter().map(|f| baseline * f));
+    grid
+}
+
+fn engine_config() -> SweepConfig {
+    SweepConfig {
+        refine_max: 0,
+        infeasible_margin: 0.0,
+        ..SweepConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn frontier_monotone_and_points_feasible(
+        circuit in small_circuit(),
+        fractions in prop::collection::vec(0.82..0.99f64, 2..4),
+    ) {
+        let lib = Library::paper_default();
+        let grid = walk_grid(&circuit, &lib, &fractions);
+        let engine = SweepEngine::new(&circuit, &lib).config(engine_config());
+        let frontier = engine.trace(&grid).expect("anchor above baseline is feasible");
+        prop_assert_eq!(frontier.points.len(), grid.len());
+        frontier.check_dominance(1e-5).map_err(TestCaseError::fail)?;
+        for p in frontier.points.iter().filter(|p| p.feasible) {
+            // From-scratch feasibility re-check at the returned sizes.
+            let fresh = ssta(&circuit, &lib, &p.s);
+            let tol = 1e-3 * (1.0 + p.deadline.abs());
+            prop_assert!(
+                fresh.delay.mean() <= p.deadline + tol,
+                "point at deadline {} misses it: fresh mu {}",
+                p.deadline, fresh.delay.mean()
+            );
+            // Bitwise evaluation tier, point by point.
+            prop_assert_eq!(fresh.delay.mean().to_bits(), p.mu.to_bits());
+            prop_assert_eq!(fresh.delay.sigma().to_bits(), p.sigma.to_bits());
+            let area: f64 = p.s.iter().sum();
+            prop_assert_eq!(area.to_bits(), p.area.to_bits());
+        }
+    }
+
+    #[test]
+    fn repeated_deadline_returns_bit_identical_sizes(
+        circuit in small_circuit(),
+        fraction in 0.88..0.99f64,
+    ) {
+        let lib = Library::paper_default();
+        let baseline = ssta(&circuit, &lib, &vec![1.0; circuit.num_gates()])
+            .delay
+            .mean();
+        let d = baseline * fraction;
+        let grid = [baseline * 1.02, d, d];
+        let engine = SweepEngine::new(&circuit, &lib).config(engine_config());
+        let frontier = engine.trace(&grid).expect("anchor feasible");
+        let repeats: Vec<_> = frontier
+            .points
+            .iter()
+            .filter(|p| p.deadline.to_bits() == d.to_bits())
+            .collect();
+        prop_assert_eq!(repeats.len(), 2);
+        prop_assert_eq!(
+            repeats.iter().filter(|p| p.cache_hit).count(),
+            1,
+            "exactly one of the two must be cache-served"
+        );
+        prop_assert_eq!(repeats[0].feasible, repeats[1].feasible);
+        let bits =
+            |s: &[f64]| s.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(
+            bits(&repeats[0].s),
+            bits(&repeats[1].s),
+            "no-op sweep step moved the sizes"
+        );
+    }
+
+}
+
+proptest! {
+    // Fewer cases than the frontier properties: every case pays for a
+    // cold unconstrained solve.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn k_sweep_objective_monotone_in_k(
+        // A tighter circuit pool than the frontier properties: the cold
+        // anchor of an *unconstrained* mu + k sigma solve is by far the
+        // most expensive solve in this battery on debug builds.
+        circuit in (2usize..3, 2usize..4, any::<u64>()).prop_map(|(depth, inputs, seed)| {
+            generate::random_dag(&RandomDagSpec {
+                name: "prop".into(),
+                cells: 6,
+                inputs,
+                depth,
+                seed,
+                ..Default::default()
+            })
+        }),
+        raw_ks in prop::collection::vec(0.0..3.0f64, 3),
+    ) {
+        let lib = Library::paper_default();
+        let mut ks = raw_ks;
+        ks.sort_by(f64::total_cmp);
+        let engine = SweepEngine::new(&circuit, &lib).config(engine_config());
+        let points = engine.k_sweep(&ks).expect("unconstrained sweep converges");
+        prop_assert_eq!(points.len(), ks.len());
+        for w in points.windows(2) {
+            prop_assert!(
+                w[1].objective >= w[0].objective - 1e-5 * (1.0 + w[0].objective.abs()),
+                "V({}) = {} < V({}) = {}",
+                w[1].k, w[1].objective, w[0].k, w[0].objective
+            );
+        }
+        // Interior points ride the warm chain (or the repeat cache).
+        prop_assert!(points[1..].iter().all(|p| p.warm_start_hit || p.cache_hit));
+    }
+}

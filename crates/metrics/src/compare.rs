@@ -452,6 +452,31 @@ mod tests {
     }
 
     #[test]
+    fn sweep_metrics_use_the_intended_policies() {
+        // Point latency is timing-like (threshold + slack); the point /
+        // warm-hit / refinement / infeasible counters are deterministic
+        // and must compare strictly.
+        assert!(is_timing_metric("sweep_point_seconds"));
+        for strict in [
+            "sweep_points",
+            "sweep_warm_hits",
+            "sweep_refinements",
+            "sweep_infeasible_points",
+            "sweep_cache_hits",
+        ] {
+            assert!(!is_timing_metric(strict), "{strict} must be strict");
+        }
+
+        let mut a = snap();
+        a.counters.insert("sweep_points".to_string(), 14);
+        let mut b = a.clone();
+        *b.counters.get_mut("sweep_points").unwrap() = 15;
+        let out = compare(&a, &b, &CompareOptions::default());
+        assert_eq!(out.exit_code(), 1, "point-count drift must regress");
+        assert!(out.regressions.iter().any(|r| r.contains("sweep_points")));
+    }
+
+    #[test]
     fn threshold_parsing() {
         assert_eq!(parse_threshold("25%").unwrap(), 0.25);
         assert_eq!(parse_threshold("900").unwrap(), 9.0);

@@ -127,6 +127,18 @@ metric_enum! {
         AnalyzeErrors => "analyze_errors",
         /// Warning-severity diagnostics reported by the analyzer.
         AnalyzeWarnings => "analyze_warnings",
+        /// Frontier points traced by `SweepEngine` sweeps (feasible or
+        /// not, including cache-served repeats).
+        SweepPoints => "sweep_points",
+        /// Sweep points whose re-solve accepted the carried warm start.
+        SweepWarmHits => "sweep_warm_hits",
+        /// Extra points inserted by adaptive knee refinement.
+        SweepRefinements => "sweep_refinements",
+        /// Sweep points whose deadline proved infeasible.
+        SweepInfeasible => "sweep_infeasible_points",
+        /// No-op sweep steps answered from the last accepted point
+        /// without re-solving (repeated deadline).
+        SweepCacheHits => "sweep_cache_hits",
     }
 }
 
@@ -155,6 +167,8 @@ metric_enum! {
         SstaIncrementalGates => "ssta_incremental_gates",
         /// Wall-clock seconds per what-if query.
         WhatIfSeconds => "what_if_seconds",
+        /// Wall-clock seconds per traced sweep point (solve included).
+        SweepPointSeconds => "sweep_point_seconds",
     }
 }
 
@@ -198,6 +212,10 @@ metric_enum! {
         AnalyzeDerivatives => "analyze_derivatives",
         /// Output emission: tables, reports, snapshot files (binary-level).
         Emit => "emit",
+        /// One whole `SweepEngine` frontier/k/corner sweep.
+        Sweep => "sweep",
+        /// One frontier point inside `sweep` (warm re-solve + scoring).
+        SweepPoint => "sweep_point",
     }
 }
 
@@ -206,7 +224,13 @@ impl Phase {
     #[must_use]
     pub const fn parent(self) -> Option<Phase> {
         match self {
-            Phase::Load | Phase::Baseline | Phase::Solve | Phase::Analyze | Phase::Emit => None,
+            Phase::Load
+            | Phase::Baseline
+            | Phase::Solve
+            | Phase::Analyze
+            | Phase::Emit
+            | Phase::Sweep => None,
+            Phase::SweepPoint => Some(Phase::Sweep),
             Phase::Preflight
             | Phase::ReducedSpace
             | Phase::BuildProblem

@@ -187,6 +187,97 @@ fn warm_start_matches_seeded_state_solve() {
     assert_bit_identical(&a, &b);
 }
 
+/// [`SumToOne`] with a rewritable right-hand side: the NLP analogue of a
+/// spec rewrite (`Resolver::resolve_spec` / `resolve_objective_k`) — the
+/// constant inside the formulation moves, the structure does not.
+struct ShiftedSum {
+    target: f64,
+}
+
+impl NlpProblem for ShiftedSum {
+    fn num_vars(&self) -> usize {
+        2
+    }
+    fn num_constraints(&self) -> usize {
+        1
+    }
+    fn bounds(&self) -> (&[f64], &[f64]) {
+        const LO: [f64; 2] = [f64::NEG_INFINITY; 2];
+        const HI: [f64; 2] = [f64::INFINITY; 2];
+        (&LO, &HI)
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        x[0] * x[0] + x[1] * x[1]
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        g[0] = 2.0 * x[0];
+        g[1] = 2.0 * x[1];
+    }
+    fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        c[0] = x[0] + x[1] - self.target;
+    }
+    fn jacobian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0), (0, 1)]
+    }
+    fn jacobian_values(&self, _x: &[f64], vals: &mut [f64]) {
+        vals[0] = 1.0;
+        vals[1] = 1.0;
+    }
+    fn hessian_structure(&self) -> Vec<(usize, usize)> {
+        vec![(0, 0), (1, 1)]
+    }
+    fn hessian_values(&self, _x: &[f64], sigma: f64, _lambda: &[f64], vals: &mut [f64]) {
+        vals[0] = 2.0 * sigma;
+        vals[1] = 2.0 * sigma;
+    }
+}
+
+#[test]
+fn warm_start_survives_a_spec_constant_rewrite() {
+    // The sweep-engine contract behind resolve_spec/resolve_objective_k:
+    // rewriting a constant inside the formulation keeps the previous
+    // (x, lambda, rho) dimension-compatible, so the next solve accepts it
+    // and repairs the old optimum instead of restarting cold.
+    let opts = AugLagOptions::default();
+    let before = solve(&ShiftedSum { target: 1.0 }, &[3.0, -2.0], &opts);
+    assert!(before.status.is_success(), "{before:?}");
+    let warm = WarmStart::from_result(&before);
+    let shifted = ShiftedSum { target: 1.2 };
+    assert!(
+        warm.is_usable(shifted.num_vars(), shifted.num_constraints()),
+        "rewriting a constant must not change the warm dimensions"
+    );
+
+    let sink = MemorySink::new();
+    let after = solve_warm_traced(
+        &shifted,
+        &[3.0, -2.0],
+        Some(&warm),
+        &opts,
+        Tracer::new(&sink),
+    );
+    assert!(after.status.is_success(), "{after:?}");
+    let hits: Vec<u64> = sink
+        .events()
+        .into_iter()
+        .filter_map(|e| match e {
+            TraceEvent::Counter {
+                name: "warm_start_hit",
+                value,
+            } => Some(value),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(hits, vec![1], "the carried warm start must be accepted");
+    // It converges to the *new* optimum (x0 = x1 = target / 2), cheaper
+    // than the cold solve of the shifted problem.
+    assert!((after.x[0] - 0.6).abs() < 1e-6 && (after.x[1] - 0.6).abs() < 1e-6);
+    let cold = solve(&shifted, &[3.0, -2.0], &opts);
+    assert!(cold.status.is_success());
+    assert!((after.f - cold.f).abs() <= 1e-5 * (1.0 + cold.f.abs()));
+    assert!(after.inner_iterations <= cold.inner_iterations);
+}
+
 #[test]
 fn traced_warm_solve_is_bit_identical_to_untraced() {
     let cold = solve(&Hs7, &[2.0, 2.0], &AugLagOptions::default());

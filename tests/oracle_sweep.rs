@@ -1,0 +1,180 @@
+//! Differential frontier oracle: the warm-swept frontier against
+//! independent cold solves at the same deadlines, on tree7 and the
+//! committed `benchmarks/rdag40.blif` netlist.
+//!
+//! The equivalence contract has two tiers (see `sgs_core::sweep`):
+//!
+//! * **Bitwise evaluation tier** — every point's reported `(mu, sigma,
+//!   area)` is bit-identical to a from-scratch [`ssta`] + `sum(s)`
+//!   evaluation at that point's accepted sizes
+//!   ([`Frontier::verify_evaluation`]).
+//! * **Solver tier** — an independent *cold* `Sizer` solve at the same
+//!   spec agrees on feasibility and lands on the same frontier within a
+//!   small relative area tolerance. Warm and cold runs are different
+//!   iterates of the same NLP, so bit-equality is not expected here —
+//!   only agreement of the optimum.
+//!
+//! The battery also pins the frontier-shape invariants (area
+//! non-increasing as the deadline relaxes; the infeasible-to-feasible
+//! transition happens exactly once per sweep) and the resolver's
+//! infeasible-keeps-warm contract for walks that cross the feasibility
+//! boundary.
+
+use sgs_core::{DelaySpec, Frontier, Objective, Sizer, SweepConfig, SweepEngine};
+use sgs_netlist::{blif, generate, Circuit, Library};
+use sgs_ssta::ssta;
+use std::path::PathBuf;
+
+fn lib() -> Library {
+    Library::paper_default()
+}
+
+fn rdag40() -> Circuit {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../benchmarks/rdag40.blif");
+    let text = std::fs::read_to_string(&path).expect("committed benchmark netlist");
+    blif::parse(&text).expect("rdag40.blif parses")
+}
+
+/// Cold-solve agreement at `sample` indices of the feasible segment, plus
+/// the shape invariants and the bitwise tier, shared by both circuits.
+fn check_against_cold(circuit: &Circuit, l: &Library, frontier: &Frontier, samples: &[usize]) {
+    frontier.check_dominance(1e-6).expect("frontier dominance");
+    frontier
+        .verify_evaluation(circuit, l)
+        .expect("bitwise evaluation tier");
+    assert_eq!(
+        frontier.transitions(),
+        1,
+        "the sweep crosses the feasibility boundary exactly once"
+    );
+    assert!(frontier.points.iter().any(|p| !p.feasible));
+    let feasible: Vec<_> = frontier.points.iter().filter(|p| p.feasible).collect();
+    for &idx in samples {
+        let p = feasible[idx.min(feasible.len() - 1)];
+        let cold = Sizer::new(circuit, l)
+            .objective(Objective::Area)
+            .delay_spec(DelaySpec::MaxMean(p.deadline))
+            .solve()
+            .expect("cold solve feasible wherever the warm sweep was");
+        let rel = (cold.area - p.area).abs() / (1.0 + p.area.abs());
+        assert!(
+            rel <= 5e-3,
+            "cold solve at deadline {} disagrees: warm area {}, cold {}",
+            p.deadline,
+            p.area,
+            cold.area
+        );
+        // And the cold solve really met the spec, per a fresh analysis.
+        let fresh = ssta(circuit, l, &cold.s);
+        assert!(fresh.delay.mean() <= p.deadline + 1e-3 * (1.0 + p.deadline.abs()));
+    }
+}
+
+#[test]
+fn warm_frontier_matches_cold_solves_on_tree7() {
+    let c = generate::tree7();
+    let l = lib();
+    let frontier = SweepEngine::new(&c, &l)
+        .config(SweepConfig {
+            points: 6,
+            refine_max: 2,
+            ..SweepConfig::default()
+        })
+        .deadline_frontier()
+        .expect("tree7 sweep converges");
+    let feasible = frontier.feasible_count();
+    assert!(feasible >= 6, "got {feasible} feasible points");
+    // Every feasible point cold-checked on the small circuit.
+    let all: Vec<usize> = (0..feasible).collect();
+    check_against_cold(&c, &l, &frontier, &all);
+}
+
+#[test]
+fn warm_frontier_matches_cold_solves_on_rdag40() {
+    let c = rdag40();
+    let l = lib();
+    // An explicit walk-order grid (fractions of the unsized baseline
+    // delay, plus an infeasible tail probe) instead of the auto-derived
+    // one: the minimum-delay anchor solve is expensive in debug builds
+    // and the oracle's subject is the walk, not the grid derivation.
+    let baseline = ssta(&c, &l, &vec![1.0; c.num_gates()]).delay.mean();
+    // The 0.5 tail is decisively below anything the library can reach
+    // (the achievable boundary itself is solver-path-dependent: gradual
+    // warm walks get further than cold probes, so a near-boundary tail
+    // would make the transition count flaky).
+    let grid: Vec<f64> = [1.00, 0.95, 0.92, 0.89, 0.86, 0.50]
+        .iter()
+        .map(|f| baseline * f)
+        .collect();
+    let frontier = SweepEngine::new(&c, &l)
+        .config(SweepConfig {
+            refine_max: 1,
+            ..SweepConfig::default()
+        })
+        .trace(&grid)
+        .expect("rdag40 sweep converges");
+    let feasible = frontier.feasible_count();
+    assert!(feasible >= 5, "got {feasible} feasible points");
+    assert!(
+        frontier.warm_interior_fraction() >= 0.75,
+        "interior points must re-solve warm"
+    );
+    // Cold solves are the expensive part — sample the loose end, the
+    // middle and the tightest feasible point.
+    check_against_cold(&c, &l, &frontier, &[0, feasible / 2, feasible - 1]);
+}
+
+#[test]
+fn infeasible_point_keeps_the_last_accepted_warm_state() {
+    let c = generate::tree7();
+    let l = lib();
+    let mut resolver = Sizer::new(&c, &l)
+        .objective(Objective::Area)
+        .delay_spec(DelaySpec::MaxMean(6.5))
+        .resolver();
+    let accepted = resolver.solve().expect("6.5 is feasible");
+
+    // An impossible deadline: the solve is rejected...
+    let err = resolver.resolve_spec(4.0);
+    assert!(err.is_err(), "4.0 must be infeasible on tree7");
+
+    // ...and the *last accepted* state still seeds the next solve: the
+    // return to 6.5 is warm and re-verifies the old optimum in at most
+    // one outer iteration.
+    let back = resolver.resolve_spec(6.5).expect("6.5 is still feasible");
+    assert!(back.warm_start_hit, "warm state lost across infeasibility");
+    assert!(
+        back.result.outer_iterations <= 1,
+        "return to the accepted spec must re-verify, took {} outers",
+        back.result.outer_iterations
+    );
+    let rel = (back.result.area - accepted.result.area).abs() / (1.0 + accepted.result.area);
+    assert!(rel <= 1e-6, "area moved across the infeasible excursion");
+}
+
+#[test]
+fn engine_walk_survives_a_mid_sweep_infeasible_excursion() {
+    // The engine-level twin of the resolver regression above: a walk that
+    // dips below the feasible region keeps warm-chaining afterwards.
+    let c = generate::tree7();
+    let l = lib();
+    let engine = SweepEngine::new(&c, &l).config(SweepConfig {
+        refine_max: 0,
+        ..SweepConfig::default()
+    });
+    let frontier = engine.trace(&[6.8, 4.0, 6.5]).expect("anchor feasible");
+    assert_eq!(frontier.points.len(), 3);
+    assert_eq!(frontier.feasible_count(), 2);
+    let tightest_feasible = frontier
+        .points
+        .iter()
+        .find(|p| p.feasible)
+        .expect("6.5 traced");
+    assert!(
+        tightest_feasible.warm_start_hit,
+        "the post-excursion point must still re-solve warm"
+    );
+    frontier
+        .check_dominance(1e-6)
+        .expect("sorted walk dominance");
+}
