@@ -84,6 +84,25 @@ impl ThreadPoolBuilder {
     }
 }
 
+/// Half-open `(start, end)` bounds of the chunks [`ParallelSliceMut::
+/// par_chunks_mut`] hands out for a slice of length `len`: the exact
+/// partition `chunks_mut(chunk_size)` produces — full chunks of
+/// `chunk_size` with a shorter tail. Write-plan introspection
+/// (`sgs-core::plan`) uses this to describe chunked kernels with the same
+/// arithmetic the shim executes, so the static race checker certifies the
+/// partition that actually runs.
+pub fn chunk_bounds(len: usize, chunk_size: usize) -> Vec<(usize, usize)> {
+    assert!(chunk_size > 0, "chunk_bounds: chunk_size must be > 0");
+    let mut bounds = Vec::with_capacity(len.div_ceil(chunk_size));
+    let mut start = 0;
+    while start < len {
+        let end = (start + chunk_size).min(len);
+        bounds.push((start, end));
+        start = end;
+    }
+    bounds
+}
+
 /// Run two closures, potentially in parallel, returning both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -406,6 +425,30 @@ mod tests {
         assert_eq!(out[0], 0);
         assert_eq!(out[15], 1);
         assert_eq!(out[29], 2);
+    }
+
+    #[test]
+    fn chunk_bounds_matches_chunks_mut() {
+        for &(len, cs) in &[
+            (0usize, 7usize),
+            (1, 7),
+            (7, 7),
+            (100, 7),
+            (1024, 1024),
+            (2049, 1024),
+        ] {
+            let mut data = vec![0u8; len];
+            let expect: Vec<(usize, usize)> = {
+                let mut v = Vec::new();
+                let mut start = 0;
+                for c in data.chunks_mut(cs) {
+                    v.push((start, start + c.len()));
+                    start += c.len();
+                }
+                v
+            };
+            assert_eq!(chunk_bounds(len, cs), expect, "len={len} cs={cs}");
+        }
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Mutation battery for the stage-4 certifier: every `corrupt_overlap_*`
+//! hook on the real kernels plants a race in the *declared* plan, and the
+//! static checker must catch each one with the right P-code — while the
+//! uncorrupted kernels certify clean on real circuits (zero false
+//! Errors). The JSONL emitted for P-diagnostics must round-trip through
+//! the `sgs-trace` validator like every other code family.
+
+use sgs_analyze::stage4::check_plan;
+use sgs_analyze::{analyze, AnalyzerOptions, Report};
+use sgs_core::{DelaySpec, Objective, SizingProblem, WritePlan};
+use sgs_netlist::{generate, Library};
+use sgs_ssta::{LevelSweeper, McPartition};
+
+fn lib() -> Library {
+    Library::paper_default()
+}
+
+fn problem() -> SizingProblem {
+    SizingProblem::build(
+        &generate::ripple_carry_adder(8),
+        &lib(),
+        Objective::Area,
+        DelaySpec::MaxMean(40.0),
+    )
+}
+
+fn codes(diags: &[sgs_analyze::Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn corrupt_jacobian_group_is_caught_as_p001() {
+    let mut p = problem();
+    p.corrupt_overlap_jacobian_group(0);
+    let d = check_plan(&p.write_plan());
+    assert_eq!(codes(&d), vec!["SGS-P001"]);
+    assert!(d[0].location.contains("jacobian_vals"));
+    assert!(d[0].message.contains("group 0") && d[0].message.contains("group 1"));
+}
+
+#[test]
+fn corrupt_hessian_group_is_caught_as_p001() {
+    let mut p = problem();
+    p.corrupt_overlap_hessian_group(0);
+    let d = check_plan(&p.write_plan());
+    assert_eq!(codes(&d), vec!["SGS-P001"]);
+    assert!(d[0].location.contains("hessian_vals"));
+}
+
+#[test]
+fn corrupt_last_group_is_caught_as_p004() {
+    // The last group's end+1 claim reaches past the array instead of
+    // into a neighbour: out of bounds rather than overlap.
+    let mut p = problem();
+    let last = p.write_plan().arrays[1].units.len() - 1;
+    p.corrupt_overlap_jacobian_group(last);
+    let d = check_plan(&p.write_plan());
+    assert_eq!(codes(&d), vec!["SGS-P004"]);
+}
+
+#[test]
+fn corrupt_sweep_gate_is_caught_as_p001() {
+    let c = generate::ripple_carry_adder(16);
+    let mut sweeper = LevelSweeper::new(&c);
+    sweeper.corrupt_overlap_gate(c.num_gates() / 2);
+    let d = check_plan(&sweeper.write_plan());
+    assert_eq!(codes(&d), vec!["SGS-P001"]);
+    assert!(d[0].message.contains("phantom duplicate"));
+}
+
+#[test]
+fn corrupt_mc_chunk_is_caught_as_p001_interior_p004_last() {
+    let mut mc = McPartition::new(4096, true);
+    assert!(mc.chunk_bounds().len() >= 2);
+    mc.corrupt_overlap_chunk(0);
+    assert_eq!(codes(&check_plan(&mc.write_plan())), vec!["SGS-P001"]);
+
+    let mut mc = McPartition::new(4096, true);
+    let last = mc.chunk_bounds().len() - 1;
+    mc.corrupt_overlap_chunk(last);
+    assert_eq!(codes(&check_plan(&mc.write_plan())), vec!["SGS-P004"]);
+}
+
+#[test]
+fn corrupt_float_merge_is_caught_as_p005() {
+    let mut mc = McPartition::new(2048, true);
+    mc.corrupt_float_merge();
+    let d = check_plan(&mc.write_plan());
+    assert_eq!(codes(&d), vec!["SGS-P005"]);
+    assert!(d[0].location.contains("mc_criticality_merge"));
+}
+
+#[test]
+fn uncorrupted_kernels_certify_clean_end_to_end() {
+    // Full analyzer run with stage 4 enabled: the real plans of a real
+    // circuit must produce zero P-class findings.
+    let c = generate::ripple_carry_adder(16);
+    let opts = AnalyzerOptions {
+        derivatives: false, // probing is slow and irrelevant here
+        ..AnalyzerOptions::default()
+    };
+    let report = analyze(
+        &c,
+        &lib(),
+        &Objective::MeanPlusKSigma(3.0),
+        &DelaySpec::None,
+        &opts,
+    );
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.code.starts_with("SGS-P")),
+        "false positive: {report}"
+    );
+}
+
+#[test]
+fn stage4_diagnostics_round_trip_as_jsonl() {
+    let mut p = problem();
+    p.corrupt_overlap_jacobian_group(0);
+    let mut mc = McPartition::new(4096, true);
+    mc.corrupt_float_merge();
+    let mut report = Report::default();
+    report.diagnostics.extend(check_plan(&p.write_plan()));
+    report.diagnostics.extend(check_plan(&mc.write_plan()));
+    assert_eq!(report.num_errors(), 2);
+    let summary = sgs_trace::json::validate_jsonl(&report.to_jsonl()).unwrap();
+    assert_eq!(summary.count("diagnostic"), 2);
+}

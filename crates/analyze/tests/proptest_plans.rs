@@ -1,0 +1,181 @@
+//! Property-based differential battery for the stage-4 plan checker:
+//! every randomly generated well-formed partition must certify clean,
+//! and every planted defect — cross-unit overlap, coverage gap,
+//! intra-unit double write, out-of-bounds claim, float parallel merge —
+//! must be caught with the exact P-code naming the offending indices.
+
+use proptest::prelude::*;
+use sgs_analyze::stage4::check_plan;
+use sgs_core::plan::{ArrayPlan, KernelPlan, MergeKind, ReductionDecl, WriteUnit};
+
+/// Random contiguous partition as segment lengths; prefix sums turn them
+/// into half-open intervals tiling `0..len`.
+fn segments() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..8, 2..12)
+}
+
+fn intervals_of(segs: &[usize]) -> (usize, Vec<(usize, usize)>) {
+    let mut ivs = Vec::with_capacity(segs.len());
+    let mut pos = 0;
+    for &s in segs {
+        ivs.push((pos, pos + s));
+        pos += s;
+    }
+    (pos, ivs)
+}
+
+/// One unit per interval — adjacent intervals always belong to different
+/// units, so a planted boundary overlap is a *cross-unit* race.
+fn one_per_interval(ivs: &[(usize, usize)]) -> Vec<WriteUnit> {
+    ivs.iter()
+        .enumerate()
+        .map(|(i, &(s, e))| WriteUnit {
+            label: format!("unit {i}"),
+            writes: vec![(s, e)],
+        })
+        .collect()
+}
+
+/// Round-robin interval assignment into `k` units — exercises units
+/// owning several non-adjacent intervals.
+fn round_robin(ivs: &[(usize, usize)], k: usize) -> Vec<WriteUnit> {
+    let mut units: Vec<WriteUnit> = (0..k.min(ivs.len()).max(1))
+        .map(|i| WriteUnit {
+            label: format!("unit {i}"),
+            writes: Vec::new(),
+        })
+        .collect();
+    for (i, &iv) in ivs.iter().enumerate() {
+        let k = units.len();
+        units[i % k].writes.push(iv);
+    }
+    units
+}
+
+fn plan_of(len: usize, units: Vec<WriteUnit>) -> KernelPlan {
+    KernelPlan {
+        kernel: "proptest_kernel",
+        arrays: vec![ArrayPlan {
+            array: "out",
+            len,
+            units,
+        }],
+        reductions: Vec::new(),
+    }
+}
+
+fn codes(plan: &KernelPlan) -> Vec<&'static str> {
+    check_plan(plan).iter().map(|d| d.code).collect()
+}
+
+fn has_datum(plan: &KernelPlan, code: &str, key: &'static str, value: usize) -> bool {
+    check_plan(plan)
+        .iter()
+        .any(|d| d.code == code && d.data.contains(&(key, value.to_string())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Any partition of 0..len into disjoint covering intervals passes,
+    // whatever the unit assignment.
+    #[test]
+    fn well_formed_partitions_certify_clean(
+        segs in segments(),
+        k in 1usize..5,
+    ) {
+        let (len, ivs) = intervals_of(&segs);
+        prop_assert!(check_plan(&plan_of(len, one_per_interval(&ivs))).is_empty());
+        prop_assert!(check_plan(&plan_of(len, round_robin(&ivs, k))).is_empty());
+    }
+
+    // Extending interval `i` one index into its right neighbour is a
+    // cross-unit overlap at exactly the neighbour's first index.
+    #[test]
+    fn planted_overlap_is_p001_at_the_stolen_index(
+        (segs, i) in segments().prop_flat_map(|s| {
+            let n = s.len();
+            (Just(s), 0..n - 1)
+        }),
+    ) {
+        let (len, mut ivs) = intervals_of(&segs);
+        let stolen = ivs[i].1;
+        ivs[i].1 += 1;
+        let plan = plan_of(len, one_per_interval(&ivs));
+        prop_assert_eq!(codes(&plan), vec!["SGS-P001"]);
+        prop_assert!(has_datum(&plan, "SGS-P001", "index", stolen));
+    }
+
+    // Shrinking interval `i` by one leaves exactly one index unwritten.
+    #[test]
+    fn planted_gap_is_p002_at_the_dropped_index(
+        (segs, i) in segments().prop_flat_map(|s| {
+            let n = s.len();
+            (Just(s), 0..n)
+        }),
+    ) {
+        let (len, mut ivs) = intervals_of(&segs);
+        ivs[i].1 -= 1; // length-1 intervals become empty and are skipped
+        let dropped = ivs[i].1;
+        let plan = plan_of(len, one_per_interval(&ivs));
+        prop_assert_eq!(codes(&plan), vec!["SGS-P002"]);
+        prop_assert!(has_datum(&plan, "SGS-P002", "missing", 1));
+        prop_assert!(has_datum(&plan, "SGS-P002", "first_missing", dropped));
+    }
+
+    // Duplicating an interval inside its own unit is an intra-unit
+    // double write, not a cross-unit race.
+    #[test]
+    fn planted_double_write_is_p003(
+        (segs, i) in segments().prop_flat_map(|s| {
+            let n = s.len();
+            (Just(s), 0..n)
+        }),
+    ) {
+        let (len, ivs) = intervals_of(&segs);
+        let mut units = one_per_interval(&ivs);
+        let dup = units[i].writes[0];
+        units[i].writes.push(dup);
+        let plan = plan_of(len, units);
+        prop_assert_eq!(codes(&plan), vec!["SGS-P003"]);
+        prop_assert!(has_datum(&plan, "SGS-P003", "index", dup.0));
+    }
+
+    // A claim past the declared length is out of bounds, with the
+    // offending interval named.
+    #[test]
+    fn planted_out_of_bounds_is_p004(
+        segs in segments(),
+        extra in 1usize..5,
+    ) {
+        let (len, ivs) = intervals_of(&segs);
+        let mut units = one_per_interval(&ivs);
+        units[0].writes.push((len, len + extra));
+        let plan = plan_of(len, units);
+        prop_assert_eq!(codes(&plan), vec!["SGS-P004"]);
+        prop_assert!(has_datum(&plan, "SGS-P004", "start", len));
+        prop_assert!(has_datum(&plan, "SGS-P004", "end", len + extra));
+    }
+
+    // A float-sum reduction is fine sequentially and an error in
+    // parallel, independent of the (clean) write partition.
+    #[test]
+    fn float_merge_is_p005_only_when_parallel(
+        segs in segments(),
+        parallel in any::<bool>(),
+    ) {
+        let (len, ivs) = intervals_of(&segs);
+        let mut plan = plan_of(len, one_per_interval(&ivs));
+        plan.reductions = vec![ReductionDecl {
+            name: "probe_merge",
+            parallel,
+            kind: MergeKind::FloatSum,
+        }];
+        let got = codes(&plan);
+        if parallel {
+            prop_assert_eq!(got, vec!["SGS-P005"]);
+        } else {
+            prop_assert!(got.is_empty());
+        }
+    }
+}

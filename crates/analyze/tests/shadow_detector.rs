@@ -1,0 +1,55 @@
+//! Dynamic shadow-write detection end to end (`--features shadow-write`):
+//! the levelized sweep stamps the shadow ledger as it writes, a planted
+//! `corrupt_overlap_gate` stamp shows up as a runtime overlap, and
+//! [`sgs_analyze::stage4::shadow_diagnostics`] turns the ledger report
+//! into an `SGS-P006` Error naming the gate and both units.
+#![cfg(feature = "shadow-write")]
+
+use sgs_analyze::stage4::shadow_diagnostics;
+use sgs_netlist::{generate, Library};
+use sgs_ssta::{ArrivalSoa, DelayModel, LevelSweeper};
+use sgs_trace::shadow;
+use std::sync::Mutex;
+
+/// The shadow registry is process-global; tests must not interleave.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn sweep_once(sweeper: &mut LevelSweeper, c: &sgs_netlist::Circuit) {
+    let lib = Library::paper_default();
+    let model = DelayModel::new(c, &lib);
+    let s = vec![1.25; c.num_gates()];
+    let mut arrivals = ArrivalSoa::zeroed(c.num_gates());
+    sweeper.sweep(c, &model, &s, None, &mut arrivals);
+}
+
+#[test]
+fn clean_sweep_yields_no_p006() {
+    let _g = LOCK.lock().unwrap();
+    shadow::reset();
+    let c = generate::ripple_carry_adder(16);
+    sweep_once(&mut LevelSweeper::new(&c), &c);
+    let reports = shadow::take_reports();
+    assert!(!reports.is_empty(), "sweep must stamp the ledger");
+    assert!(reports.iter().all(|r| r.is_clean()));
+    assert!(shadow_diagnostics(&reports).is_empty());
+}
+
+#[test]
+fn planted_runtime_overlap_becomes_p006() {
+    let _g = LOCK.lock().unwrap();
+    shadow::reset();
+    let c = generate::ripple_carry_adder(16);
+    let mut sweeper = LevelSweeper::new(&c);
+    let pos = c.num_gates() / 2;
+    sweeper.corrupt_overlap_gate(pos);
+    sweep_once(&mut sweeper, &c);
+    let reports = shadow::take_reports();
+    let d = shadow_diagnostics(&reports);
+    assert!(
+        d.iter().any(|d| d.code == "SGS-P006"),
+        "planted overlap not caught: {reports:?}"
+    );
+    let sweeper2 = LevelSweeper::new(&c);
+    let g = sweeper2.schedule().order()[pos];
+    assert!(d.iter().any(|d| d.data.contains(&("index", g.to_string()))));
+}

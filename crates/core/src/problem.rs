@@ -174,6 +174,13 @@ pub struct SizingProblem {
     jac_drop: Option<usize>,
     /// As `jac_drop`, for the Hessian declaration.
     hess_drop: Option<usize>,
+    /// Fault injection for the analyzer's stage-4 mutation battery: index
+    /// of an evaluation group whose declared Jacobian write set falsely
+    /// claims one entry past its slice (see
+    /// [`SizingProblem::corrupt_overlap_jacobian_group`]).
+    jac_overlap: Option<usize>,
+    /// As `jac_overlap`, for the Hessian write plan.
+    hess_overlap: Option<usize>,
 }
 
 impl SizingProblem {
@@ -405,6 +412,8 @@ impl SizingProblem {
             con_gate,
             jac_drop: None,
             hess_drop: None,
+            jac_overlap: None,
+            hess_overlap: None,
         }
     }
 
@@ -466,6 +475,65 @@ impl SizingProblem {
             "entry {k} out of range"
         );
         self.hess_drop = Some(k);
+    }
+
+    /// Fault injection for the stage-4 mutation battery: evaluation group
+    /// `g`'s *declared* write plan (and its shadow-write stamps under
+    /// `--features shadow-write`) additionally claims the first Jacobian
+    /// entry of the following group — a planted race the certifier must
+    /// catch. The actual fill is untouched: planted races corrupt the
+    /// declaration, because safe Rust's `split_at_mut` partition makes a
+    /// real overlapping write unrepresentable. Never use outside tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not a valid group index.
+    #[doc(hidden)]
+    pub fn corrupt_overlap_jacobian_group(&mut self, g: usize) {
+        assert!(g < self.groups.len(), "group {g} out of range");
+        self.jac_overlap = Some(g);
+    }
+
+    /// As [`SizingProblem::corrupt_overlap_jacobian_group`], for the
+    /// Hessian write plan. Never use outside tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not a valid group index.
+    #[doc(hidden)]
+    pub fn corrupt_overlap_hessian_group(&mut self, g: usize) {
+        assert!(g < self.groups.len(), "group {g} out of range");
+        self.hess_overlap = Some(g);
+    }
+
+    /// Evaluation groups `(first_con, count)` for the write-plan layer.
+    pub(crate) fn plan_groups(&self) -> &[(usize, usize)] {
+        &self.groups
+    }
+
+    /// Jacobian-value prefix offsets for the write-plan layer.
+    pub(crate) fn plan_jac_off(&self) -> &[usize] {
+        &self.jac_off
+    }
+
+    /// Hessian-value prefix offsets for the write-plan layer.
+    pub(crate) fn plan_hess_off(&self) -> &[usize] {
+        &self.hess_off
+    }
+
+    /// Objective Hessian-block length for the write-plan layer.
+    pub(crate) fn plan_obj_hess_len(&self) -> usize {
+        self.obj_hess_len()
+    }
+
+    /// The planted Jacobian-overlap group, if any.
+    pub(crate) fn plan_corrupt_jac_overlap(&self) -> Option<usize> {
+        self.jac_overlap
+    }
+
+    /// The planted Hessian-overlap group, if any.
+    pub(crate) fn plan_corrupt_hess_overlap(&self) -> Option<usize> {
+        self.hess_overlap
     }
 
     /// Rewrites the deadline scalar `D` of every delay-cap constraint in
@@ -792,9 +860,44 @@ impl SizingProblem {
         ) as usize
     }
 
+    /// Stamps the shadow-write ledger with the exact slice each assembly
+    /// unit receives and fully writes (the group fills are
+    /// `debug_assert`ed to cover their slices), plus any planted
+    /// `corrupt_overlap_*` claim. Checking-mode only.
+    #[cfg(feature = "shadow-write")]
+    fn stamp_groups(
+        &self,
+        kernel: &'static str,
+        len: usize,
+        base: usize,
+        off: &[usize],
+        overlap: Option<usize>,
+    ) {
+        let shadow = sgs_trace::shadow::begin(kernel, len);
+        if base > 0 {
+            // Objective block, written sequentially by the dispatcher.
+            shadow.stamp_range(u32::MAX, 0, base);
+        }
+        for (g, &(start, glen)) in self.groups.iter().enumerate() {
+            let mut end = base + off[start + glen];
+            if overlap == Some(g) {
+                end += 1;
+            }
+            shadow.stamp_range(g as u32, base + off[start], end);
+        }
+    }
+
     /// Uncorrupted Jacobian fill (the whole declared entry set).
     fn jacobian_values_inner(&self, x: &[f64], vals: &mut [f64]) {
         debug_assert_eq!(vals.len(), *self.jac_off.last().unwrap());
+        #[cfg(feature = "shadow-write")]
+        self.stamp_groups(
+            "assembly_jacobian",
+            vals.len(),
+            0,
+            &self.jac_off,
+            self.jac_overlap,
+        );
         if self.par_assembly() {
             split_groups(
                 &self.groups,
@@ -816,6 +919,14 @@ impl SizingProblem {
         debug_assert_eq!(
             vals.len(),
             self.obj_hess_len() + *self.hess_off.last().unwrap()
+        );
+        #[cfg(feature = "shadow-write")]
+        self.stamp_groups(
+            "assembly_hessian",
+            vals.len(),
+            self.obj_hess_len(),
+            &self.hess_off,
+            self.hess_overlap,
         );
         let (obj, rest) = vals.split_at_mut(self.obj_hess_len());
         match self.objective {
@@ -1062,6 +1173,13 @@ impl NlpProblem for SizingProblem {
     }
 
     fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        #[cfg(feature = "shadow-write")]
+        {
+            let shadow = sgs_trace::shadow::begin("assembly_constraints", c.len());
+            for (g, &(start, len)) in self.groups.iter().enumerate() {
+                shadow.stamp_range(g as u32, start, start + len);
+            }
+        }
         if self.par_assembly() {
             split_groups(&self.groups, |_, len| len, c)
                 .into_par_iter()

@@ -18,8 +18,11 @@
 //!
 //! # Bit-identity contract
 //!
-//! Dirty gates are processed in ascending gate-id order (ids are
-//! topological, so every dirty fan-in settles before its reader) and each
+//! Dirty gates are drained level by level through the shared
+//! [`LevelSchedule`] — the same counting-sort schedule the levelized
+//! sweep executes, so the stage-4 determinism certifier covers both
+//! consumers by certifying one schedule. Fan-ins sit at strictly lower
+//! levels, so every dirty fan-in settles before its reader, and each
 //! recomputation calls the *same* pure [`gate_arrival`] left fold the full
 //! analysis uses — identical operands in identical order give identical
 //! bits. Early termination is exact, not tolerance-based: propagation
@@ -33,11 +36,10 @@
 
 use crate::analysis::{arrivals_sequential, delay_from_arrivals, gate_arrival, SstaReport};
 use crate::delay::DelayModel;
+use crate::levels::LevelSchedule;
 use crate::soa::ArrivalSoa;
 use sgs_netlist::{Circuit, GateId, Library, Signal};
 use sgs_statmath::{clark, Normal};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Work accounting for one [`IncrementalSsta::set_sizes`] /
 /// [`IncrementalSsta::apply`] call.
@@ -88,6 +90,12 @@ pub struct IncrementalSsta<'a> {
     delay: Normal,
     /// Scratch membership flags for the worklist (all false between calls).
     dirty: Vec<bool>,
+    /// The shared counting-sort level schedule that orders the dirty
+    /// drain (fan-ins sit at strictly lower levels).
+    schedule: LevelSchedule,
+    /// Per-level dirty worklist bins, reused across calls (all empty
+    /// between calls).
+    level_bins: Vec<Vec<usize>>,
     /// First position of each gate in the output list (`usize::MAX` for
     /// non-outputs).
     out_pos: Vec<usize>,
@@ -158,6 +166,8 @@ impl<'a> IncrementalSsta<'a> {
             delay_from_arrivals(circuit, &arrivals).mean().to_bits(),
             "prefix fold must replay the full output fold exactly"
         );
+        let schedule = LevelSchedule::for_circuit(circuit);
+        let level_bins = vec![Vec::new(); schedule.num_levels()];
         IncrementalSsta {
             circuit,
             model,
@@ -167,11 +177,19 @@ impl<'a> IncrementalSsta<'a> {
             arrivals,
             delay,
             dirty: vec![false; n],
+            schedule,
+            level_bins,
             out_pos,
             out_prefix,
             updates: 0,
             total_recomputed: 0,
         }
+    }
+
+    /// The level schedule ordering this engine's dirty drain (the same
+    /// schedule instance family the levelized sweep executes).
+    pub fn schedule(&self) -> &LevelSchedule {
+        &self.schedule
     }
 
     /// Applies a set of size changes and re-propagates the dirty cone.
@@ -184,7 +202,7 @@ impl<'a> IncrementalSsta<'a> {
     ///
     /// Panics if a gate id is out of range.
     pub fn apply(&mut self, changes: &[(GateId, f64)]) -> UpdateStats {
-        let mut heap: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+        let mut min_level = usize::MAX;
         for &(g, v) in changes {
             let gi = g.index();
             if v.to_bits() == self.s[gi].to_bits() {
@@ -195,14 +213,16 @@ impl<'a> IncrementalSsta<'a> {
             // so does the delay of every gate driving it.
             if !self.dirty[gi] {
                 self.dirty[gi] = true;
-                heap.push(Reverse(gi));
+                self.level_bins[self.schedule.level_of(gi)].push(gi);
+                min_level = min_level.min(self.schedule.level_of(gi));
             }
             for &sig in &self.circuit.gate(g).inputs {
                 if let Signal::Gate(src) = sig {
                     let si = src.index();
                     if !self.dirty[si] {
                         self.dirty[si] = true;
-                        heap.push(Reverse(si));
+                        self.level_bins[self.schedule.level_of(si)].push(si);
+                        min_level = min_level.min(self.schedule.level_of(si));
                     }
                 }
             }
@@ -210,36 +230,50 @@ impl<'a> IncrementalSsta<'a> {
 
         let mut stats = UpdateStats::default();
         let mut first_changed_out = usize::MAX;
-        // Ascending id order = topological order: by the time a gate is
-        // popped every dirty fan-in has already settled, and processing
-        // only ever pushes strictly larger ids (fanouts), so no gate is
-        // visited twice.
-        while let Some(Reverse(idx)) = heap.pop() {
-            self.dirty[idx] = false;
-            let a = gate_arrival(
-                self.circuit,
-                &self.model,
-                &self.s,
-                &self.arrivals,
-                self.input_arrivals.as_deref(),
-                idx,
-            );
-            stats.gates_recomputed += 1;
-            if same_bits(a, self.arrivals.get(idx)) {
-                // Exactly unchanged: everything downstream reads the same
-                // operands as before, so the frontier stops here.
-                stats.frontier_pruned += 1;
-                continue;
-            }
-            self.arrivals.set(idx, a);
-            first_changed_out = first_changed_out.min(self.out_pos[idx]);
-            for &f in &self.fanouts[idx] {
-                let fi = f.index();
-                if !self.dirty[fi] {
-                    self.dirty[fi] = true;
-                    heap.push(Reverse(fi));
+        // Level order is dependency order: by the time a level drains,
+        // every dirty fan-in (strictly lower level) has settled, and
+        // processing only ever pushes fanouts (strictly higher levels),
+        // so no gate is visited twice. Within a level gates are
+        // independent; draining them in ascending id keeps the stats and
+        // trace deterministic.
+        let mut l = if min_level == usize::MAX {
+            self.level_bins.len()
+        } else {
+            min_level
+        };
+        while l < self.level_bins.len() {
+            let mut bin = std::mem::take(&mut self.level_bins[l]);
+            bin.sort_unstable();
+            for idx in bin.drain(..) {
+                self.dirty[idx] = false;
+                let a = gate_arrival(
+                    self.circuit,
+                    &self.model,
+                    &self.s,
+                    &self.arrivals,
+                    self.input_arrivals.as_deref(),
+                    idx,
+                );
+                stats.gates_recomputed += 1;
+                if same_bits(a, self.arrivals.get(idx)) {
+                    // Exactly unchanged: everything downstream reads the
+                    // same operands as before, so the frontier stops here.
+                    stats.frontier_pruned += 1;
+                    continue;
+                }
+                self.arrivals.set(idx, a);
+                first_changed_out = first_changed_out.min(self.out_pos[idx]);
+                for &f in &self.fanouts[idx] {
+                    let fi = f.index();
+                    if !self.dirty[fi] {
+                        self.dirty[fi] = true;
+                        self.level_bins[self.schedule.level_of(fi)].push(fi);
+                    }
                 }
             }
+            // Hand the (now empty) bin back so its capacity is reused.
+            self.level_bins[l] = bin;
+            l += 1;
         }
         if first_changed_out != usize::MAX {
             // Resume the output max fold at the first changed position:

@@ -46,6 +46,7 @@ pub mod canonical;
 pub mod criticality;
 pub mod delay;
 pub mod incremental;
+pub mod levels;
 pub mod monte_carlo;
 pub mod power;
 pub mod soa;
@@ -57,7 +58,8 @@ pub use analysis::{
 };
 pub use delay::DelayModel;
 pub use incremental::{IncrementalSsta, UpdateStats};
+pub use levels::LevelSchedule;
 pub use monte_carlo::{
-    monte_carlo, monte_carlo_traced, monte_carlo_with_model, McOptions, McReport,
+    monte_carlo, monte_carlo_traced, monte_carlo_with_model, McOptions, McPartition, McReport,
 };
-pub use soa::{ArrivalRead, ArrivalSoa, LevelSweeper};
+pub use soa::{ArrivalRead, ArrivalSoa, LevelSweeper, LEVEL_CHUNK};

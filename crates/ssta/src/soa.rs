@@ -24,6 +24,7 @@
 
 use crate::analysis::arrival_of;
 use crate::delay::DelayModel;
+use crate::levels::LevelSchedule;
 use rayon::prelude::*;
 use sgs_netlist::{Circuit, GateId};
 use sgs_statmath::{clark, Normal};
@@ -152,8 +153,10 @@ impl ArrivalRead for ArrivalSoa {
 
 /// Gates handed to one batched work unit. Also the split width of the
 /// level-parallel path: chunk boundaries regroup kernel calls, never
-/// per-lane arithmetic, so the chunking cannot affect results.
-const LEVEL_CHUNK: usize = 256;
+/// per-lane arithmetic, so the chunking cannot affect results. Public so
+/// the write-plan introspection layer (`sgs-core::plan`) describes the
+/// exact partition the sweep executes.
+pub const LEVEL_CHUNK: usize = 256;
 
 /// Scratch for one batched work unit: fold accumulators plus the
 /// gather/output quads fed to [`clark::max_batch`]. All buffers are
@@ -202,10 +205,9 @@ impl ChunkScratch {
 /// one rayon thread is available.
 #[derive(Debug)]
 pub struct LevelSweeper {
-    /// CSR starts into `order`, one entry per level plus the end sentinel.
-    level_ptr: Vec<usize>,
-    /// Gate indices grouped by level, ascending within each level.
-    order: Vec<usize>,
+    /// The shared counting-sort level schedule (the write partition the
+    /// stage-4 certifier proves disjoint + covering).
+    schedule: LevelSchedule,
     /// Per-level contiguous output moments (sized to the widest level).
     out_mu: Vec<f64>,
     out_var: Vec<f64>,
@@ -213,31 +215,16 @@ pub struct LevelSweeper {
     whole: ChunkScratch,
     /// Per-chunk scratch pool for the parallel path.
     chunks: Vec<ChunkScratch>,
+    /// Planted fault: position in the schedule's `order` whose gate a
+    /// second parallel unit falsely claims (plan + shadow stamps).
+    corrupt_dup: Option<usize>,
 }
 
 impl LevelSweeper {
     /// Builds the level schedule and scratch for `circuit`.
     pub fn new(circuit: &Circuit) -> Self {
-        let levels = circuit.levels();
-        let depth = levels.iter().copied().max().unwrap_or(0);
-        let mut level_ptr = vec![0usize; depth + 2];
-        for &l in &levels {
-            level_ptr[l + 1] += 1;
-        }
-        for l in 0..=depth {
-            level_ptr[l + 1] += level_ptr[l];
-        }
-        let mut next = level_ptr.clone();
-        let mut order = vec![0usize; levels.len()];
-        // Ascending gate ids within a level: ids are visited in order.
-        for (i, &l) in levels.iter().enumerate() {
-            order[next[l]] = i;
-            next[l] += 1;
-        }
-        let widest = (0..=depth)
-            .map(|l| level_ptr[l + 1] - level_ptr[l])
-            .max()
-            .unwrap_or(0);
+        let schedule = LevelSchedule::for_circuit(circuit);
+        let widest = schedule.widest();
         let mut whole = ChunkScratch::default();
         whole.ensure(widest);
         let nchunks = widest.div_ceil(LEVEL_CHUNK.max(1));
@@ -246,13 +233,35 @@ impl LevelSweeper {
             c.ensure(LEVEL_CHUNK);
         }
         LevelSweeper {
-            level_ptr,
-            order,
+            schedule,
             out_mu: vec![0.0; widest],
             out_var: vec![0.0; widest],
             whole,
             chunks,
+            corrupt_dup: None,
         }
+    }
+
+    /// The level schedule this sweeper executes.
+    pub fn schedule(&self) -> &LevelSchedule {
+        &self.schedule
+    }
+
+    /// Fault-injection hook for the stage-4 mutation battery: makes a
+    /// second parallel unit claim the gate at schedule-order position
+    /// `pos`, both in the declared write plan and in the shadow-write
+    /// stamps. Test-only; never used by the production sweep itself.
+    #[doc(hidden)]
+    pub fn corrupt_overlap_gate(&mut self, pos: usize) {
+        assert!(pos < self.schedule.num_gates(), "corrupt position in range");
+        self.corrupt_dup = Some(pos);
+    }
+
+    /// The planted [`LevelSweeper::corrupt_overlap_gate`] position, if
+    /// any (read by the write-plan layer).
+    #[doc(hidden)]
+    pub fn corrupt_overlap(&self) -> Option<usize> {
+        self.corrupt_dup
     }
 
     /// Propagates arrivals for speed vector `s` into `arrivals`, level by
@@ -277,25 +286,39 @@ impl LevelSweeper {
             "arrival storage length mismatch"
         );
         let LevelSweeper {
-            level_ptr,
-            order,
+            schedule,
             out_mu,
             out_var,
             whole,
             chunks,
+            corrupt_dup,
         } = self;
+        #[cfg(feature = "shadow-write")]
+        let shadow = sgs_trace::shadow::begin("level_sweep", schedule.num_gates());
+        #[cfg(feature = "shadow-write")]
+        if let Some(pos) = *corrupt_dup {
+            // Planted race: a phantom second unit claims this gate.
+            shadow.stamp(u32::MAX, schedule.order()[pos]);
+        }
+        #[cfg(not(feature = "shadow-write"))]
+        let _ = corrupt_dup;
         let parallel = rayon::current_num_threads() > 1;
-        for l in 0..level_ptr.len() - 1 {
-            let gates = &order[level_ptr[l]..level_ptr[l + 1]];
+        // Global parallel-unit counter across levels, matching the unit
+        // numbering of the declared write plan.
+        let mut unit0 = 0u32;
+        for l in 0..schedule.num_levels() {
+            let gates = schedule.level(l);
             let m = gates.len();
             if m == 0 {
                 continue;
             }
             let out_mu = &mut out_mu[..m];
             let out_var = &mut out_var[..m];
+            let nchunks = m.div_ceil(LEVEL_CHUNK);
             if parallel && m > LEVEL_CHUNK {
                 let read: &ArrivalSoa = arrivals;
-                let nchunks = m.div_ceil(LEVEL_CHUNK);
+                #[cfg(feature = "shadow-write")]
+                let shadow = &shadow;
                 chunks[..nchunks]
                     .par_iter_mut()
                     .zip(out_mu.par_chunks_mut(LEVEL_CHUNK))
@@ -304,9 +327,17 @@ impl LevelSweeper {
                     .for_each(|(ci, ((scr, omu), ovar))| {
                         let start = ci * LEVEL_CHUNK;
                         let gs = &gates[start..start + omu.len()];
+                        #[cfg(feature = "shadow-write")]
+                        for &g in gs {
+                            shadow.stamp(unit0 + ci as u32, g);
+                        }
                         sweep_chunk(circuit, model, s, read, input_arrivals, gs, scr, omu, ovar);
                     });
             } else {
+                #[cfg(feature = "shadow-write")]
+                for (j, &g) in gates.iter().enumerate() {
+                    shadow.stamp(unit0 + (j / LEVEL_CHUNK) as u32, g);
+                }
                 sweep_chunk(
                     circuit,
                     model,
@@ -322,7 +353,9 @@ impl LevelSweeper {
             for (j, &g) in gates.iter().enumerate() {
                 arrivals.set_raw(g, out_mu[j], out_var[j]);
             }
+            unit0 += nchunks as u32;
         }
+        let _ = unit0;
     }
 }
 

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod json;
+pub mod shadow;
 
 use std::collections::VecDeque;
 use std::fs::File;

@@ -1,0 +1,149 @@
+//! Shadow-write contract (`--features shadow-write`): every parallel
+//! kernel stamps the `sgs_trace::shadow` ledger on each element it
+//! writes, so a real execution — not just the declared plan — proves its
+//! partition disjoint and covering. Clean runs of all three kernel
+//! families must leave clean, non-empty ledgers at whatever thread count
+//! `RAYON_NUM_THREADS` pins (CI sweeps 1/2/4/8), and planted
+//! `corrupt_overlap_*` stamps must surface as overlaps.
+
+use sgs_core::{DelaySpec, Objective, Sizer, SizingProblem};
+use sgs_netlist::{generate, Library};
+use sgs_nlp::NlpProblem;
+use sgs_ssta::{monte_carlo, ArrivalSoa, DelayModel, LevelSweeper, McOptions};
+use sgs_trace::shadow;
+use std::sync::Mutex;
+
+/// The shadow registry is process-global; tests must not interleave.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lib() -> Library {
+    Library::paper_default()
+}
+
+fn report_for<'a>(reports: &'a [shadow::ShadowReport], kernel: &str) -> &'a shadow::ShadowReport {
+    reports
+        .iter()
+        .find(|r| r.kernel == kernel)
+        .unwrap_or_else(|| panic!("no ledger for kernel `{kernel}`: {reports:?}"))
+}
+
+#[test]
+fn assembly_kernels_stamp_clean_covering_ledgers() {
+    let _g = LOCK.lock().unwrap();
+    shadow::reset();
+    let problem = SizingProblem::build(
+        &generate::ripple_carry_adder(8),
+        &lib(),
+        Objective::MeanPlusKSigma(3.0),
+        DelaySpec::MaxMean(40.0),
+    );
+    let x = problem.initial_point(&vec![1.5; problem.num_gates()]);
+    let mut c = vec![0.0; problem.num_constraints()];
+    problem.constraints(&x, &mut c);
+    let mut jac = vec![0.0; problem.jacobian_structure().len()];
+    problem.jacobian_values(&x, &mut jac);
+    let mut hess = vec![0.0; problem.hessian_structure().len()];
+    let lambda = vec![0.1; problem.num_constraints()];
+    problem.hessian_values(&x, 1.0, &lambda, &mut hess);
+
+    let reports = shadow::take_reports();
+    for kernel in [
+        "assembly_constraints",
+        "assembly_jacobian",
+        "assembly_hessian",
+    ] {
+        let r = report_for(&reports, kernel);
+        assert!(r.is_clean(), "{kernel} ledger dirty: {r:?}");
+        assert!(r.writes > 0, "{kernel} stamped nothing");
+        assert_eq!(r.writes, r.len as u64, "{kernel} coverage incomplete");
+    }
+}
+
+#[test]
+fn sweep_and_mc_stamp_clean_covering_ledgers() {
+    let _g = LOCK.lock().unwrap();
+    shadow::reset();
+    let c = generate::ripple_carry_adder(16);
+    let model = DelayModel::new(&c, &lib());
+    let s = vec![1.25; c.num_gates()];
+    let mut arrivals = ArrivalSoa::zeroed(c.num_gates());
+    LevelSweeper::new(&c).sweep(&c, &model, &s, None, &mut arrivals);
+    monte_carlo(
+        &c,
+        &lib(),
+        &s,
+        &McOptions {
+            samples: 4096,
+            seed: 7,
+            criticality: true,
+            parallel: true,
+        },
+    );
+
+    let reports = shadow::take_reports();
+    for kernel in ["level_sweep", "mc_samples"] {
+        let r = report_for(&reports, kernel);
+        assert!(r.is_clean(), "{kernel} ledger dirty: {r:?}");
+        assert_eq!(r.writes, r.len as u64, "{kernel} coverage incomplete");
+    }
+}
+
+#[test]
+fn a_full_solve_stamps_only_clean_ledgers() {
+    let _g = LOCK.lock().unwrap();
+    shadow::reset();
+    let circuit = generate::tree7();
+    Sizer::new(&circuit, &lib())
+        .objective(Objective::MeanPlusKSigma(3.0))
+        .solve()
+        .expect("tree solve converges");
+    let reports = shadow::take_reports();
+    assert!(!reports.is_empty(), "solve must exercise stamped kernels");
+    for r in &reports {
+        assert!(r.is_clean(), "kernel `{}` ledger dirty: {r:?}", r.kernel);
+    }
+}
+
+#[test]
+fn planted_sweep_overlap_is_recorded() {
+    let _g = LOCK.lock().unwrap();
+    shadow::reset();
+    let c = generate::ripple_carry_adder(16);
+    let model = DelayModel::new(&c, &lib());
+    let s = vec![1.25; c.num_gates()];
+    let mut sweeper = LevelSweeper::new(&c);
+    let pos = c.num_gates() / 2;
+    sweeper.corrupt_overlap_gate(pos);
+    let g = sweeper.schedule().order()[pos];
+    let mut arrivals = ArrivalSoa::zeroed(c.num_gates());
+    sweeper.sweep(&c, &model, &s, None, &mut arrivals);
+
+    let reports = shadow::take_reports();
+    let r = report_for(&reports, "level_sweep");
+    assert!(!r.is_clean(), "planted overlap invisible: {r:?}");
+    assert!(
+        r.overlaps.iter().any(|o| o.index == g),
+        "overlap at gate {g} not recorded: {r:?}"
+    );
+}
+
+#[test]
+fn planted_assembly_overlap_is_recorded() {
+    let _g = LOCK.lock().unwrap();
+    shadow::reset();
+    let mut problem = SizingProblem::build(
+        &generate::ripple_carry_adder(8),
+        &lib(),
+        Objective::Area,
+        DelaySpec::MaxMean(40.0),
+    );
+    problem.corrupt_overlap_jacobian_group(0);
+    let x = problem.initial_point(&vec![1.5; problem.num_gates()]);
+    let mut jac = vec![0.0; problem.jacobian_structure().len()];
+    problem.jacobian_values(&x, &mut jac);
+
+    let reports = shadow::take_reports();
+    let r = report_for(&reports, "assembly_jacobian");
+    assert!(!r.is_clean(), "planted overlap invisible: {r:?}");
+    assert_eq!(r.overlaps[0].unit_a, 0, "group 0 is one of the writers");
+}
