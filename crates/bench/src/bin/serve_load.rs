@@ -1,0 +1,385 @@
+//! `serve_load` — scripted what-if load generator for the `sgs_serve`
+//! daemon, and the CI gate producing `BENCH_serve.json`.
+//!
+//! ```text
+//! serve_load [--sessions N] [--queries N] [--out PATH]
+//! ```
+//!
+//! Two phases against in-process servers:
+//!
+//! 1. **Concurrency**: N client threads, each replaying a scripted
+//!    session (cold solve → what-if probes → warm deadline re-solves →
+//!    final warm solve) against its own generated circuit. Asserts zero
+//!    failed requests, the expected cold/warm `session_hit` pattern and
+//!    a warm fraction of at least 75%.
+//! 2. **Eviction**: a capacity-4 server walked over 6 circuits twice,
+//!    single-threaded. Every second-pass solve is a cold re-solve after
+//!    LRU eviction and must be **bit-identical** to the first pass.
+//!
+//! Both phases run with deterministic request mixes, so every
+//! `serve_*` counter and histogram count in the snapshot is exact and
+//! compares strictly in CI; only `*_seconds` values are timing-like.
+//! Client-side latency percentiles land in the spliced `"load"` block,
+//! which the comparator ignores.
+
+use sgs_bench::script::generated_steps;
+use sgs_netlist::{generate, Library};
+use sgs_serve::client::Client;
+use sgs_serve::server::{Server, ServerConfig};
+use sgs_ssta::ssta;
+use sgs_trace::json::{parse_json, Json};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: serve_load [--sessions N] [--queries N] [--out PATH]");
+    ExitCode::from(2)
+}
+
+/// The generated circuit of session `i` (small enough that a cold solve
+/// is milliseconds even with every session contending for one core).
+fn session_dag(i: usize) -> generate::RandomDagSpec {
+    generate::RandomDagSpec {
+        name: format!("load{i}"),
+        cells: 24,
+        inputs: 6,
+        depth: 5,
+        seed: 1000 + i as u64,
+        ..Default::default()
+    }
+}
+
+fn circuit_json(spec: &generate::RandomDagSpec) -> String {
+    format!(
+        "{{\"generate\":{{\"name\":\"{}\",\"cells\":{},\"inputs\":{},\"depth\":{},\"seed\":{}}}}}",
+        spec.name, spec.cells, spec.inputs, spec.depth, spec.seed
+    )
+}
+
+/// One request's outcome, as seen by the client.
+struct Sample {
+    status: u16,
+    session_hit: bool,
+    seconds: f64,
+}
+
+/// Parses `status` + `session_hit` out of a response.
+fn sample_of(status: u16, body: &str, seconds: f64) -> Sample {
+    let hit = parse_json(body.trim())
+        .ok()
+        .and_then(|v| v.get("session_hit").map(|b| *b == Json::Bool(true)))
+        .unwrap_or(false);
+    Sample {
+        status,
+        session_hit: hit,
+        seconds,
+    }
+}
+
+/// POSTs with a bounded retry loop honouring `Retry-After` on `429`.
+/// Saturation closes the connection, so each retry reconnects.
+fn post_with_retry(
+    addr: std::net::SocketAddr,
+    client: &mut Client,
+    path: &str,
+    body: &str,
+) -> Result<Sample, String> {
+    for _ in 0..50 {
+        let t = Instant::now();
+        match client.post(path, body) {
+            Ok(resp) if resp.status == 429 => {
+                let secs: u64 = resp
+                    .header("retry-after")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(1);
+                std::thread::sleep(std::time::Duration::from_secs(secs));
+                *client = Client::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+            }
+            Ok(resp) => {
+                return Ok(sample_of(
+                    resp.status,
+                    &resp.body,
+                    t.elapsed().as_secs_f64(),
+                ))
+            }
+            Err(e) => return Err(format!("{path}: {e}")),
+        }
+    }
+    Err(format!("{path}: still saturated after 50 retries"))
+}
+
+/// One scripted session: the full request sequence of client `i`.
+fn run_session(
+    addr: std::net::SocketAddr,
+    i: usize,
+    queries: usize,
+) -> Result<Vec<Sample>, String> {
+    let spec = session_dag(i);
+    let circuit = generate::random_dag(&spec);
+    let lib = Library::paper_default();
+    let baseline = ssta(&circuit, &lib, &vec![1.0; circuit.num_gates()])
+        .delay
+        .mean();
+    let d0 = baseline * 0.97;
+    let cjson = circuit_json(&spec);
+    let base = format!("\"circuit\":{cjson},\"objective\":\"area\",\"spec\":{{\"max_mean\":{d0}}}");
+
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut samples = Vec::with_capacity(queries + 4);
+
+    // Cold solve.
+    samples.push(post_with_retry(
+        addr,
+        &mut client,
+        "/solve",
+        &format!("{{{base}}}"),
+    )?);
+    // Evaluation-only probes (single-gate steps from the shared script
+    // generator, the same steps `what_if --queries` would replay).
+    for step in generated_steps(&circuit, &lib, queries, spec.seed) {
+        let (g, v) = step[0];
+        let body = format!(
+            "{{{base},\"changes\":[{{\"gate\":{},\"size\":{v}}}]}}",
+            g.index()
+        );
+        samples.push(post_with_retry(addr, &mut client, "/what_if", &body)?);
+    }
+    // Warm deadline re-solves (tightening), then a final warm solve back
+    // at the original deadline.
+    for factor in [0.95, 0.94] {
+        let body = format!("{{{base},\"deadline\":{}}}", baseline * factor);
+        samples.push(post_with_retry(addr, &mut client, "/resolve", &body)?);
+    }
+    samples.push(post_with_retry(
+        addr,
+        &mut client,
+        "/solve",
+        &format!("{{{base}}}"),
+    )?);
+    Ok(samples)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Phase 1: `sessions` concurrent scripted clients on distinct circuits.
+fn concurrency_phase(sessions: usize, queries: usize) -> (Vec<Sample>, usize) {
+    let server = Server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: sessions,
+            queue_capacity: sessions * 2,
+            session_capacity: sessions * 2,
+            ..ServerConfig::default()
+        },
+        None,
+    )
+    .expect("bind the load server");
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..sessions)
+        .map(|i| std::thread::spawn(move || run_session(addr, i, queries)))
+        .collect();
+    let mut all = Vec::new();
+    let mut failed = 0usize;
+    for (i, h) in handles.into_iter().enumerate() {
+        match h.join().expect("session thread panicked") {
+            Ok(samples) => {
+                assert!(
+                    !samples[0].session_hit,
+                    "session {i}: first request must be a cold miss"
+                );
+                assert!(
+                    samples[1..].iter().all(|s| s.session_hit),
+                    "session {i}: every later request must hit warm state"
+                );
+                failed += samples.iter().filter(|s| s.status != 200).count();
+                all.extend(samples);
+            }
+            Err(e) => {
+                eprintln!("session {i} failed: {e}");
+                failed += 1;
+            }
+        }
+    }
+    let live = server.sessions_live();
+    assert_eq!(live, sessions, "every session must stay live (no eviction)");
+    server.shutdown();
+    (all, failed)
+}
+
+/// Phase 2: eviction correctness on a capacity-4 server, single-threaded.
+/// Returns whether the post-eviction cold re-solves were bit-identical.
+fn eviction_phase() -> bool {
+    const CIRCUITS: usize = 6;
+    let server = Server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 8,
+            session_capacity: 4,
+            ..ServerConfig::default()
+        },
+        None,
+    )
+    .expect("bind the eviction server");
+    let addr = server.addr();
+    let lib = Library::paper_default();
+
+    let mut first_pass: Vec<String> = Vec::with_capacity(CIRCUITS);
+    let mut identical = true;
+    for pass in 0..2 {
+        for i in 0..CIRCUITS {
+            let spec = generate::RandomDagSpec {
+                name: format!("evict{i}"),
+                seed: 2000 + i as u64,
+                ..session_dag(i)
+            };
+            let circuit = generate::random_dag(&spec);
+            let baseline = ssta(&circuit, &lib, &vec![1.0; circuit.num_gates()])
+                .delay
+                .mean();
+            let body = format!(
+                "{{\"circuit\":{},\"objective\":\"area\",\"spec\":{{\"max_mean\":{}}}}}",
+                circuit_json(&spec),
+                baseline * 0.97
+            );
+            let mut client = Client::connect(addr).expect("connect to eviction server");
+            let resp = client.post("/solve", &body).expect("eviction-phase solve");
+            assert_eq!(
+                resp.status, 200,
+                "eviction-phase solve failed: {}",
+                resp.body
+            );
+            let v = parse_json(resp.body.trim()).expect("solve_result is JSON");
+            assert_eq!(
+                v.get("session_hit"),
+                Some(&Json::Bool(false)),
+                "capacity-4 store over 6 circuits must miss every time"
+            );
+            // Strip the request id (the only legitimately varying field)
+            // before comparing passes bit-for-bit.
+            let canon = resp
+                .body
+                .split_once(",\"objective\"")
+                .map(|(_, rest)| rest.to_string())
+                .expect("solve_result carries an objective");
+            if pass == 0 {
+                first_pass.push(canon);
+            } else if first_pass[i] != canon {
+                eprintln!("eviction: circuit {i} cold re-solve diverged");
+                identical = false;
+            }
+        }
+    }
+    server.shutdown();
+    identical
+}
+
+fn main() -> ExitCode {
+    let mut sessions = 32usize;
+    let mut queries = 8usize;
+    let mut out_path = String::from("BENCH_serve.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sessions" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => sessions = n,
+                _ => return usage(),
+            },
+            "--queries" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => queries = n,
+                _ => return usage(),
+            },
+            "--out" => match it.next().cloned() {
+                Some(p) => out_path = p,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    // The bench artifact *is* a metrics snapshot: registry on for the
+    // whole run, exactly like `sweep --bench`.
+    sgs_metrics::reset();
+    sgs_metrics::enable();
+    let start = Instant::now();
+
+    let (samples, failed) = concurrency_phase(sessions, queries);
+    let total = samples.len();
+    let hits = samples.iter().filter(|s| s.session_hit).count();
+    #[allow(clippy::cast_precision_loss)]
+    let warm_fraction = hits as f64 / total as f64;
+    let mut lat: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+    lat.sort_by(f64::total_cmp);
+    let (p50, p90, p99) = (
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.90),
+        percentile(&lat, 0.99),
+    );
+    println!(
+        "concurrency: {sessions} sessions x {} requests, {failed} failed, warm {hits}/{total} \
+         ({:.1}%), latency p50 {:.2} ms p90 {:.2} ms p99 {:.2} ms",
+        total / sessions.max(1),
+        warm_fraction * 100.0,
+        p50 * 1e3,
+        p90 * 1e3,
+        p99 * 1e3,
+    );
+    assert_eq!(failed, 0, "the load run must not drop a single request");
+    assert!(
+        warm_fraction >= 0.75,
+        "warm-session fraction {warm_fraction:.3} below the 75% contract"
+    );
+
+    let evict_identical = eviction_phase();
+    println!(
+        "eviction: 6 circuits x 2 passes through a capacity-4 store, cold re-solves identical: \
+         {evict_identical}"
+    );
+    assert!(
+        evict_identical,
+        "post-eviction cold re-solves must be bit-identical"
+    );
+
+    sgs_metrics::set_gauge(
+        sgs_metrics::Gauge::RunSeconds,
+        start.elapsed().as_secs_f64(),
+    );
+    let snap = sgs_metrics::snapshot(sgs_metrics::Metadata {
+        bin: "serve_load".to_string(),
+        circuit: "load_suite".to_string(),
+        git_sha: sgs_bench::git_sha(),
+        threads: sessions,
+        timestamp: sgs_bench::run_timestamp(),
+    });
+    let mut json = snap
+        .to_json()
+        .strip_suffix("\n}\n")
+        .expect("snapshot JSON ends with its root close")
+        .to_string();
+    let _ = write!(
+        json,
+        ",\n  \"load\": {{\n    \"sessions\": {sessions},\n    \"queries_per_session\": {queries},\n    \
+         \"requests\": {total},\n    \"failed\": {failed},\n    \
+         \"warm_fraction\": {warm_fraction},\n    \
+         \"latency_p50_seconds\": {p50},\n    \"latency_p90_seconds\": {p90},\n    \
+         \"latency_p99_seconds\": {p99},\n    \
+         \"eviction\": {{\"circuits\": 6, \"passes\": 2, \"capacity\": 4, \
+         \"bit_identical\": {evict_identical}}}\n  }}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

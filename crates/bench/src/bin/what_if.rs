@@ -26,11 +26,11 @@
 //! asserts bit-identity in the same run, adds a warm-started
 //! deadline-re-solve demo, and writes `BENCH_incremental.json`.
 
+use sgs_bench::script::{generated_steps, parse_script};
 use sgs_bench::{BenchArgs, TraceArg};
 use sgs_core::{DelaySpec, Objective, Sizer};
 use sgs_netlist::{blif, generate, Circuit, GateId, Library};
 use sgs_ssta::{ssta, IncrementalSsta};
-use sgs_trace::json::{parse_json, Json};
 use sgs_trace::TraceEvent;
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -43,73 +43,6 @@ fn usage() -> ExitCode {
          \x20      what_if --bench [--queries N] [--out PATH] [--trace FILE] [--metrics FILE]"
     );
     ExitCode::from(2)
-}
-
-/// splitmix64 step — the repository's stock deterministic generator.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// A uniform draw in `[0, 1)`.
-fn unit(state: &mut u64) -> f64 {
-    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
-}
-
-/// `n` deterministic single-gate perturbation steps.
-fn generated_steps(
-    circuit: &Circuit,
-    lib: &Library,
-    n: usize,
-    seed: u64,
-) -> Vec<Vec<(GateId, f64)>> {
-    let gates = circuit.num_gates();
-    let mut state = seed ^ 0xD1B5_4A32_D192_ED03;
-    (0..n)
-        .map(|_| {
-            let g = (splitmix64(&mut state) % gates as u64) as usize;
-            let v = 1.0 + unit(&mut state) * (lib.s_limit - 1.0);
-            vec![(GateId(g), v)]
-        })
-        .collect()
-}
-
-/// Parses a perturbation script: a JSON array of steps, each one change
-/// object or an array of change objects.
-fn parse_script(text: &str, num_gates: usize) -> Result<Vec<Vec<(GateId, f64)>>, String> {
-    let change = |v: &Json| -> Result<(GateId, f64), String> {
-        let gate = v
-            .get("gate")
-            .and_then(Json::as_f64)
-            .ok_or_else(|| "change needs a numeric \"gate\"".to_string())?;
-        let size = v
-            .get("size")
-            .and_then(Json::as_f64)
-            .ok_or_else(|| "change needs a numeric \"size\"".to_string())?;
-        let gate = gate as usize;
-        if gate >= num_gates {
-            return Err(format!(
-                "gate {gate} out of range (circuit has {num_gates})"
-            ));
-        }
-        if !size.is_finite() || size < 1.0 {
-            return Err(format!("size {size} must be finite and >= 1"));
-        }
-        Ok((GateId(gate), size))
-    };
-    let Json::Arr(steps) = parse_json(text)? else {
-        return Err("script must be a JSON array of steps".to_string());
-    };
-    steps
-        .iter()
-        .map(|step| match step {
-            Json::Arr(changes) => changes.iter().map(change).collect(),
-            obj => Ok(vec![change(obj)?]),
-        })
-        .collect()
 }
 
 fn median(mut v: Vec<f64>) -> f64 {

@@ -8,6 +8,8 @@
 use sgs_trace::{EvalReport, JsonlSink, RunReport, TraceEvent, TraceSink, Tracer};
 use std::time::Instant;
 
+pub mod script;
+
 /// Removes every occurrence of `--NAME=VALUE` / `--NAME VALUE` from
 /// `args` (the last occurrence wins) and returns the value, or an error
 /// when the flag is present without an operand.

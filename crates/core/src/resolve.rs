@@ -312,8 +312,10 @@ impl<'a> Resolver<'a> {
             });
         }
         self.warm = Some(WarmStart::from_result(&result));
+        // Trace-only delta: the metrics-registry total is maintained at the
+        // clamp sites themselves (see `sgs_statmath::clark::var_clamp_count`),
+        // so concurrent solves cannot double-count each other's clamps.
         let clark_var_clamps = sgs_statmath::clark::var_clamp_count().saturating_sub(clamps_before);
-        sgs_metrics::add(sgs_metrics::Counter::ClarkVarClamps, clark_var_clamps);
         tracer.emit(|| TraceEvent::Counter {
             name: "clark_var_clamped",
             value: clark_var_clamps,

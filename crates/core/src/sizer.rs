@@ -496,10 +496,11 @@ impl<'a> Sizer<'a> {
     }
 
     /// Delta of the process-global Clark variance-clamp counter over this
-    /// solve, emitted as the `clark_var_clamped` trace counter.
+    /// solve, emitted as the `clark_var_clamped` trace counter. The
+    /// metrics-registry total is maintained at the clamp sites themselves
+    /// (concurrent solves would otherwise double-count overlapping deltas).
     fn emit_clamp_delta(&self, tracer: &Tracer<'a>, before: u64) -> u64 {
         let delta = sgs_statmath::clark::var_clamp_count().saturating_sub(before);
-        sgs_metrics::add(sgs_metrics::Counter::ClarkVarClamps, delta);
         tracer.emit(|| TraceEvent::Counter {
             name: "clark_var_clamped",
             value: delta,

@@ -143,6 +143,20 @@ metric_enum! {
         /// No-op sweep steps answered from the last accepted point
         /// without re-solving (repeated deadline).
         SweepCacheHits => "sweep_cache_hits",
+        /// HTTP requests parsed and routed by the `sgs-serve` daemon
+        /// (rejected-at-admission connections are counted separately).
+        ServeRequests => "serve_requests",
+        /// Requests answered with a structured 4xx/5xx error body.
+        ServeErrors => "serve_errors",
+        /// Connections rejected with `429 Retry-After` because the
+        /// admission queue was full.
+        ServeRejectedSaturated => "serve_rejected_saturated",
+        /// Session-store lookups answered by an existing warm session.
+        ServeSessionHits => "serve_session_hits",
+        /// Session-store lookups that created a new (cold) session.
+        ServeSessionMisses => "serve_session_misses",
+        /// Warm sessions evicted by the LRU policy to admit a new one.
+        ServeSessionEvictions => "serve_session_evictions",
     }
 }
 
@@ -157,6 +171,10 @@ metric_enum! {
         NlpLastPgNorm => "nlp_last_pg_norm",
         /// Wall-clock seconds of the whole run (set by the binary).
         RunSeconds => "run_seconds",
+        /// Connections waiting in the `sgs-serve` admission queue.
+        ServeQueueDepth => "serve_queue_depth",
+        /// Warm sessions currently held by the `sgs-serve` session store.
+        ServeSessionsLive => "serve_sessions_live",
     }
 }
 
@@ -173,6 +191,14 @@ metric_enum! {
         WhatIfSeconds => "what_if_seconds",
         /// Wall-clock seconds per traced sweep point (solve included).
         SweepPointSeconds => "sweep_point_seconds",
+        /// Served `/solve` request latency (parse to response body).
+        ServeSolveSeconds => "serve_solve_seconds",
+        /// Served `/resolve` request latency.
+        ServeResolveSeconds => "serve_resolve_seconds",
+        /// Served `/what_if` request latency.
+        ServeWhatIfSeconds => "serve_what_if_seconds",
+        /// Served `/analyze` request latency.
+        ServeAnalyzeSeconds => "serve_analyze_seconds",
     }
 }
 

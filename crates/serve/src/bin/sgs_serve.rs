@@ -1,0 +1,86 @@
+//! `sgs_serve` — run the sizing daemon.
+//!
+//! ```text
+//! sgs_serve [--addr HOST:PORT] [--workers N] [--queue N] [--sessions N]
+//!           [--trace FILE.jsonl]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7878`), prints `listening on <addr>` and
+//! serves until killed. The process-global metrics registry is enabled so
+//! `GET /metrics` exposes live Prometheus counters.
+
+use sgs_serve::server::{Server, ServerConfig};
+use sgs_trace::{JsonlSink, TraceSink};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> &'static str {
+    "usage: sgs_serve [--addr HOST:PORT] [--workers N] [--queue N] [--sessions N] [--trace FILE.jsonl]"
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut trace_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--addr" => value("--addr").map(|v| cfg.addr = v),
+            "--workers" => value("--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| cfg.workers = n)
+                    .map_err(|e| format!("--workers: {e}"))
+            }),
+            "--queue" => value("--queue").and_then(|v| {
+                v.parse()
+                    .map(|n| cfg.queue_capacity = n)
+                    .map_err(|e| format!("--queue: {e}"))
+            }),
+            "--sessions" => value("--sessions").and_then(|v| {
+                v.parse()
+                    .map(|n| cfg.session_capacity = n)
+                    .map_err(|e| format!("--sessions: {e}"))
+            }),
+            "--trace" => value("--trace").map(|v| trace_path = Some(v)),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("sgs_serve: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    sgs_metrics::enable();
+    let sink: Option<Arc<dyn TraceSink + Send + Sync>> = match &trace_path {
+        None => None,
+        Some(path) => match JsonlSink::create(path) {
+            Ok(s) => Some(Arc::new(s)),
+            Err(e) => {
+                eprintln!("sgs_serve: cannot open trace file {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let server = match Server::start(cfg, sink) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sgs_serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    // Serve until killed: the acceptor owns the listener; parking the
+    // main thread forever is the std-only idle loop.
+    loop {
+        std::thread::park();
+    }
+}

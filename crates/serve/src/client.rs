@@ -1,0 +1,165 @@
+//! Minimal blocking HTTP client for tests and the load generator.
+//!
+//! Deliberately tiny: connect, send one request, read one
+//! `Content-Length`-framed response. Keep-alive is supported by reusing
+//! the same [`Client`] for several calls. Not a general HTTP client —
+//! exactly the subset the daemon speaks.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// Case-insensitive header lookup.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A keep-alive connection to the daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends a `GET` and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// I/O or framing failures (e.g. the server closed mid-response).
+    pub fn get(&mut self, path: &str) -> std::io::Result<Response> {
+        let head = format!("GET {path} HTTP/1.1\r\nHost: sgs\r\n\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Sends a `POST` with a JSON body and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// I/O or framing failures.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<Response> {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: sgs\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Writes raw bytes verbatim (malformed-request tests), then tries to
+    /// read a response.
+    ///
+    /// # Errors
+    ///
+    /// I/O or framing failures.
+    pub fn send_raw(&mut self, raw: &[u8]) -> std::io::Result<Response> {
+        self.write_raw(raw)?;
+        self.read_response()
+    }
+
+    /// Writes raw bytes without reading a response — for tests that need
+    /// to leave a request in flight (queued connections, half-closes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn write_raw(&mut self, raw: &[u8]) -> std::io::Result<()> {
+        self.writer.write_all(raw)?;
+        self.writer.flush()
+    }
+
+    /// Half-closes the write side (the server sees EOF mid-request) while
+    /// keeping the read side open for the error response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shutdown failures.
+    pub fn finish_writes(&mut self) -> std::io::Result<()> {
+        self.writer.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Reads one framed response.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on malformed framing, `UnexpectedEof` when the
+    /// server closed instead of answering.
+    pub fn read_response(&mut self) -> std::io::Result<Response> {
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed without a response",
+            ));
+        }
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(&format!("bad status line {line:?}")))?;
+        let mut headers = Vec::new();
+        loop {
+            let mut h = String::new();
+            if self.reader.read_line(&mut h)? == 0 {
+                return Err(bad("EOF inside headers"));
+            }
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = h.split_once(':') {
+                headers.push((k.trim().to_string(), v.trim().to_string()));
+            }
+        }
+        let len: usize = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| bad("response without Content-Length"))?;
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| bad("response body is not UTF-8"))?;
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+}

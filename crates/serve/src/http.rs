@@ -1,0 +1,430 @@
+//! Hand-rolled HTTP/1.1 framing over blocking `std::net` streams.
+//!
+//! The build environment is offline, so there is no tokio/hyper: this
+//! module implements exactly the subset the service needs — request-line +
+//! headers + `Content-Length`-framed bodies, keep-alive connections, and
+//! hard limits on every dimension an untrusted peer controls (line
+//! length, header count, body size). Anything outside that subset is
+//! answered with a structured 4xx ([`crate::error`]) rather than a panic:
+//! the per-connection loop in `server.rs` must survive arbitrary bytes.
+
+use crate::error::{self, ServeError};
+use std::io::{self, BufRead, Write};
+
+/// Hard limits on untrusted request dimensions.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum request-line / header-line length in bytes.
+    pub max_line: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Maximum declared body length in bytes.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_line: 8192,
+            max_headers: 64,
+            max_body: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), verbatim.
+    pub method: String,
+    /// Request path (query strings are not used by this protocol).
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length`-framed body (empty when none was declared).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop the connection after this
+    /// exchange (`Connection: close`).
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Outcome of one read attempt on a keep-alive connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request arrived.
+    Request(Request),
+    /// The peer closed (or idled past the read timeout) **between**
+    /// requests — a normal keep-alive end, nothing to answer.
+    Closed,
+}
+
+/// Whether an I/O error is a read-timeout expiry (platform-dependent
+/// kind).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line with a length cap.
+///
+/// Returns `Ok(None)` on clean EOF before any byte of the line.
+fn read_line(
+    r: &mut impl BufRead,
+    limits: &Limits,
+    what: &str,
+    code: &'static str,
+) -> Result<Option<String>, ServeError> {
+    let mut buf = Vec::new();
+    loop {
+        let chunk = match r.fill_buf() {
+            Ok(c) => c,
+            Err(e) if is_timeout(&e) => {
+                if buf.is_empty() {
+                    return Ok(None); // idle keep-alive expiry
+                }
+                return Err(ServeError::new(
+                    408,
+                    error::E_TIMEOUT,
+                    format!("peer stalled mid-{what}"),
+                ));
+            }
+            Err(e) => {
+                return Err(ServeError::bad_request(
+                    code,
+                    format!("read error mid-{what}: {e}"),
+                ))
+            }
+        };
+        if chunk.is_empty() {
+            // EOF. Clean only if nothing of this line arrived yet.
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(ServeError::bad_request(
+                code,
+                format!("connection closed mid-{what}"),
+            ));
+        }
+        let nl = chunk.iter().position(|&b| b == b'\n');
+        let take = nl.map_or(chunk.len(), |i| i + 1);
+        buf.extend_from_slice(&chunk[..take]);
+        r.consume(take);
+        if buf.len() > limits.max_line {
+            return Err(ServeError::bad_request(
+                code,
+                format!("{what} exceeds {} bytes", limits.max_line),
+            ));
+        }
+        if nl.is_some() {
+            while matches!(buf.last(), Some(b'\n' | b'\r')) {
+                buf.pop();
+            }
+            return String::from_utf8(buf)
+                .map(Some)
+                .map_err(|_| ServeError::bad_request(code, format!("{what} is not UTF-8")));
+        }
+    }
+}
+
+/// Reads one request from a keep-alive connection.
+///
+/// # Errors
+///
+/// Any [`ServeError`] here is a protocol failure the caller should try to
+/// answer with its structured body, then drop the connection (framing is
+/// no longer trustworthy).
+pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<ReadOutcome, ServeError> {
+    // --- Request line. ------------------------------------------------
+    let Some(line) = read_line(r, limits, "request line", error::E_BAD_REQUEST_LINE)? else {
+        return Ok(ReadOutcome::Closed);
+    };
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(ServeError::bad_request(
+                error::E_BAD_REQUEST_LINE,
+                format!("malformed request line {line:?}"),
+            ))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ServeError::bad_request(
+            error::E_BAD_REQUEST_LINE,
+            format!("unsupported protocol version {version:?}"),
+        ));
+    }
+
+    // --- Headers. -----------------------------------------------------
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(r, limits, "header", error::E_BAD_HEADER)? else {
+            return Err(ServeError::bad_request(
+                error::E_BAD_HEADER,
+                "connection closed before end of headers",
+            ));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(ServeError::bad_request(
+                error::E_BAD_HEADER,
+                format!("more than {} header lines", limits.max_headers),
+            ));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ServeError::bad_request(
+                error::E_BAD_HEADER,
+                format!("header line without ':': {line:?}"),
+            ));
+        };
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+
+    let req = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    // --- Body framing. ------------------------------------------------
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ServeError::new(
+            411,
+            error::E_LENGTH_REQUIRED,
+            "chunked transfer encoding is not supported; send Content-Length",
+        ));
+    }
+    let declared = match req.header("content-length") {
+        Some(v) => Some(v.parse::<usize>().map_err(|_| {
+            ServeError::bad_request(error::E_BAD_HEADER, format!("bad Content-Length {v:?}"))
+        })?),
+        None => None,
+    };
+    let len = match (req.method.as_str(), declared) {
+        ("POST" | "PUT" | "PATCH", None) => {
+            return Err(ServeError::new(
+                411,
+                error::E_LENGTH_REQUIRED,
+                format!("{} requests must declare Content-Length", req.method),
+            ));
+        }
+        (_, None) => 0,
+        (_, Some(n)) => n,
+    };
+    if len > limits.max_body {
+        return Err(ServeError::new(
+            413,
+            error::E_BODY_TOO_LARGE,
+            format!(
+                "declared body of {len} bytes exceeds limit {}",
+                limits.max_body
+            ),
+        ));
+    }
+    let mut req = req;
+    req.body = read_exact_body(r, len)?;
+    Ok(ReadOutcome::Request(req))
+}
+
+/// Reads exactly `len` body bytes, classifying shortfalls.
+fn read_exact_body(r: &mut impl BufRead, len: usize) -> Result<Vec<u8>, ServeError> {
+    let mut body = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(ServeError::bad_request(
+                    error::E_TRUNCATED_BODY,
+                    format!("connection closed after {filled} of {len} body bytes"),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                return Err(ServeError::new(
+                    408,
+                    error::E_TIMEOUT,
+                    format!("peer stalled after {filled} of {len} body bytes"),
+                ));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                return Err(ServeError::bad_request(
+                    error::E_TRUNCATED_BODY,
+                    format!("read error after {filled} of {len} body bytes: {e}"),
+                ));
+            }
+        }
+    }
+    Ok(body)
+}
+
+/// Writes one response with `Content-Length` framing.
+///
+/// # Errors
+///
+/// Propagates I/O failures (the peer may already be gone; callers treat
+/// that as a dropped connection, never a panic).
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        ServeError::reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<ReadOutcome, ServeError> {
+        read_request(&mut BufReader::new(bytes), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /solve HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"";
+        let ReadOutcome::Request(req) = parse(raw).unwrap() else {
+            panic!("expected a request");
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/solve");
+        assert_eq!(req.body, b"{\"a\"");
+        assert_eq!(req.header("HOST"), Some("x"));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_an_error() {
+        assert!(matches!(parse(b"").unwrap(), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn truncated_request_line_is_a_bad_request() {
+        let e = parse(b"GET /heal").unwrap_err();
+        assert_eq!((e.status, e.code), (400, error::E_BAD_REQUEST_LINE));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for raw in [
+            &b"FOO\r\n\r\n"[..],
+            b"GET  HTTP/1.1\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/9.9\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+        ] {
+            let e = parse(raw).unwrap_err();
+            assert_eq!((e.status, e.code), (400, error::E_BAD_REQUEST_LINE));
+        }
+    }
+
+    #[test]
+    fn post_without_content_length_needs_length() {
+        let e = parse(b"POST /solve HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!((e.status, e.code), (411, error::E_LENGTH_REQUIRED));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_without_reading_it() {
+        let raw = b"POST /s HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n";
+        let e = parse(raw).unwrap_err();
+        // 99999999999 overflows nothing (fits usize) but exceeds max_body.
+        assert_eq!((e.status, e.code), (413, error::E_BODY_TOO_LARGE));
+    }
+
+    #[test]
+    fn truncated_body_is_classified() {
+        let raw = b"POST /s HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        let e = parse(raw).unwrap_err();
+        assert_eq!((e.status, e.code), (400, error::E_TRUNCATED_BODY));
+        assert!(e.message.contains("3 of 10"), "{}", e.message);
+    }
+
+    #[test]
+    fn header_flood_is_capped() {
+        let mut raw = b"GET /h HTTP/1.1\r\n".to_vec();
+        for i in 0..100 {
+            raw.extend_from_slice(format!("X-{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let e = parse(&raw).unwrap_err();
+        assert_eq!((e.status, e.code), (400, error::E_BAD_HEADER));
+    }
+
+    #[test]
+    fn oversized_line_is_capped() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 10000));
+        let e = parse(&raw).unwrap_err();
+        assert_eq!((e.status, e.code), (400, error::E_BAD_REQUEST_LINE));
+    }
+
+    #[test]
+    fn chunked_encoding_is_refused() {
+        let raw = b"POST /s HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        let e = parse(raw).unwrap_err();
+        assert_eq!((e.status, e.code), (411, error::E_LENGTH_REQUIRED));
+    }
+
+    #[test]
+    fn response_writer_frames_correctly() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            "application/json",
+            "{}\n",
+            false,
+            &[("Retry-After", "1".to_string())],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}\n"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Concurrency battery: session isolation, determinism and eviction
+//! under racing clients.
+//!
+//! The contract under test:
+//!
+//! * clients of the **same** circuit share one warm session (exactly one
+//!   cold miss no matter how many race to create it) and serialise
+//!   through it — the racing run's answer *multiset* is bit-identical to
+//!   a single-threaded replay of the same requests, because the session
+//!   worker processes an identical job sequence either way;
+//! * clients of **distinct** circuits get distinct parallel sessions,
+//!   and each session's answer is unaffected by the others (equal to a
+//!   single-threaded control run, bit for bit);
+//! * LRU eviction mid-traffic degrades to a correct cold re-solve: a
+//!   session evicted between two requests answers the second with
+//!   exactly the bits a fresh solve produces, and jobs already queued on
+//!   an evicted session are still answered (the worker drains before it
+//!   retires).
+//!
+//! Bit-identity leans on shortest-round-trip `f64` formatting: equal
+//! response text (after stripping the per-request id prefix) implies
+//! equal bits. The battery never enables the process-global metrics
+//! registry; it asserts on response bodies (`session_hit`) instead.
+
+use sgs_serve::{Client, Server, ServerConfig};
+use sgs_trace::json::{parse_json, Json};
+
+/// Per-session request body for a small generated DAG (distinct `seed`
+/// per logical session; same seed → same session).
+fn dag_body(seed: u64) -> String {
+    format!(
+        r#"{{"circuit":{{"generate":{{"name":"conc{seed}","cells":16,"inputs":5,"depth":4,"seed":{seed}}}}},"objective":"area","spec":{{"max_mean":30.0}}}}"#
+    )
+}
+
+/// The response body with the volatile `request_id` prefix stripped —
+/// what is left is exactly the session's answer, safe to compare bit for
+/// bit across requests.
+fn result_tail(body: &str) -> &str {
+    body.split_once(",\"objective\"")
+        .or_else(|| body.split_once(",\"mu\""))
+        .unwrap_or_else(|| panic!("not a result body: {body}"))
+        .1
+}
+
+/// Drops the `session_hit` flag from a result tail: it is assigned at
+/// checkout time (arrival order), not processing order, so it is the one
+/// field that may legitimately permute differently from the job sequence
+/// under racing clients.
+fn strip_session_hit(tail: &str) -> String {
+    tail.replace(",\"session_hit\":true", "")
+        .replace(",\"session_hit\":false", "")
+}
+
+fn session_hit(body: &str) -> bool {
+    parse_json(body.trim())
+        .expect("response parses")
+        .get("session_hit")
+        .map(|v| *v == Json::Bool(true))
+        .expect("session_hit present")
+}
+
+/// Solves `body` once on a fresh connection and returns the response
+/// body, asserting success.
+fn solve_once(addr: std::net::SocketAddr, body: &str) -> String {
+    let mut c = Client::connect(addr).expect("connect");
+    let resp = c.post("/solve", body).expect("solve");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    resp.body
+}
+
+#[test]
+fn racing_clients_of_one_circuit_share_a_session_and_match_a_replay() {
+    const CLIENTS: usize = 8;
+
+    // Single-threaded control: the same 8 identical solves in sequence.
+    // The session worker sees cold, warm, warm, ... — exactly the job
+    // sequence the racing run serialises to.
+    let control: Vec<String> = {
+        let server = Server::start(ServerConfig::default(), None).expect("bind");
+        let mut c = Client::connect(server.addr()).expect("connect");
+        let out = (0..CLIENTS)
+            .map(|_| {
+                let resp = c.post("/solve", &dag_body(42)).expect("solve");
+                assert_eq!(resp.status, 200, "body: {}", resp.body);
+                resp.body
+            })
+            .collect();
+        server.shutdown();
+        out
+    };
+
+    let server = Server::start(
+        ServerConfig {
+            workers: CLIENTS,
+            queue_capacity: 4 * CLIENTS,
+            ..ServerConfig::default()
+        },
+        None,
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let racing: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| scope.spawn(move || solve_once(addr, &dag_body(42))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+
+    // Exactly one request created the session; everyone else found it warm.
+    let misses = racing.iter().filter(|b| !session_hit(b)).count();
+    assert_eq!(misses, 1, "exactly one cold miss among {CLIENTS} racers");
+    assert_eq!(server.sessions_live(), 1, "one circuit, one session");
+
+    // Thread arrival order is scheduler noise, but the processed job
+    // sequence is the control's: the answer multisets must match bit for
+    // bit (request ids stripped).
+    let mut racing_tails: Vec<String> = racing
+        .iter()
+        .map(|b| strip_session_hit(result_tail(b)))
+        .collect();
+    let mut control_tails: Vec<String> = control
+        .iter()
+        .map(|b| strip_session_hit(result_tail(b)))
+        .collect();
+    racing_tails.sort_unstable();
+    control_tails.sort_unstable();
+    assert_eq!(
+        racing_tails, control_tails,
+        "racing answers must be a permutation of the sequential replay"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn distinct_circuits_run_isolated_parallel_sessions() {
+    const SESSIONS: u64 = 6;
+
+    // Single-threaded control run: each circuit solved cold, one at a time.
+    let control: Vec<String> = {
+        let server = Server::start(ServerConfig::default(), None).expect("bind");
+        let out = (0..SESSIONS)
+            .map(|i| solve_once(server.addr(), &dag_body(100 + i)))
+            .collect();
+        server.shutdown();
+        out
+    };
+
+    // Racing run: all circuits solved concurrently against one daemon.
+    let server = Server::start(
+        ServerConfig {
+            workers: SESSIONS as usize,
+            queue_capacity: 4 * SESSIONS as usize,
+            session_capacity: SESSIONS as usize,
+            ..ServerConfig::default()
+        },
+        None,
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let racing: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|i| scope.spawn(move || solve_once(addr, &dag_body(100 + i))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+    assert_eq!(
+        server.sessions_live(),
+        SESSIONS as usize,
+        "one session per circuit"
+    );
+
+    // Parallelism must not leak between sessions: every racing answer
+    // equals its single-threaded control, bit for bit.
+    for (i, (r, c)) in racing.iter().zip(&control).enumerate() {
+        assert_eq!(
+            result_tail(r),
+            result_tail(c),
+            "session {i} diverged from its single-threaded control"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn warm_sequences_replay_identically_across_daemons() {
+    // The same solve → what_if → solve → what_if sequence replayed cold
+    // on two separate daemons must transcript identically: session state
+    // is a function of the request sequence alone.
+    let base = dag_body(7);
+    let probe = format!(
+        "{}{}",
+        base.strip_suffix('}').expect("object body"),
+        r#","changes":[{"gate":3,"size":2.5}]}"#
+    );
+    let run = || -> Vec<String> {
+        let server = Server::start(ServerConfig::default(), None).expect("bind");
+        let mut c = Client::connect(server.addr()).expect("connect");
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            let r = c.post("/solve", &dag_body(7)).expect("solve");
+            assert_eq!(r.status, 200, "body: {}", r.body);
+            out.push(r.body);
+            let r = c.post("/what_if", &probe).expect("what_if");
+            assert_eq!(r.status, 200, "body: {}", r.body);
+            out.push(r.body);
+        }
+        server.shutdown();
+        out
+    };
+    let a = run();
+    let b = run();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            result_tail(x),
+            result_tail(y),
+            "replay must transcript identically"
+        );
+    }
+}
+
+#[test]
+fn eviction_mid_session_degrades_to_a_correct_cold_resolve() {
+    // Capacity 1: every circuit change evicts the previous session.
+    let server = Server::start(
+        ServerConfig {
+            session_capacity: 1,
+            ..ServerConfig::default()
+        },
+        None,
+    )
+    .expect("bind");
+    let mut c = Client::connect(server.addr()).expect("connect");
+
+    let first = c.post("/solve", &dag_body(500)).expect("cold solve");
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    assert!(!session_hit(&first.body));
+
+    // Touch a different circuit: evicts session 500.
+    let other = c.post("/solve", &dag_body(501)).expect("other circuit");
+    assert_eq!(other.status, 200, "body: {}", other.body);
+    assert_eq!(server.sessions_live(), 1, "capacity-1 store");
+
+    // Back to 500: must be a cold re-solve (miss) with exactly the bits
+    // of the first cold solve — eviction loses warmth, never answers.
+    let again = c.post("/solve", &dag_body(500)).expect("cold re-solve");
+    assert_eq!(again.status, 200, "body: {}", again.body);
+    assert!(!session_hit(&again.body), "evicted session must re-create");
+    assert_eq!(
+        result_tail(&again.body),
+        result_tail(&first.body),
+        "cold re-solve after eviction must reproduce the original bits"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn eviction_races_with_inflight_jobs_without_losing_answers() {
+    // One thread hammers circuit A while another cycles B/C through a
+    // capacity-1 store, evicting A constantly. Every A request must still
+    // answer 200, and every *cold* A answer must carry exactly the bits
+    // of the first cold solve — eviction may cost warmth, never
+    // correctness or answers.
+    let server = Server::start(
+        ServerConfig {
+            workers: 4,
+            session_capacity: 1,
+            queue_capacity: 32,
+            ..ServerConfig::default()
+        },
+        None,
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    std::thread::scope(|scope| {
+        let victim = scope.spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            let mut cold_tails: Vec<String> = Vec::new();
+            for _ in 0..10 {
+                let r = c.post("/solve", &dag_body(600)).expect("victim solve");
+                assert_eq!(r.status, 200, "body: {}", r.body);
+                if !session_hit(&r.body) {
+                    cold_tails.push(result_tail(&r.body).to_string());
+                }
+            }
+            cold_tails
+        });
+        let evictor = scope.spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            for i in 0..10u64 {
+                let r = c
+                    .post("/solve", &dag_body(601 + (i % 2)))
+                    .expect("evictor solve");
+                assert_eq!(r.status, 200, "body: {}", r.body);
+            }
+        });
+        let cold_tails = victim.join().expect("victim survives");
+        evictor.join().expect("evictor survives");
+        assert!(
+            !cold_tails.is_empty(),
+            "capacity-1 store under pressure must produce cold re-solves"
+        );
+        for (i, t) in cold_tails.iter().enumerate() {
+            assert_eq!(
+                t, &cold_tails[0],
+                "cold re-solve {i} changed under eviction pressure"
+            );
+        }
+    });
+    server.shutdown();
+}

@@ -1,0 +1,396 @@
+//! Protocol contract battery for the `sgs-serve` daemon.
+//!
+//! Pins the wire contract end-to-end over real sockets:
+//!
+//! * every failure — malformed HTTP framing, bad JSON, bad fields,
+//!   unusable circuits, unknown routes, wrong methods, truncated bodies,
+//!   stalled peers, saturation — answers a structured single-line JSON
+//!   error with a **stable** `E_*` code and the assigned request id, and
+//!   every such body validates through `sgs_trace::json::validate_jsonl`;
+//! * the server survives each abuse: a follow-up `/health` on a fresh
+//!   connection must still answer `200`;
+//! * admission control is observable: with a busy worker pool and a full
+//!   queue, the overflow connection gets `429` + `Retry-After`, and a
+//!   queued connection is still served once the pool frees up.
+//!
+//! The battery never enables the process-global metrics registry (other
+//! test binaries own that contract); it asserts on response bodies only.
+
+use sgs_serve::{Client, Response, Server, ServerConfig};
+use sgs_trace::json::{parse_json, validate_jsonl, Json};
+use std::time::Duration;
+
+fn start_default() -> Server {
+    Server::start(ServerConfig::default(), None).expect("bind an ephemeral port")
+}
+
+fn client(server: &Server) -> Client {
+    Client::connect(server.addr()).expect("connect to the daemon")
+}
+
+/// Asserts a structured error response: status, stable code, JSONL-valid
+/// body with an `"event":"error"` tag and a request id.
+fn assert_error(resp: &Response, status: u16, code: &str) {
+    assert_eq!(resp.status, status, "body: {}", resp.body);
+    let summary = validate_jsonl(&resp.body).expect("error body must validate as JSONL");
+    assert_eq!(summary.count("error"), 1, "body: {}", resp.body);
+    let v = parse_json(resp.body.trim()).expect("error body parses");
+    assert_eq!(
+        v.get("code").and_then(Json::as_str),
+        Some(code),
+        "body: {}",
+        resp.body
+    );
+    assert_eq!(
+        v.get("status").and_then(Json::as_f64),
+        Some(f64::from(status))
+    );
+    assert!(
+        v.get("request_id").and_then(Json::as_f64).is_some(),
+        "every error echoes the request id: {}",
+        resp.body
+    );
+    assert!(
+        v.get("message").and_then(Json::as_str).is_some(),
+        "every error carries a human-readable message"
+    );
+}
+
+/// The server must keep serving after whatever the test just did to it.
+fn assert_alive(server: &Server) {
+    let resp = client(server).get("/health").expect("health after abuse");
+    assert_eq!(resp.status, 200, "server must survive: {}", resp.body);
+    let v = parse_json(resp.body.trim()).expect("health parses");
+    assert_eq!(v.get("event").and_then(Json::as_str), Some("health"));
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+}
+
+#[test]
+fn health_answers_and_validates() {
+    let server = start_default();
+    let resp = client(&server).get("/health").expect("GET /health");
+    assert_eq!(resp.status, 200);
+    let summary = validate_jsonl(&resp.body).expect("health body is JSONL");
+    assert_eq!(summary.count("health"), 1);
+    let v = parse_json(resp.body.trim()).expect("health parses");
+    assert_eq!(v.get("sessions_live").and_then(Json::as_f64), Some(0.0));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_request_lines_get_400() {
+    let server = start_default();
+    for raw in [
+        "GARBAGE\r\n\r\n",
+        "GET\r\n\r\n",
+        "GET /health\r\n\r\n",
+        "GET /health HTTP/2.0\r\n\r\n",
+        "GET /health SPDY/3\r\n\r\n",
+    ] {
+        let resp = client(&server)
+            .send_raw(raw.as_bytes())
+            .unwrap_or_else(|e| panic!("no response to {raw:?}: {e}"));
+        assert_error(&resp, 400, "E_BAD_REQUEST_LINE");
+    }
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_headers_get_400() {
+    let server = start_default();
+    let resp = client(&server)
+        .send_raw(b"GET /health HTTP/1.1\r\nthis header has no colon\r\n\r\n")
+        .expect("response to a colonless header");
+    assert_error(&resp, 400, "E_BAD_HEADER");
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn post_without_content_length_gets_411() {
+    let server = start_default();
+    let resp = client(&server)
+        .send_raw(b"POST /solve HTTP/1.1\r\nHost: sgs\r\n\r\n")
+        .expect("response to a lengthless POST");
+    assert_error(&resp, 411, "E_LENGTH_REQUIRED");
+
+    // Chunked transfer encoding is deliberately unsupported.
+    let resp = client(&server)
+        .send_raw(b"POST /solve HTTP/1.1\r\nHost: sgs\r\nTransfer-Encoding: chunked\r\n\r\n")
+        .expect("response to a chunked POST");
+    assert_error(&resp, 411, "E_LENGTH_REQUIRED");
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_declared_body_gets_413_without_reading_it() {
+    let cfg = ServerConfig {
+        limits: sgs_serve::http::Limits {
+            max_body: 1024,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let server = Server::start(cfg, None).expect("bind");
+    // Declare far more than the limit but send nothing: the server must
+    // reject on the declaration alone instead of buffering.
+    let resp = client(&server)
+        .send_raw(b"POST /solve HTTP/1.1\r\nHost: sgs\r\nContent-Length: 1000000\r\n\r\n")
+        .expect("response to an oversized declaration");
+    assert_error(&resp, 413, "E_BODY_TOO_LARGE");
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn mid_body_disconnect_gets_truncated_body() {
+    let server = start_default();
+    let mut c = client(&server);
+    // Declare 100 bytes, deliver 10, then half-close: the server sees EOF
+    // mid-body and must still answer on the open read half.
+    let resp = c
+        .send_partial_body(
+            b"POST /solve HTTP/1.1\r\nHost: sgs\r\nContent-Length: 100\r\n\r\n{\"circuit\"",
+        )
+        .expect("response after half-close");
+    assert_error(&resp, 400, "E_TRUNCATED_BODY");
+    let v = parse_json(resp.body.trim()).expect("parses");
+    let msg = v.get("message").and_then(Json::as_str).unwrap_or_default();
+    assert!(
+        msg.contains("10 of 100"),
+        "message should count delivered bytes: {msg:?}"
+    );
+    assert_alive(&server);
+    server.shutdown();
+}
+
+/// Extension trait hanging the half-close helper off [`Client`] so the
+/// disconnect test reads naturally.
+trait HalfClose {
+    fn send_partial_body(&mut self, raw: &[u8]) -> std::io::Result<Response>;
+}
+
+impl HalfClose for Client {
+    fn send_partial_body(&mut self, raw: &[u8]) -> std::io::Result<Response> {
+        self.write_raw(raw)?;
+        self.finish_writes()?;
+        self.read_response()
+    }
+}
+
+#[test]
+fn stalled_peer_gets_408() {
+    let cfg = ServerConfig {
+        read_timeout: Duration::from_millis(150),
+        ..Default::default()
+    };
+    let server = Server::start(cfg, None).expect("bind");
+    // A partial request line with no terminator: the server must give up
+    // after its read timeout and name the stall.
+    let resp = client(&server)
+        .send_raw(b"GET /hea")
+        .expect("response after the stall expires");
+    assert_error(&resp, 408, "E_TIMEOUT");
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn bad_json_and_bad_fields_get_400() {
+    let server = start_default();
+    let mut c = client(&server);
+    let cases: &[(&str, &str)] = &[
+        ("this is not json", "E_BAD_JSON"),
+        ("{\"circuit\":", "E_BAD_JSON"),
+        ("[1,2,3]", "E_BAD_FIELD"),
+        ("{}", "E_BAD_FIELD"),
+        (r#"{"circuit":{}}"#, "E_BAD_FIELD"),
+        (r#"{"circuit":{"builtin":7}}"#, "E_BAD_FIELD"),
+        (
+            r#"{"circuit":{"builtin":"tree7"},"objective":"fastest"}"#,
+            "E_BAD_FIELD",
+        ),
+        (
+            r#"{"circuit":{"builtin":"tree7"},"objective":{"mean_plus_k_sigma":-3}}"#,
+            "E_BAD_FIELD",
+        ),
+        (
+            r#"{"circuit":{"builtin":"tree7"},"spec":{"max_mean":-1.0}}"#,
+            "E_BAD_FIELD",
+        ),
+        (
+            r#"{"circuit":{"generate":{"cells":0,"inputs":0,"depth":0}}}"#,
+            "E_CIRCUIT",
+        ),
+    ];
+    for (body, code) in cases {
+        let resp = c
+            .post("/solve", body)
+            .unwrap_or_else(|e| panic!("no response to {body:?}: {e}"));
+        assert_error(&resp, 400, code);
+    }
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn unusable_blif_answers_circuit_error_from_the_session() {
+    let server = start_default();
+    let resp = client(&server)
+        .post(
+            "/solve",
+            r#"{"circuit":{"blif":".model broken\n.inputs a\n.outputs z\nnot a gate line\n.end"}}"#,
+        )
+        .expect("response to broken BLIF");
+    assert_error(&resp, 400, "E_CIRCUIT");
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_routes_get_404_naming_the_known_ones() {
+    let server = start_default();
+    let resp = client(&server).get("/nope").expect("GET /nope");
+    assert_error(&resp, 404, "E_NOT_FOUND");
+    let v = parse_json(resp.body.trim()).expect("parses");
+    let msg = v.get("message").and_then(Json::as_str).unwrap_or_default();
+    for route in [
+        "/health", "/metrics", "/solve", "/resolve", "/what_if", "/analyze",
+    ] {
+        assert!(msg.contains(route), "404 should list {route}: {msg:?}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn wrong_methods_get_405_with_allow() {
+    let server = start_default();
+    let resp = client(&server).post("/health", "{}").expect("POST /health");
+    assert_error(&resp, 405, "E_METHOD_NOT_ALLOWED");
+    assert_eq!(resp.header("Allow"), Some("GET"));
+
+    let resp = client(&server).get("/solve").expect("GET /solve");
+    assert_error(&resp, 405, "E_METHOD_NOT_ALLOWED");
+    assert_eq!(resp.header("Allow"), Some("POST"));
+    server.shutdown();
+}
+
+#[test]
+fn infeasible_deadline_answers_422_and_keeps_the_session() {
+    let server = start_default();
+    let mut c = client(&server);
+    // Feasible first: establishes warm state.
+    let ok = c
+        .post(
+            "/solve",
+            r#"{"circuit":{"builtin":"tree7"},"objective":"area","spec":{"max_mean":9.0}}"#,
+        )
+        .expect("feasible solve");
+    assert_eq!(ok.status, 200, "body: {}", ok.body);
+    // An absurd deadline cannot be met at any size: the solver reports
+    // failure as a structured 422, not a panic or a 500.
+    let bad = c
+        .post("/resolve", r#"{"circuit":{"builtin":"tree7"},"objective":"area","spec":{"max_mean":9.0},"deadline":1e-6}"#)
+        .expect("infeasible resolve");
+    assert_error(&bad, 422, "E_SOLVER");
+    // The session survives with its last accepted state: the original
+    // deadline still solves on the same connection.
+    let again = c
+        .post(
+            "/solve",
+            r#"{"circuit":{"builtin":"tree7"},"objective":"area","spec":{"max_mean":9.0}}"#,
+        )
+        .expect("re-solve after failure");
+    assert_eq!(again.status, 200, "body: {}", again.body);
+    let v = parse_json(again.body.trim()).expect("parses");
+    assert_eq!(v.get("session_hit"), Some(&Json::Bool(true)));
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_and_honours_connection_close() {
+    let server = start_default();
+    let mut c = client(&server);
+    for _ in 0..5 {
+        let resp = c.get("/health").expect("keep-alive health");
+        assert_eq!(resp.status, 200);
+    }
+    // `Connection: close` must be honoured: the response arrives, then
+    // the server closes instead of waiting for another request.
+    let resp = c
+        .send_raw(b"GET /health HTTP/1.1\r\nHost: sgs\r\nConnection: close\r\n\r\n")
+        .expect("final response");
+    assert_eq!(resp.status, 200);
+    let eof = c.read_response();
+    assert!(eof.is_err(), "server must close after Connection: close");
+    server.shutdown();
+}
+
+#[test]
+fn request_ids_increase_across_requests() {
+    let server = start_default();
+    let mut c = client(&server);
+    let id = |resp: &Response| {
+        parse_json(resp.body.trim())
+            .expect("parses")
+            .get("request_id")
+            .and_then(Json::as_f64)
+            .expect("request id present")
+    };
+    let a = id(&c.get("/health").expect("first"));
+    let b = id(&c.get("/health").expect("second"));
+    assert!(b > a, "ids must increase: {a} then {b}");
+    server.shutdown();
+}
+
+#[test]
+fn metrics_route_speaks_prometheus() {
+    let server = start_default();
+    let resp = client(&server).get("/metrics").expect("GET /metrics");
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.body.contains("# TYPE"),
+        "exposition must carry TYPE comments: {}",
+        &resp.body[..resp.body.len().min(200)]
+    );
+    server.shutdown();
+}
+
+#[test]
+fn saturated_queue_answers_429_and_recovers() {
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg, None).expect("bind");
+
+    // Occupy the only worker: after this response it sits in the
+    // keep-alive read on `busy`'s connection.
+    let mut busy = client(&server);
+    assert_eq!(busy.get("/health").expect("occupy worker").status, 200);
+
+    // Fill the one queue slot. Write the request now so it is served the
+    // moment the worker frees up; do not read yet.
+    let mut queued = client(&server);
+    queued
+        .write_raw(b"GET /health HTTP/1.1\r\nHost: sgs\r\n\r\n")
+        .expect("queue a request");
+    // The acceptor only learns about the connection when it arrives, and
+    // the accept loop is fast; give it a beat to enqueue.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The overflow connection must be rejected inline by the acceptor.
+    let resp = client(&server).get("/health").expect("overflow answered");
+    assert_error(&resp, 429, "E_SATURATED");
+    assert_eq!(resp.header("Retry-After"), Some("1"));
+
+    // Free the worker: closing the busy connection ends its keep-alive
+    // loop, and the queued connection must then be served.
+    drop(busy);
+    let served = queued.read_response().expect("queued connection served");
+    assert_eq!(served.status, 200, "body: {}", served.body);
+    server.shutdown();
+}

@@ -44,6 +44,11 @@ static VAR_CLAMP_COUNT: AtomicU64 = AtomicU64::new(0);
 /// firing is counted. The sizing driver samples this counter around a
 /// solve and reports the delta (`clark_var_clamped` trace counter), which
 /// corroborates the static analyzer's interval findings with runtime data.
+///
+/// Each firing is also pushed into the metrics registry
+/// (`clark_var_clamps`) at the clamp site itself, so the registry total
+/// stays exact even when several solves run concurrently — per-solve
+/// deltas of this process-global counter would overlap and double-count.
 pub fn var_clamp_count() -> u64 {
     VAR_CLAMP_COUNT.load(Ordering::Relaxed)
 }
@@ -57,6 +62,7 @@ fn clamp_var(var: f64) -> f64 {
     } else {
         if var < 0.0 {
             VAR_CLAMP_COUNT.fetch_add(1, Ordering::Relaxed);
+            sgs_metrics::incr(sgs_metrics::Counter::ClarkVarClamps);
         }
         0.0
     }
@@ -757,6 +763,7 @@ pub fn max_batch(
     }
     if clamped > 0 {
         VAR_CLAMP_COUNT.fetch_add(clamped, Ordering::Relaxed);
+        sgs_metrics::add(sgs_metrics::Counter::ClarkVarClamps, clamped);
     }
 }
 
@@ -888,6 +895,7 @@ pub fn max_grad_batch(
     }
     if clamped > 0 {
         VAR_CLAMP_COUNT.fetch_add(clamped, Ordering::Relaxed);
+        sgs_metrics::add(sgs_metrics::Counter::ClarkVarClamps, clamped);
     }
 }
 

@@ -80,6 +80,23 @@ pub fn to_json(event: &TraceEvent) -> String {
             field_bool(&mut s, "full", *full);
             field_f64(&mut s, "seconds", *seconds);
         }
+        TraceEvent::ServeRequest {
+            id,
+            route,
+            status,
+            code,
+            session,
+            session_hit,
+            seconds,
+        } => {
+            field_usize(&mut s, "id", *id as usize);
+            field_str(&mut s, "route", route);
+            field_usize(&mut s, "status", *status as usize);
+            field_str(&mut s, "code", code);
+            field_str(&mut s, "session", session);
+            field_bool(&mut s, "session_hit", *session_hit);
+            field_f64(&mut s, "seconds", *seconds);
+        }
         TraceEvent::Run(r) => {
             field_str(&mut s, "bin", &r.bin);
             field_str(&mut s, "circuit", &r.circuit);
@@ -489,6 +506,15 @@ mod tests {
                 full: false,
                 seconds: 3.5e-6,
             },
+            TraceEvent::ServeRequest {
+                id: 42,
+                route: "solve".into(),
+                status: 200,
+                code: String::new(),
+                session: "00c0ffee00c0ffee".into(),
+                session_hit: true,
+                seconds: 0.012,
+            },
             TraceEvent::SolveDone(SolveRecord {
                 status: "converged".into(),
                 objective: -3.0,
@@ -522,6 +548,7 @@ mod tests {
         assert_eq!(summary.count("outer_iteration"), 1);
         assert_eq!(summary.count("diverged"), 1);
         assert_eq!(summary.count("what_if_query"), 1);
+        assert_eq!(summary.count("serve_request"), 1);
         assert!(summary.has_final_status());
     }
 

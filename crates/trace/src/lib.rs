@@ -182,6 +182,28 @@ pub enum TraceEvent {
         /// Wall-clock seconds of the query.
         seconds: f64,
     },
+    /// One HTTP request served (or rejected at admission) by the
+    /// `sgs-serve` daemon: the per-request trace id plus its routing and
+    /// session outcome.
+    ServeRequest {
+        /// Monotonic per-server request id (also echoed to the client as
+        /// the response's `"request_id"` field).
+        id: u64,
+        /// Route name (`"solve"`, `"health"`, ...; `"admission"` for
+        /// connections rejected before parsing).
+        route: String,
+        /// HTTP status code of the response.
+        status: u16,
+        /// Stable error code for non-2xx responses, empty otherwise.
+        code: String,
+        /// Session key (hex) the request resolved to, empty for
+        /// sessionless routes.
+        session: String,
+        /// Whether an existing warm session served the request.
+        session_hit: bool,
+        /// Wall-clock seconds from parsed request to rendered response.
+        seconds: f64,
+    },
     /// Final machine-readable report of a bench-binary run.
     Run(RunReport),
 }
@@ -197,6 +219,7 @@ impl TraceEvent {
             TraceEvent::Restart { .. } => "restart",
             TraceEvent::SolveDone(_) => "solve_done",
             TraceEvent::WhatIfQuery { .. } => "what_if_query",
+            TraceEvent::ServeRequest { .. } => "serve_request",
             TraceEvent::Run(_) => "run_report",
         }
     }
