@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! serve_load [--sessions N] [--queries N] [--out PATH]
+//!            [--access-log PATH] [--timeline PATH]
 //! ```
 //!
 //! Two phases against in-process servers:
@@ -21,19 +22,30 @@
 //! compares strictly in CI; only `*_seconds` values are timing-like.
 //! Client-side latency percentiles land in the spliced `"load"` block,
 //! which the comparator ignores.
+//!
+//! The run also exercises the request-tracing surface: before the
+//! concurrency server shuts down it fetches `GET /debug/traces`, checks
+//! every retained summary's latency accounting, and validates a `/solve`
+//! Chrome export end-to-end (`--timeline` writes it to disk). With
+//! `--access-log` the daemon's JSONL access log is validated and its id
+//! set checked for daemon-uniqueness after shutdown.
 
 use sgs_bench::script::generated_steps;
+use sgs_metrics::window;
 use sgs_netlist::{generate, Library};
 use sgs_serve::client::Client;
 use sgs_serve::server::{Server, ServerConfig};
 use sgs_ssta::ssta;
-use sgs_trace::json::{parse_json, Json};
+use sgs_trace::chrome::validate_chrome;
+use sgs_trace::json::{parse_json, validate_jsonl, Json};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: serve_load [--sessions N] [--queries N] [--out PATH]");
+    eprintln!(
+        "usage: serve_load [--sessions N] [--queries N] [--out PATH] [--access-log PATH] [--timeline PATH]"
+    );
     ExitCode::from(2)
 }
 
@@ -170,13 +182,19 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 /// Phase 1: `sessions` concurrent scripted clients on distinct circuits.
-fn concurrency_phase(sessions: usize, queries: usize) -> (Vec<Sample>, usize) {
+fn concurrency_phase(
+    sessions: usize,
+    queries: usize,
+    access_log: Option<&str>,
+    timeline: Option<&str>,
+) -> (Vec<Sample>, usize) {
     let server = Server::start(
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: sessions,
             queue_capacity: sessions * 2,
             session_capacity: sessions * 2,
+            access_log: access_log.map(Into::into),
             ..ServerConfig::default()
         },
         None,
@@ -211,8 +229,66 @@ fn concurrency_phase(sessions: usize, queries: usize) -> (Vec<Sample>, usize) {
     }
     let live = server.sessions_live();
     assert_eq!(live, sessions, "every session must stay live (no eviction)");
+    trace_checks(addr, timeline);
     server.shutdown();
     (all, failed)
+}
+
+/// Exercises the tracing surface against the still-running concurrency
+/// server: summaries account their waits, a `/solve` Chrome export
+/// validates with high span coverage, and (optionally) lands on disk.
+fn trace_checks(addr: std::net::SocketAddr, timeline: Option<&str>) {
+    let mut c = Client::connect(addr).expect("connect for trace checks");
+    let resp = c.get("/debug/traces").expect("GET /debug/traces");
+    assert_eq!(resp.status, 200, "debug summary failed: {}", resp.body);
+    validate_jsonl(&resp.body).expect("trace summary must be one clean JSONL line");
+    let v = parse_json(resp.body.trim()).expect("trace summary parses");
+    let traces = match v.get("traces") {
+        Some(Json::Arr(a)) => a,
+        other => panic!("trace summary needs a traces array, got {other:?}"),
+    };
+    assert!(!traces.is_empty(), "the load run must retain traces");
+    let mut solve_id = None;
+    for t in traces {
+        let secs = t.get("seconds").and_then(Json::as_f64).expect("seconds");
+        let adm = t
+            .get("admission_wait_seconds")
+            .and_then(Json::as_f64)
+            .expect("admission wait");
+        let sess = t
+            .get("session_wait_seconds")
+            .and_then(Json::as_f64)
+            .expect("session wait");
+        assert!(
+            secs.is_finite() && adm >= 0.0 && sess >= 0.0 && adm + sess <= secs,
+            "trace summary wait accounting broken: {t:?}"
+        );
+        if t.get("route").and_then(Json::as_str) == Some("/solve") && solve_id.is_none() {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let id = t.get("request_id").and_then(Json::as_f64).unwrap() as u64;
+            solve_id = Some(id);
+        }
+    }
+    let solve_id = solve_id.expect("a /solve trace is retained after the load");
+    let export = c
+        .get(&format!("/debug/traces/{solve_id}"))
+        .expect("GET /debug/traces/<id>");
+    assert_eq!(export.status, 200, "chrome export failed: {}", export.body);
+    let summary = validate_chrome(&export.body).expect("chrome export must validate");
+    assert!(
+        summary.coverage.unwrap_or(0.0) >= 0.95,
+        "solve trace spans cover too little of the request: {summary:?}"
+    );
+    println!(
+        "traces: /solve request {solve_id} exported {} events ({} span pairs), coverage {:.1}%",
+        summary.events,
+        summary.pairs,
+        summary.coverage.unwrap_or(0.0) * 100.0
+    );
+    if let Some(path) = timeline {
+        std::fs::write(path, &export.body).expect("write the timeline export");
+        println!("wrote {path}");
+    }
 }
 
 /// Phase 2: eviction correctness on a capacity-4 server, single-threaded.
@@ -287,6 +363,8 @@ fn main() -> ExitCode {
     let mut sessions = 32usize;
     let mut queries = 8usize;
     let mut out_path = String::from("BENCH_serve.json");
+    let mut access_log: Option<String> = None;
+    let mut timeline: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -303,6 +381,14 @@ fn main() -> ExitCode {
                 Some(p) => out_path = p,
                 None => return usage(),
             },
+            "--access-log" => match it.next().cloned() {
+                Some(p) => access_log = Some(p),
+                None => return usage(),
+            },
+            "--timeline" => match it.next().cloned() {
+                Some(p) => timeline = Some(p),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -313,7 +399,12 @@ fn main() -> ExitCode {
     sgs_metrics::enable();
     let start = Instant::now();
 
-    let (samples, failed) = concurrency_phase(sessions, queries);
+    let (samples, failed) = concurrency_phase(
+        sessions,
+        queries,
+        access_log.as_deref(),
+        timeline.as_deref(),
+    );
     let total = samples.len();
     let hits = samples.iter().filter(|s| s.session_hit).count();
     #[allow(clippy::cast_precision_loss)]
@@ -350,6 +441,98 @@ fn main() -> ExitCode {
         "post-eviction cold re-solves must be bit-identical"
     );
 
+    // Per-route SLO sanity: every sizing route's sliding window has
+    // finite, ordered quantiles over the run's traffic.
+    let mut routes_json = String::new();
+    for (i, route) in [
+        window::Route::Solve,
+        window::Route::Resolve,
+        window::Route::WhatIf,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let q = window::route_quantiles(route)
+            .unwrap_or_else(|| panic!("route {} saw no traffic", route.name()));
+        assert!(
+            q.p99.is_finite() && q.p50 <= q.p95 && q.p95 <= q.p99,
+            "route {} quantiles broken: {q:?}",
+            route.name()
+        );
+        println!(
+            "route {}: {} requests, window p50 {:.2} ms p95 {:.2} ms p99 {:.2} ms",
+            route.name(),
+            q.count,
+            q.p50 * 1e3,
+            q.p95 * 1e3,
+            q.p99 * 1e3,
+        );
+        if i > 0 {
+            routes_json.push_str(", ");
+        }
+        let _ = write!(
+            routes_json,
+            "\"{}\": {{\"requests\": {}, \"p50_seconds\": {}, \"p95_seconds\": {}, \"p99_seconds\": {}}}",
+            route.name(),
+            q.count,
+            q.p50,
+            q.p95,
+            q.p99
+        );
+    }
+
+    // Queue-wait accounting: every non-rejected request observed exactly
+    // one admission-queue wait, and every sizing job exactly one
+    // session-queue wait.
+    let queue_wait = sgs_metrics::hist_snapshot(sgs_metrics::HistId::ServeQueueWaitSeconds);
+    let session_wait = sgs_metrics::hist_snapshot(sgs_metrics::HistId::ServeSessionWaitSeconds);
+    let served = sgs_metrics::counter_value(sgs_metrics::Counter::ServeRequests)
+        - sgs_metrics::counter_value(sgs_metrics::Counter::ServeRejectedSaturated);
+    assert_eq!(
+        queue_wait.count, served,
+        "admission queue wait must be observed for every served request"
+    );
+    assert!(
+        session_wait.count > 0 && session_wait.max.is_finite(),
+        "session queue wait must be observed for sizing jobs"
+    );
+    println!(
+        "queue waits: admission {} observations (max {:.2} ms), session {} observations (max {:.2} ms)",
+        queue_wait.count,
+        queue_wait.max * 1e3,
+        session_wait.count,
+        session_wait.max * 1e3,
+    );
+
+    if let Some(path) = &access_log {
+        let text = std::fs::read_to_string(path).expect("read the access log back");
+        let summary = validate_jsonl(&text).expect("access log must be JSONL-clean");
+        let events = summary.count("access");
+        // Every concurrency-phase request plus the two trace checks; 429
+        // rejections (if the queue ever saturated) add theirs on top.
+        assert!(
+            events >= total + 2,
+            "access log holds {events} events for {total}+2 requests"
+        );
+        let mut ids: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let id = parse_json(l)
+                    .expect("access line parses")
+                    .get("request_id")
+                    .and_then(Json::as_f64)
+                    .expect("access line has request_id") as u64;
+                id
+            })
+            .collect();
+        let lines = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), lines, "request ids must be daemon-unique");
+        println!("access log: {events} events, all ids unique ({path})");
+    }
+
     sgs_metrics::set_gauge(
         sgs_metrics::Gauge::RunSeconds,
         start.elapsed().as_secs_f64(),
@@ -373,8 +556,17 @@ fn main() -> ExitCode {
          \"warm_fraction\": {warm_fraction},\n    \
          \"latency_p50_seconds\": {p50},\n    \"latency_p90_seconds\": {p90},\n    \
          \"latency_p99_seconds\": {p99},\n    \
+         \"routes\": {{{routes_json}}},\n    \
+         \"queue_wait\": {{\"count\": {}, \"p50_seconds\": {}, \"max_seconds\": {}}},\n    \
+         \"session_wait\": {{\"count\": {}, \"p50_seconds\": {}, \"max_seconds\": {}}},\n    \
          \"eviction\": {{\"circuits\": 6, \"passes\": 2, \"capacity\": 4, \
-         \"bit_identical\": {evict_identical}}}\n  }}\n}}\n"
+         \"bit_identical\": {evict_identical}}}\n  }}\n}}\n",
+        queue_wait.count,
+        queue_wait.p50,
+        queue_wait.max,
+        session_wait.count,
+        session_wait.p50,
+        session_wait.max,
     );
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");

@@ -28,7 +28,7 @@ use sgs_nlp::auglag::{self, AugLagOptions, WarmStart};
 use sgs_nlp::NlpProblem;
 use sgs_ssta::{IncrementalSsta, UpdateStats};
 use sgs_statmath::Normal;
-use sgs_trace::{TraceEvent, TraceSink, Tracer};
+use sgs_trace::{RequestContext, TraceEvent, TraceSink, Tracer};
 use std::time::Instant;
 
 /// Result of an evaluation-only what-if query ([`Resolver::what_if`]).
@@ -154,7 +154,21 @@ impl<'a> Resolver<'a> {
     /// [`SizeError::SolverFailed`] when the solve produces a non-finite
     /// iterate or misses the delay spec.
     pub fn solve(&mut self) -> Result<ResolveOutcome, SizeError> {
-        self.run(Seed::Carry, 0)
+        self.solve_traced(None)
+    }
+
+    /// [`Resolver::solve`], additionally attributing solver phases and
+    /// counters to a request context (the daemon's request-scoped
+    /// tracing path; `None` behaves exactly like [`Resolver::solve`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SizeError::SolverFailed`] as for [`Resolver::solve`].
+    pub fn solve_traced(
+        &mut self,
+        req: Option<&RequestContext>,
+    ) -> Result<ResolveOutcome, SizeError> {
+        self.run(Seed::Carry, 0, req)
     }
 
     /// Moves the deadline of the current single-deadline spec to `d` and
@@ -174,6 +188,23 @@ impl<'a> Resolver<'a> {
     /// [`DelaySpec::MaxMeanPlusKSigma`] or [`DelaySpec::ExactMean`] (the
     /// single-deadline forms), or if `d` is not finite.
     pub fn resolve_spec(&mut self, d: f64) -> Result<ResolveOutcome, SizeError> {
+        self.resolve_spec_traced(d, None)
+    }
+
+    /// [`Resolver::resolve_spec`] with request-scoped tracing attached.
+    ///
+    /// # Errors
+    ///
+    /// [`SizeError::SolverFailed`] as for [`Resolver::resolve_spec`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`Resolver::resolve_spec`].
+    pub fn resolve_spec_traced(
+        &mut self,
+        d: f64,
+        req: Option<&RequestContext>,
+    ) -> Result<ResolveOutcome, SizeError> {
         match &mut self.delay_spec {
             DelaySpec::MaxMean(cap)
             | DelaySpec::ExactMean(cap)
@@ -182,7 +213,7 @@ impl<'a> Resolver<'a> {
         }
         let updated = self.problem.set_deadline(d);
         debug_assert!(updated > 0, "single-deadline spec must have a cap");
-        self.run(Seed::Carry, 0)
+        self.run(Seed::Carry, 0, req)
     }
 
     /// Moves the sigma multiplier of a [`Objective::MeanPlusKSigma`]
@@ -208,7 +239,7 @@ impl<'a> Resolver<'a> {
             other => panic!("resolve_objective_k needs a mu + k sigma objective, got {other}"),
         }
         self.problem.set_objective_k(k);
-        self.run(Seed::Carry, 0)
+        self.run(Seed::Carry, 0, None)
     }
 
     /// Applies size changes through the incremental engine (dirty cone
@@ -229,8 +260,25 @@ impl<'a> Resolver<'a> {
         &mut self,
         changes: &[(GateId, f64)],
     ) -> Result<ResolveOutcome, SizeError> {
+        self.resolve_sizes_traced(changes, None)
+    }
+
+    /// [`Resolver::resolve_sizes`] with request-scoped tracing attached.
+    ///
+    /// # Errors
+    ///
+    /// [`SizeError::SolverFailed`] as for [`Resolver::resolve_sizes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate id is out of range.
+    pub fn resolve_sizes_traced(
+        &mut self,
+        changes: &[(GateId, f64)],
+        req: Option<&RequestContext>,
+    ) -> Result<ResolveOutcome, SizeError> {
         let stats = self.inc.apply(changes);
-        self.run(Seed::Reseed, stats.gates_recomputed)
+        self.run(Seed::Reseed, stats.gates_recomputed, req)
     }
 
     /// Evaluation-only what-if: applies the size changes to the
@@ -242,6 +290,19 @@ impl<'a> Resolver<'a> {
     ///
     /// Panics if a gate id is out of range.
     pub fn what_if(&mut self, changes: &[(GateId, f64)]) -> WhatIfReport {
+        self.what_if_traced(changes, None)
+    }
+
+    /// [`Resolver::what_if`] with request-scoped tracing attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate id is out of range.
+    pub fn what_if_traced(
+        &mut self,
+        changes: &[(GateId, f64)],
+        req: Option<&RequestContext>,
+    ) -> WhatIfReport {
         sgs_metrics::incr(sgs_metrics::Counter::ResolveWhatIfQueries);
         let _timer = sgs_metrics::time_hist(sgs_metrics::HistId::WhatIfSeconds);
         let stats = self.inc.apply(changes);
@@ -257,7 +318,7 @@ impl<'a> Resolver<'a> {
             ),
             stats,
         };
-        self.tracer().emit(|| TraceEvent::Counter {
+        self.tracer().attach(req).emit(|| TraceEvent::Counter {
             name: "gates_recomputed",
             value: stats.gates_recomputed as u64,
         });
@@ -266,11 +327,16 @@ impl<'a> Resolver<'a> {
 
     /// The warm-started solve shared by [`Resolver::solve`],
     /// [`Resolver::resolve_spec`] and [`Resolver::resolve_sizes`].
-    fn run(&mut self, seed: Seed, pre_recomputed: usize) -> Result<ResolveOutcome, SizeError> {
+    fn run(
+        &mut self,
+        seed: Seed,
+        pre_recomputed: usize,
+        req: Option<&RequestContext>,
+    ) -> Result<ResolveOutcome, SizeError> {
         let start = Instant::now();
         let _solve_phase = sgs_metrics::phase(sgs_metrics::Phase::Solve);
         sgs_metrics::incr(sgs_metrics::Counter::ResolveSolves);
-        let tracer = self.tracer();
+        let tracer = self.tracer().attach(req);
         let clamps_before = sgs_statmath::clark::var_clamp_count();
         let x0 = self.problem.initial_point(self.inc.sizes());
         let warm = match seed {

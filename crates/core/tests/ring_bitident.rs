@@ -1,0 +1,93 @@
+//! Ring-sink solves must be bit-identical to NopSink solves.
+//!
+//! The zero-cost-when-observed contract of the request-tracing layer:
+//! attaching a `RingSink` (and a `RequestContext`) to a solve changes
+//! *what is recorded*, never *what is computed*. Objective, every sized
+//! iterate, and the evaluation counts are compared bit-for-bit via
+//! `f64::to_bits`.
+
+use sgs_core::{DelaySpec, Objective, Sizer};
+use sgs_netlist::generate::{self, RandomDagSpec};
+use sgs_netlist::Library;
+use sgs_trace::{RequestContext, RingSink};
+
+struct SolveFingerprint {
+    objective: u64,
+    s: Vec<u64>,
+    delay_mean: u64,
+    delay_var: u64,
+    outer: usize,
+    inner: usize,
+    evals: (usize, usize, usize, usize, usize),
+}
+
+fn run(trace: Option<(&RingSink, &RequestContext)>) -> SolveFingerprint {
+    let c = generate::random_dag(&RandomDagSpec {
+        cells: 40,
+        inputs: 8,
+        depth: 5,
+        seed: 7,
+        ..RandomDagSpec::default()
+    });
+    let l = Library::paper_default();
+    let mut sizer = Sizer::new(&c, &l)
+        .objective(Objective::Area)
+        .delay_spec(DelaySpec::MaxMean(20.0));
+    if let Some((ring, _)) = trace {
+        sizer = sizer.trace(ring);
+    }
+    let mut r = sizer.resolver();
+    let out = match trace {
+        Some((_, ctx)) => r.solve_traced(Some(ctx)).unwrap(),
+        None => r.solve().unwrap(),
+    };
+    // A warm re-solve at a moved deadline exercises the traced path too.
+    let warm = match trace {
+        Some((_, ctx)) => r.resolve_spec_traced(19.5, Some(ctx)).unwrap(),
+        None => r.resolve_spec(19.5).unwrap(),
+    };
+    let e = warm.result.evals;
+    SolveFingerprint {
+        objective: out.result.objective.to_bits(),
+        s: warm.result.s.iter().map(|v| v.to_bits()).collect(),
+        delay_mean: warm.result.delay.mean().to_bits(),
+        delay_var: warm.result.delay.var().to_bits(),
+        outer: out.result.outer_iterations + warm.result.outer_iterations,
+        inner: out.result.inner_iterations + warm.result.inner_iterations,
+        evals: (
+            e.objective,
+            e.gradient,
+            e.constraints,
+            e.jacobian,
+            e.hessian,
+        ),
+    }
+}
+
+#[test]
+fn ring_sink_solve_is_bit_identical_to_nop() {
+    let plain = run(None);
+
+    let ring = RingSink::new(16);
+    let ctx = RequestContext::new(1);
+    let traced = run(Some((&ring, &ctx)));
+
+    assert_eq!(plain.objective, traced.objective, "objective bits differ");
+    assert_eq!(plain.s, traced.s, "sized iterate bits differ");
+    assert_eq!(plain.delay_mean, traced.delay_mean);
+    assert_eq!(plain.delay_var, traced.delay_var);
+    assert_eq!(plain.outer, traced.outer, "outer iteration counts differ");
+    assert_eq!(plain.inner, traced.inner, "inner iteration counts differ");
+    assert_eq!(plain.evals, traced.evals, "evaluation counts differ");
+
+    // The traced run actually observed something: solver events in the
+    // ring's event buffer and solver spans in the request tree.
+    assert!(!ring.events().is_empty(), "ring sink recorded no events");
+    let t = ctx.finish("/solve", 200, "", "", true);
+    assert!(
+        t.spans.iter().any(|s| s.name == "auglag"),
+        "request context missed the auglag span: {:?}",
+        t.spans.iter().map(|s| s.name).collect::<Vec<_>>()
+    );
+    assert!(t.spans.iter().any(|s| s.name == "inner_tr"));
+}

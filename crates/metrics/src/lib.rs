@@ -37,6 +37,7 @@ pub mod hist;
 pub mod prom;
 pub mod report;
 pub mod snapshot;
+pub mod window;
 
 pub use compare::{compare, CompareOptions, CompareOutcome};
 pub use hist::{HistSnapshot, Histogram};
@@ -199,6 +200,12 @@ metric_enum! {
         ServeWhatIfSeconds => "serve_what_if_seconds",
         /// Served `/analyze` request latency.
         ServeAnalyzeSeconds => "serve_analyze_seconds",
+        /// Seconds each parsed request spent in the admission (accept)
+        /// queue before a connection worker picked it up.
+        ServeQueueWaitSeconds => "serve_queue_wait_seconds",
+        /// Seconds each sizing request spent in its session worker's job
+        /// queue before the worker started it.
+        ServeSessionWaitSeconds => "serve_session_wait_seconds",
     }
 }
 
@@ -325,6 +332,7 @@ pub fn reset() {
     for p in &PHASE_COUNTS {
         p.store(0, Ordering::Relaxed);
     }
+    window::reset_windows();
 }
 
 /// Adds `n` to a counter (no-op while disabled).
@@ -458,6 +466,18 @@ pub fn snapshot(meta: Metadata) -> Snapshot {
     for g in Gauge::ALL {
         gauges.insert(g.name().to_string(), gauge_value(g));
     }
+    // Sliding-window SLO quantiles: injected like the allocator counters
+    // above — only for routes that saw traffic, so non-serve snapshots
+    // are byte-identical to the pre-window schema.
+    for r in window::Route::ALL {
+        if let Some(q) = window::route_quantiles(r) {
+            let n = r.name();
+            gauges.insert(format!("serve_window_{n}_p50_seconds"), q.p50);
+            gauges.insert(format!("serve_window_{n}_p95_seconds"), q.p95);
+            gauges.insert(format!("serve_window_{n}_p99_seconds"), q.p99);
+            counters.insert(format!("serve_window_{n}_requests"), q.count as u64);
+        }
+    }
     let mut hists = std::collections::BTreeMap::new();
     for h in HistId::ALL {
         hists.insert(h.name().to_string(), hist_snapshot(h));
@@ -484,14 +504,15 @@ pub fn snapshot(meta: Metadata) -> Snapshot {
     }
 }
 
+/// The registry is process-global; unit tests that enable, reset, or
+/// read it must not interleave (also used by `window::tests`).
+#[cfg(test)]
+pub(crate) static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
-
-    /// The registry is process-global; unit tests that enable it must not
-    /// interleave.
-    static LOCK: Mutex<()> = Mutex::new(());
+    use crate::TEST_LOCK as LOCK;
 
     #[test]
     fn disabled_path_records_nothing() {
@@ -531,6 +552,29 @@ mod tests {
         reset();
         assert_eq!(counter_value(Counter::NlpSolves), 0);
         assert_eq!(phase_count(Phase::Auglag), 0);
+    }
+
+    #[test]
+    fn window_quantiles_gate_on_enabled_and_inject_into_snapshot() {
+        let _g = LOCK.lock().unwrap();
+        disable();
+        reset();
+        // Disabled: nothing recorded, nothing injected.
+        window::observe_route(window::Route::Resolve, 0.25);
+        assert!(window::route_quantiles(window::Route::Resolve).is_none());
+        enable();
+        for i in 1..=5 {
+            window::observe_route(window::Route::Resolve, f64::from(i) * 0.1);
+        }
+        let s = snapshot(Metadata::default());
+        assert_eq!(s.counters["serve_window_resolve_requests"], 5);
+        assert!((s.gauges["serve_window_resolve_p50_seconds"] - 0.3).abs() < 1e-12);
+        assert!(s.gauges.contains_key("serve_window_resolve_p99_seconds"));
+        // Routes without traffic inject nothing.
+        assert!(!s.gauges.contains_key("serve_window_analyze_p50_seconds"));
+        disable();
+        reset();
+        assert!(window::route_quantiles(window::Route::Resolve).is_none());
     }
 
     #[test]

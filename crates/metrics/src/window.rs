@@ -1,0 +1,189 @@
+//! Sliding-window per-route latency quantiles (SLO tracking).
+//!
+//! The log-bucketed [`crate::hist::Histogram`]s aggregate over a whole
+//! run; SLOs care about *recent* behaviour. This module keeps, per served
+//! route, a fixed-capacity window of the last [`WINDOW_CAPACITY`] request
+//! latencies and derives exact (sorted, nearest-rank) p50/p95/p99 over
+//! it. The quantiles surface in two places:
+//!
+//! - the schema-v1 snapshot, as injected gauges
+//!   `serve_window_<route>_p50_seconds` / `_p95_` / `_p99_` plus a
+//!   `serve_window_<route>_requests` counter (windows that never saw a
+//!   request inject nothing, so non-serve binaries' snapshots are
+//!   unchanged);
+//! - the Prometheus exposition, which renders those gauges/counters like
+//!   any other.
+//!
+//! Same recording rules as the rest of the registry: disabled ⇒ one
+//! relaxed atomic load and out; [`crate::reset`] clears the windows.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Number of most-recent samples the per-route window retains.
+pub const WINDOW_CAPACITY: usize = 512;
+
+/// Served routes with SLO windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Route {
+    /// `POST /solve`.
+    Solve,
+    /// `POST /resolve`.
+    Resolve,
+    /// `POST /what_if`.
+    WhatIf,
+    /// `POST /analyze`.
+    Analyze,
+}
+
+impl Route {
+    /// Number of routes (storage array length).
+    pub const COUNT: usize = 4;
+    /// Every route in declaration order.
+    pub const ALL: [Route; Self::COUNT] =
+        [Route::Solve, Route::Resolve, Route::WhatIf, Route::Analyze];
+
+    /// Stable snake_case name used in metric keys.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Route::Solve => "solve",
+            Route::Resolve => "resolve",
+            Route::WhatIf => "what_if",
+            Route::Analyze => "analyze",
+        }
+    }
+
+    /// Maps an HTTP path to its SLO route, if it has one.
+    #[must_use]
+    pub fn for_path(path: &str) -> Option<Route> {
+        match path {
+            "/solve" => Some(Route::Solve),
+            "/resolve" => Some(Route::Resolve),
+            "/what_if" => Some(Route::WhatIf),
+            "/analyze" => Some(Route::Analyze),
+            _ => None,
+        }
+    }
+}
+
+static WINDOWS: [Mutex<VecDeque<f64>>; Route::COUNT] =
+    [const { Mutex::new(VecDeque::new()) }; Route::COUNT];
+
+/// Sliding-window quantiles for one route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteQuantiles {
+    /// Median latency over the window, seconds.
+    pub p50: f64,
+    /// 95th-percentile latency over the window, seconds.
+    pub p95: f64,
+    /// 99th-percentile latency over the window, seconds.
+    pub p99: f64,
+    /// Samples currently in the window (≤ [`WINDOW_CAPACITY`]).
+    pub count: usize,
+}
+
+/// Records one request latency into the route's window (no-op while the
+/// registry is disabled). The oldest sample is dropped at capacity.
+pub fn observe_route(route: Route, seconds: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    push_sample(route, seconds);
+}
+
+fn push_sample(route: Route, seconds: f64) {
+    let mut w = WINDOWS[route as usize].lock().unwrap();
+    if w.len() == WINDOW_CAPACITY {
+        w.pop_front();
+    }
+    w.push_back(seconds);
+}
+
+/// Nearest-rank percentile of a sorted slice (`p` in `[0, 1]`).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Current window quantiles for `route` (`None` when the window is
+/// empty).
+#[must_use]
+pub fn route_quantiles(route: Route) -> Option<RouteQuantiles> {
+    let w = WINDOWS[route as usize].lock().unwrap();
+    if w.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = w.iter().copied().collect();
+    drop(w);
+    sorted.sort_by(f64::total_cmp);
+    Some(RouteQuantiles {
+        p50: percentile(&sorted, 0.50),
+        p95: percentile(&sorted, 0.95),
+        p99: percentile(&sorted, 0.99),
+        count: sorted.len(),
+    })
+}
+
+/// Empties every route window (part of [`crate::reset`]).
+pub fn reset_windows() {
+    for w in &WINDOWS {
+        w.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The windows are process-global and `crate::reset` clears them, so
+    // every test here serialises on the registry's shared lock. The
+    // `enabled()` gate itself is covered by the registry tests in
+    // `lib.rs`; these bypass it via `push_sample`.
+    use super::*;
+
+    #[test]
+    fn quantiles_are_exact_over_small_windows() {
+        let _g = crate::TEST_LOCK.lock().unwrap();
+        reset_windows();
+        for i in 1..=100 {
+            push_sample(Route::Solve, f64::from(i) / 1000.0);
+        }
+        let q = route_quantiles(Route::Solve).unwrap();
+        assert_eq!(q.count, 100);
+        // Nearest-rank over n=100: indices round(99p) = 50 / 94 / 98.
+        assert!((q.p50 - 0.051).abs() < 1e-12, "p50 {}", q.p50);
+        assert!((q.p95 - 0.095).abs() < 1e-12, "p95 {}", q.p95);
+        assert!((q.p99 - 0.099).abs() < 1e-12, "p99 {}", q.p99);
+        assert!(q.p50 <= q.p95 && q.p95 <= q.p99);
+    }
+
+    #[test]
+    fn window_drops_oldest_at_capacity() {
+        let _g = crate::TEST_LOCK.lock().unwrap();
+        reset_windows();
+        for i in 0..(WINDOW_CAPACITY + 10) {
+            push_sample(Route::WhatIf, i as f64);
+        }
+        let q = route_quantiles(Route::WhatIf).unwrap();
+        assert_eq!(q.count, WINDOW_CAPACITY);
+        // The 10 oldest samples (0..9) are gone: the window minimum is 10,
+        // so the median reflects the shifted window.
+        assert!((q.p50 - (10.0_f64 + 511.0 / 2.0).round()).abs() <= 1.0);
+    }
+
+    #[test]
+    fn empty_window_yields_none() {
+        let _g = crate::TEST_LOCK.lock().unwrap();
+        reset_windows();
+        assert!(route_quantiles(Route::Analyze).is_none());
+    }
+
+    #[test]
+    fn route_path_mapping() {
+        assert_eq!(Route::for_path("/solve"), Some(Route::Solve));
+        assert_eq!(Route::for_path("/metrics"), None);
+        for r in Route::ALL {
+            assert!(!r.name().is_empty());
+        }
+    }
+}

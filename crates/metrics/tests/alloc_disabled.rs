@@ -25,6 +25,30 @@ fn hammer_hot_path(rounds: u64) {
     }
 }
 
+/// Runs `hammer_hot_path(10_000)` and returns the allocation delta
+/// observed across the window, retrying up to 10 times.
+///
+/// The allocation counters are process-global, so the libtest harness
+/// thread (blocked waiting for this test) can deposit a stray
+/// allocation inside a measured window. A hot path that really
+/// allocates dirties *every* window with ~rounds-proportional counts;
+/// harness noise is rare and window-independent, so one clean window
+/// proves the path alloc-free. The tightest dirty delta is reported on
+/// failure.
+fn cleanest_window() -> (u64, u64) {
+    let mut best = (u64::MAX, u64::MAX);
+    for _ in 0..10 {
+        let (calls0, bytes0) = (allocation_calls(), allocation_bytes());
+        hammer_hot_path(10_000);
+        let delta = (allocation_calls() - calls0, allocation_bytes() - bytes0);
+        if delta == (0, 0) {
+            return delta;
+        }
+        best = best.min(delta);
+    }
+    best
+}
+
 #[test]
 fn hot_path_allocates_zero_bytes() {
     sgs_metrics::alloc::mark_installed();
@@ -34,10 +58,8 @@ fn hot_path_allocates_zero_bytes() {
     // Warm-up outside the measured window, in case lazy runtime structures
     // (e.g. stdout locks elsewhere in the harness) allocate on first touch.
     hammer_hot_path(10);
-    let (calls0, bytes0) = (allocation_calls(), allocation_bytes());
-    hammer_hot_path(10_000);
     assert_eq!(
-        (allocation_calls() - calls0, allocation_bytes() - bytes0),
+        cleanest_window(),
         (0, 0),
         "disabled metrics path performed heap allocations"
     );
@@ -46,10 +68,8 @@ fn hot_path_allocates_zero_bytes() {
     sgs_metrics::reset();
     sgs_metrics::enable();
     hammer_hot_path(10);
-    let (calls1, bytes1) = (allocation_calls(), allocation_bytes());
-    hammer_hot_path(10_000);
     assert_eq!(
-        (allocation_calls() - calls1, allocation_bytes() - bytes1),
+        cleanest_window(),
         (0, 0),
         "enabled metrics path performed heap allocations"
     );

@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! sgs_serve [--addr HOST:PORT] [--workers N] [--queue N] [--sessions N]
-//!           [--trace FILE.jsonl]
+//!           [--trace FILE.jsonl] [--trace-capacity N] [--access-log FILE]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7878`), prints `listening on <addr>` and
 //! serves until killed. The process-global metrics registry is enabled so
-//! `GET /metrics` exposes live Prometheus counters.
+//! `GET /metrics` exposes live Prometheus counters. `--trace-capacity`
+//! sets how many completed request traces `GET /debug/traces` retains
+//! (0 disables request tracing); `--access-log` appends one JSONL
+//! `"access"` event per completed request.
 
 use sgs_serve::server::{Server, ServerConfig};
 use sgs_trace::{JsonlSink, TraceSink};
@@ -15,7 +18,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> &'static str {
-    "usage: sgs_serve [--addr HOST:PORT] [--workers N] [--queue N] [--sessions N] [--trace FILE.jsonl]"
+    "usage: sgs_serve [--addr HOST:PORT] [--workers N] [--queue N] [--sessions N] [--trace FILE.jsonl] [--trace-capacity N] [--access-log FILE]"
 }
 
 fn main() -> ExitCode {
@@ -46,6 +49,12 @@ fn main() -> ExitCode {
                     .map_err(|e| format!("--sessions: {e}"))
             }),
             "--trace" => value("--trace").map(|v| trace_path = Some(v)),
+            "--trace-capacity" => value("--trace-capacity").and_then(|v| {
+                v.parse()
+                    .map(|n| cfg.trace_capacity = n)
+                    .map_err(|e| format!("--trace-capacity: {e}"))
+            }),
+            "--access-log" => value("--access-log").map(|v| cfg.access_log = Some(v.into())),
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;

@@ -19,10 +19,14 @@ use crate::error::{self, ServeError};
 use crate::http::{self, Limits, ReadOutcome, Request};
 use crate::proto::{self, SessionSpec};
 use crate::session::{Job, Op, SessionStore};
-use sgs_trace::{TraceEvent, TraceSink};
+use sgs_trace::json::{push_json_f64, push_json_string};
+use sgs_trace::request::{RequestContext, RequestTrace, SPAN_ADMISSION_WAIT};
+use sgs_trace::{chrome, RingSink, TraceEvent, TraceSink};
 use std::collections::VecDeque;
-use std::io::BufReader;
+use std::fmt::Write as _;
+use std::io::{BufReader, Write as _};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Condvar, Mutex};
@@ -45,6 +49,12 @@ pub struct ServerConfig {
     /// Per-read socket timeout. Doubles as the keep-alive idle timeout:
     /// an idle connection is dropped after one quiet interval.
     pub read_timeout: Duration,
+    /// Completed request traces retained for `GET /debug/traces` (the
+    /// ring's drop-oldest capacity). `0` disables request tracing.
+    pub trace_capacity: usize,
+    /// JSONL access log (one `"access"` event per completed request);
+    /// `None` disables it.
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +66,8 @@ impl Default for ServerConfig {
             session_capacity: 8,
             limits: Limits::default(),
             read_timeout: Duration::from_secs(5),
+            trace_capacity: 256,
+            access_log: None,
         }
     }
 }
@@ -63,11 +75,73 @@ impl Default for ServerConfig {
 struct Shared {
     cfg: ServerConfig,
     store: SessionStore,
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     ready: Condvar,
     shutdown: AtomicBool,
     next_request_id: AtomicU64,
     trace: Option<Arc<dyn TraceSink + Send + Sync>>,
+    ring: Option<RingSink>,
+    access: Option<Mutex<std::fs::File>>,
+}
+
+impl Shared {
+    /// The single request-id allocator: every response path — routed
+    /// requests, framing errors, inline 429 rejections — mints its
+    /// daemon-unique id here.
+    fn next_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Whether per-request contexts should be built at all.
+    fn wants_request_trace(&self) -> bool {
+        self.ring.is_some() || self.access.is_some()
+    }
+
+    /// Completes a request's trace: one access-log line, then retention
+    /// in the ring (both best-effort — observability never fails the
+    /// request it observes).
+    fn finish_request(
+        &self,
+        ctx: &RequestContext,
+        route: &str,
+        status: u16,
+        code: &str,
+        session: &str,
+        session_hit: bool,
+    ) {
+        let trace = ctx.finish(route, status, code, session, session_hit);
+        if let Some(file) = &self.access {
+            let mut line = String::with_capacity(192);
+            line.push_str("{\"event\":\"access\",");
+            line.push_str(&trace_fields(&trace));
+            line.push_str("}\n");
+            let mut f = file.lock().expect("access log poisoned");
+            let _ = f.write_all(line.as_bytes());
+        }
+        if let Some(ring) = &self.ring {
+            ring.push(trace);
+        }
+    }
+}
+
+/// The shared field set of access-log lines and `/debug/traces` summary
+/// entries (an object body without the surrounding braces).
+fn trace_fields(t: &RequestTrace) -> String {
+    let mut s = String::with_capacity(160);
+    let _ = write!(s, "\"request_id\":{},\"route\":", t.request_id);
+    push_json_string(&mut s, &t.route);
+    let _ = write!(s, ",\"status\":{},\"code\":", t.status);
+    push_json_string(&mut s, &t.code);
+    s.push_str(",\"session\":");
+    push_json_string(&mut s, &t.session);
+    let _ = write!(s, ",\"session_hit\":{},\"seconds\":", t.session_hit);
+    push_json_f64(&mut s, t.total_seconds);
+    s.push_str(",\"admission_wait_seconds\":");
+    push_json_f64(&mut s, t.admission_wait_seconds);
+    s.push_str(",\"session_wait_seconds\":");
+    push_json_f64(&mut s, t.session_wait_seconds);
+    let _ = write!(s, ",\"spans\":{}", t.spans.len());
+    s
 }
 
 /// A running daemon. Dropping it without [`Server::shutdown`] leaves the
@@ -84,13 +158,18 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// I/O errors from binding the listener.
+    /// I/O errors from binding the listener or creating the access log.
     pub fn start(
         cfg: ServerConfig,
         trace: Option<Arc<dyn TraceSink + Send + Sync>>,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        let ring = (cfg.trace_capacity > 0).then(|| RingSink::new(cfg.trace_capacity));
+        let access = match &cfg.access_log {
+            Some(path) => Some(Mutex::new(std::fs::File::create(path)?)),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             store: SessionStore::new(cfg.session_capacity),
             queue: Mutex::new(VecDeque::new()),
@@ -98,6 +177,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             next_request_id: AtomicU64::new(1),
             trace,
+            ring,
+            access,
             cfg,
         });
 
@@ -168,7 +249,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                 reject_saturated(stream, shared);
                 continue;
             }
-            q.push_back(stream);
+            q.push_back((stream, Instant::now()));
             q.len()
         };
         #[allow(clippy::cast_precision_loss)]
@@ -183,7 +264,7 @@ fn reject_saturated(mut stream: TcpStream, shared: &Shared) {
     sgs_metrics::incr(sgs_metrics::Counter::ServeRejectedSaturated);
     sgs_metrics::incr(sgs_metrics::Counter::ServeRequests);
     sgs_metrics::incr(sgs_metrics::Counter::ServeErrors);
-    let id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+    let id = shared.next_id();
     let err = ServeError::new(
         429,
         error::E_SATURATED,
@@ -199,6 +280,12 @@ fn reject_saturated(mut stream: TcpStream, shared: &Shared) {
         &[("Retry-After", "1".to_string())],
     );
     emit_trace(shared, id, "-", 429, error::E_SATURATED, "-", false, 0.0);
+    if shared.wants_request_trace() {
+        // A minimal trace: rejected before admission, so the whole
+        // request is one empty-bodied span tree rooted at "now".
+        let ctx = RequestContext::with_epoch(id, Instant::now());
+        shared.finish_request(&ctx, "admission", 429, error::E_SATURATED, "-", false);
+    }
 }
 
 fn worker_loop(shared: &Shared) {
@@ -217,13 +304,21 @@ fn worker_loop(shared: &Shared) {
                 q = shared.ready.wait(q).expect("queue poisoned");
             }
         };
-        let Some(stream) = stream else { return };
-        handle_connection(stream, shared);
+        let Some((stream, enqueued)) = stream else {
+            return;
+        };
+        handle_connection(stream, enqueued, shared);
     }
 }
 
 /// The keep-alive loop of one connection.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
+///
+/// `enqueued` is the instant the acceptor queued the connection; the gap
+/// between it and the first read is the **admission wait**, observed into
+/// `serve_queue_wait_seconds` and recorded as the `admission_wait` span of
+/// the connection's first request. Follow-on keep-alive requests have no
+/// admission wait — their epoch is the instant their read began.
+fn handle_connection(stream: TcpStream, enqueued: Instant, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
@@ -231,17 +326,41 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     };
     let mut reader = BufReader::new(read_half);
     let mut stream = stream;
+    let mut admission: Option<Instant> = Some(enqueued);
     loop {
+        let read_begin = Instant::now();
         let outcome = http::read_request(&mut reader, &shared.cfg.limits);
-        let id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+        if matches!(outcome, Ok(ReadOutcome::Closed)) {
+            // The peer hung up between requests: nothing was asked, so no
+            // request id is minted and nothing is traced.
+            return;
+        }
+        // There is an actual request (or a broken frame that gets an
+        // answer): mint its id and settle its epoch.
+        let id = shared.next_id();
+        let read_end = Instant::now();
+        let epoch = admission.take().unwrap_or(read_begin);
+        let queue_wait = read_begin
+            .checked_duration_since(epoch)
+            .unwrap_or_default()
+            .as_secs_f64();
+        sgs_metrics::observe(sgs_metrics::HistId::ServeQueueWaitSeconds, queue_wait);
+        let ctx = shared
+            .wants_request_trace()
+            .then(|| Arc::new(RequestContext::with_epoch(id, epoch)));
+        if let Some(c) = &ctx {
+            c.record_span(SPAN_ADMISSION_WAIT, epoch, read_begin);
+            c.record_span("read", read_begin, read_end);
+        }
         match outcome {
-            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Closed) => unreachable!("handled above"),
             Err(e) => {
                 // Framing is broken; answer if the peer still listens,
                 // then drop the connection.
                 sgs_metrics::incr(sgs_metrics::Counter::ServeRequests);
                 sgs_metrics::incr(sgs_metrics::Counter::ServeErrors);
                 let body = e.to_json(id);
+                let write_begin = Instant::now();
                 let _ = http::write_response(
                     &mut stream,
                     e.status,
@@ -251,11 +370,19 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                     &[],
                 );
                 emit_trace(shared, id, "-", e.status, e.code, "-", false, 0.0);
+                if let Some(c) = &ctx {
+                    c.record_span("write", write_begin, Instant::now());
+                    shared.finish_request(c, "-", e.status, e.code, "-", false);
+                }
                 return;
             }
             Ok(ReadOutcome::Request(req)) => {
                 let started = Instant::now();
-                let answer = route_request(&req, id, shared);
+                let handle_open = ctx.as_ref().map(|c| c.open("handle"));
+                let answer = route_request(&req, id, shared, ctx.as_ref());
+                if let (Some(c), Some(open)) = (&ctx, handle_open) {
+                    c.close(open);
+                }
                 let seconds = started.elapsed().as_secs_f64();
                 sgs_metrics::incr(sgs_metrics::Counter::ServeRequests);
                 if answer.status >= 400 {
@@ -264,7 +391,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 if let Some(h) = answer.hist {
                     sgs_metrics::observe(h, seconds);
                 }
+                if let Some(route) = sgs_metrics::window::Route::for_path(&req.path) {
+                    sgs_metrics::window::observe_route(route, seconds);
+                }
                 let keep_alive = !req.wants_close();
+                let write_begin = Instant::now();
                 let write_ok = http::write_response(
                     &mut stream,
                     answer.status,
@@ -284,6 +415,17 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                     answer.session_hit,
                     seconds,
                 );
+                if let Some(c) = &ctx {
+                    c.record_span("write", write_begin, Instant::now());
+                    shared.finish_request(
+                        c,
+                        &req.path,
+                        answer.status,
+                        answer.code,
+                        &answer.session,
+                        answer.session_hit,
+                    );
+                }
                 if !keep_alive || !write_ok {
                     return;
                 }
@@ -353,7 +495,12 @@ impl Answer {
     }
 }
 
-fn route_request(req: &Request, id: u64, shared: &Shared) -> Answer {
+fn route_request(
+    req: &Request,
+    id: u64,
+    shared: &Shared,
+    ctx: Option<&Arc<RequestContext>>,
+) -> Answer {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => Answer {
             status: 200,
@@ -373,13 +520,18 @@ fn route_request(req: &Request, id: u64, shared: &Shared) -> Answer {
             hist: None,
             extra_headers: Vec::new(),
         },
+        ("GET", "/debug/traces") => traces_summary(id, shared),
+        ("GET", p) if p.starts_with("/debug/traces/") => trace_export(id, p, shared),
         ("POST", "/solve" | "/resolve" | "/what_if" | "/analyze") => {
-            match sizing_request(req, id, shared) {
+            match sizing_request(req, id, shared, ctx) {
                 Ok(a) => a,
                 Err(e) => Answer::err(id, &e),
             }
         }
         (_, "/health" | "/metrics") => method_not_allowed(id, "GET"),
+        (_, p) if p == "/debug/traces" || p.starts_with("/debug/traces/") => {
+            method_not_allowed(id, "GET")
+        }
         (_, "/solve" | "/resolve" | "/what_if" | "/analyze") => method_not_allowed(id, "POST"),
         _ => Answer::err(
             id,
@@ -387,9 +539,79 @@ fn route_request(req: &Request, id: u64, shared: &Shared) -> Answer {
                 404,
                 error::E_NOT_FOUND,
                 format!(
-                    "no route {:?}; known: /health /metrics /solve /resolve /what_if /analyze",
+                    "no route {:?}; known: /health /metrics /debug/traces /solve /resolve /what_if /analyze",
                     req.path
                 ),
+            ),
+        ),
+    }
+}
+
+/// `GET /debug/traces`: one single-line JSON object summarising the
+/// retained request traces, newest first. Works (with an empty list and
+/// capacity 0) when tracing is disabled.
+fn traces_summary(id: u64, shared: &Shared) -> Answer {
+    let (capacity, entries) = match &shared.ring {
+        Some(r) => (r.capacity(), r.recent()),
+        None => (0, Vec::new()),
+    };
+    let mut body = format!(
+        "{{\"event\":\"trace_summary\",\"request_id\":{id},\"capacity\":{capacity},\"count\":{},\"traces\":[",
+        entries.len()
+    );
+    for (i, t) in entries.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push('{');
+        body.push_str(&trace_fields(t));
+        body.push('}');
+    }
+    body.push_str("]}\n");
+    Answer {
+        status: 200,
+        body,
+        code: "-",
+        session: "-".to_string(),
+        session_hit: false,
+        hist: None,
+        extra_headers: Vec::new(),
+    }
+}
+
+/// `GET /debug/traces/<id>`: the retained trace as a Chrome trace-event
+/// JSON document, loadable in Perfetto / `chrome://tracing`.
+fn trace_export(id: u64, path: &str, shared: &Shared) -> Answer {
+    let suffix = &path["/debug/traces/".len()..];
+    let Ok(rid) = suffix.parse::<u64>() else {
+        return Answer::err(
+            id,
+            &ServeError::bad_request(
+                error::E_BAD_FIELD,
+                format!("trace id {suffix:?} is not an unsigned integer"),
+            ),
+        );
+    };
+    match shared.ring.as_ref().and_then(|r| r.get(rid)) {
+        Some(t) => {
+            let mut body = chrome::request_to_chrome(&t);
+            body.push('\n');
+            Answer {
+                status: 200,
+                body,
+                code: "-",
+                session: "-".to_string(),
+                session_hit: false,
+                hist: None,
+                extra_headers: Vec::new(),
+            }
+        }
+        None => Answer::err(
+            id,
+            &ServeError::new(
+                404,
+                error::E_NOT_FOUND,
+                format!("no retained trace for request {rid}; the ring keeps the most recent completed requests"),
             ),
         ),
     }
@@ -418,7 +640,12 @@ fn metrics_exposition(shared: &Shared) -> String {
 }
 
 /// The shared body of `/solve`, `/resolve`, `/what_if` and `/analyze`.
-fn sizing_request(req: &Request, id: u64, shared: &Shared) -> Result<Answer, ServeError> {
+fn sizing_request(
+    req: &Request,
+    id: u64,
+    shared: &Shared,
+    ctx: Option<&Arc<RequestContext>>,
+) -> Result<Answer, ServeError> {
     let text = std::str::from_utf8(&req.body)
         .map_err(|_| ServeError::bad_request(error::E_BAD_JSON, "request body is not UTF-8"))?;
     let body = sgs_trace::json::parse_json(text)
@@ -427,15 +654,23 @@ fn sizing_request(req: &Request, id: u64, shared: &Shared) -> Result<Answer, Ser
 
     if req.path == "/analyze" {
         // Analysis is stateless: no session, no warm state to protect.
-        let circuit = spec.build_circuit()?;
-        let lib = sgs_netlist::Library::paper_default();
-        let report = sgs_analyze::analyze(
-            &circuit,
-            &lib,
-            &spec.objective,
-            &spec.spec,
-            &sgs_analyze::AnalyzerOptions::default(),
-        );
+        // The span closes on the error path too, so a bad circuit spec
+        // never leaves a dangling parent in the request tree.
+        let open = ctx.map(|c| c.open("analyze"));
+        let analyzed = spec.build_circuit().map(|circuit| {
+            let lib = sgs_netlist::Library::paper_default();
+            sgs_analyze::analyze(
+                &circuit,
+                &lib,
+                &spec.objective,
+                &spec.spec,
+                &sgs_analyze::AnalyzerOptions::default(),
+            )
+        });
+        if let (Some(c), Some(open)) = (ctx, open) {
+            c.close(open);
+        }
+        let report = analyzed?;
         return Ok(Answer::ok(
             proto::analyze_result_json(id, &report),
             "-".to_string(),
@@ -491,6 +726,8 @@ fn sizing_request(req: &Request, id: u64, shared: &Shared) -> Result<Answer, Ser
         op,
         session_hit: checkout.session_hit,
         reply: reply_tx,
+        ctx: ctx.cloned(),
+        queued_at: Instant::now(),
     };
     let session = format!("{:016x}", checkout.key);
     checkout

@@ -17,10 +17,12 @@ use crate::error::{self, ServeError};
 use crate::proto::{self, SessionSpec};
 use sgs_core::{Resolver, SizeError, Sizer};
 use sgs_netlist::{GateId, Library};
+use sgs_trace::request::{RequestContext, SPAN_SESSION_WAIT};
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::Instant;
 
 /// One operation a session worker can perform.
 #[derive(Debug, Clone)]
@@ -62,6 +64,14 @@ pub struct Job {
     /// Where the rendered response body (or error) goes. Rendezvous
     /// channel: the server thread blocks here until the worker answers.
     pub reply: SyncSender<Result<String, ServeError>>,
+    /// The originating request's trace context, when request tracing is
+    /// on. The worker records its queue wait and op span into it; the
+    /// rendezvous reply means all recording finishes before the server
+    /// thread completes the trace.
+    pub ctx: Option<Arc<RequestContext>>,
+    /// When the server thread enqueued this job (session-queue wait
+    /// starts here).
+    pub queued_at: Instant,
 }
 
 struct Entry {
@@ -220,6 +230,17 @@ fn run_session(spec: &SessionSpec, rx: &Receiver<Job>) {
     let has_deadline_spec = current_deadline.is_some();
 
     while let Ok(job) = rx.recv() {
+        let picked_up = Instant::now();
+        let wait = picked_up
+            .checked_duration_since(job.queued_at)
+            .unwrap_or_default()
+            .as_secs_f64();
+        sgs_metrics::observe(sgs_metrics::HistId::ServeSessionWaitSeconds, wait);
+        let req = job.ctx.as_deref();
+        if let Some(c) = req {
+            c.record_span(SPAN_SESSION_WAIT, job.queued_at, picked_up);
+        }
+        let op_open = req.map(|c| (c, c.open(op_name(&job.op))));
         let reply = match &job.op {
             Op::Solve { deadline } => {
                 let moved = deadline.is_some() && *deadline != current_deadline;
@@ -230,9 +251,9 @@ fn run_session(spec: &SessionSpec, rx: &Receiver<Job>) {
                     // solution); track what the engine has, or a retry at
                     // the old deadline would wrongly skip the move back.
                     current_deadline = Some(d);
-                    resolver.resolve_spec(d)
+                    resolver.resolve_spec_traced(d, req)
                 } else {
-                    resolver.solve()
+                    resolver.solve_traced(req)
                 };
                 out.map(|o| proto::solve_result_json(job.request_id, &o, job.session_hit))
                     .map_err(|e| solver_error(&e))
@@ -247,25 +268,38 @@ fn run_session(spec: &SessionSpec, rx: &Receiver<Job>) {
                     // As above: the engine's deadline moves even on failure.
                     current_deadline = Some(*d);
                     resolver
-                        .resolve_spec(*d)
+                        .resolve_spec_traced(*d, req)
                         .map(|o| proto::solve_result_json(job.request_id, &o, job.session_hit))
                         .map_err(|e| solver_error(&e))
                 }
             }
             Op::ResolveSizes { changes } => check_range(changes, num_gates).and_then(|()| {
                 resolver
-                    .resolve_sizes(changes)
+                    .resolve_sizes_traced(changes, req)
                     .map(|o| proto::solve_result_json(job.request_id, &o, job.session_hit))
                     .map_err(|e| solver_error(&e))
             }),
             Op::WhatIf { changes } => check_range(changes, num_gates).map(|()| {
-                let report = resolver.what_if(changes);
+                let report = resolver.what_if_traced(changes, req);
                 proto::what_if_result_json(job.request_id, &report, job.session_hit)
             }),
         };
+        if let Some((c, open)) = op_open {
+            c.close(open);
+        }
         // A vanished client (dropped reply receiver) is not the session's
         // problem; keep serving the queue.
         let _ = job.reply.send(reply);
+    }
+}
+
+/// The op's span name in the request trace.
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Solve { .. } => "solve",
+        Op::ResolveSpec { .. } => "resolve_spec",
+        Op::ResolveSizes { .. } => "resolve_sizes",
+        Op::WhatIf { .. } => "what_if",
     }
 }
 
@@ -286,6 +320,8 @@ mod tests {
             op,
             session_hit: hit,
             reply,
+            ctx: None,
+            queued_at: Instant::now(),
         })
         .expect("worker alive");
         rx.recv().expect("worker answers")

@@ -1,0 +1,375 @@
+//! Chrome trace-event (Perfetto-loadable) timeline export.
+//!
+//! Two exporters and one validator:
+//!
+//! - [`request_to_chrome`]: renders one [`RequestTrace`]'s span tree as
+//!   nested `B`/`E` duration events under a synthetic `"request"` root.
+//!   Children are clamped into their parent's interval and emitted in
+//!   stack order, so the `B`/`E` pairing is valid by construction.
+//! - [`jsonl_to_chrome`]: renders a whole run's `--trace=FILE` JSONL as a
+//!   timeline — each `phase_span` becomes a complete (`X`) event in a
+//!   per-phase lane, laid out end-to-end in emission order (the JSONL
+//!   records durations, not start times).
+//! - [`validate_chrome`]: parses an export back, checks every `B` has a
+//!   matching same-name `E` per `(pid, tid)` lane, and measures how much
+//!   of the root `"request"` span its direct children cover — the CI
+//!   timeline lint asserts ≥95% coverage.
+//!
+//! Open an export in <https://ui.perfetto.dev> (or `chrome://tracing`)
+//! by dropping the file onto the page.
+
+use crate::json::{parse_json, push_json_string, Json};
+use crate::request::{RequestTrace, SpanRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The `pid` all exported events carry (the trace is single-process).
+const PID: u64 = 1;
+
+fn event(out: &mut String, first: &mut bool, name: &str, ph: char, ts: u64, tid: u64, extra: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("{\"name\":");
+    push_json_string(out, name);
+    let _ = write!(
+        out,
+        ",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{PID},\"tid\":{tid}{extra}}}"
+    );
+}
+
+/// Renders one completed request trace as a Chrome trace-event JSON
+/// document (a `{"traceEvents":[...]}` object on a single line).
+///
+/// The span tree is rooted at a synthetic `"request"` span covering
+/// `[0, total]`; every recorded span is clamped into its parent's
+/// interval, children sorted by start offset. Notes are emitted as
+/// counter (`C`) events at the request origin.
+pub fn request_to_chrome(trace: &RequestTrace) -> String {
+    let total_us = (trace.total_seconds * 1e6).max(0.0) as u64;
+    // Children per parent id, sorted by start for deterministic nesting.
+    let mut children: BTreeMap<u32, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in &trace.spans {
+        children.entry(s.parent).or_default().push(s);
+    }
+    for v in children.values_mut() {
+        v.sort_by_key(|s| (s.start_us, s.id));
+    }
+
+    let mut out = String::with_capacity(256 + trace.spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+
+    let mut root_args = String::new();
+    let _ = write!(
+        root_args,
+        ",\"args\":{{\"request_id\":{},\"route\":",
+        trace.request_id
+    );
+    push_json_string(&mut root_args, &trace.route);
+    let _ = write!(
+        root_args,
+        ",\"status\":{},\"session_hit\":{},\"dropped_spans\":{}}}",
+        trace.status, trace.session_hit, trace.dropped_spans
+    );
+    event(&mut out, &mut first, "request", 'B', 0, 1, &root_args);
+
+    // Iterative stack emission: (parent interval, child list, next index).
+    fn emit_subtree(
+        out: &mut String,
+        first: &mut bool,
+        children: &BTreeMap<u32, Vec<&SpanRecord>>,
+        id: u32,
+        lo: u64,
+        hi: u64,
+    ) {
+        for s in children.get(&id).map_or(&[][..], |v| v.as_slice()) {
+            let start = s.start_us.clamp(lo, hi);
+            let end = s.start_us.saturating_add(s.dur_us).clamp(start, hi);
+            event(out, first, s.name, 'B', start, 1, "");
+            emit_subtree(out, first, children, s.id, start, end);
+            event(out, first, s.name, 'E', end, 1, "");
+        }
+    }
+    emit_subtree(&mut out, &mut first, &children, 0, 0, total_us);
+    event(&mut out, &mut first, "request", 'E', total_us, 1, "");
+
+    for n in &trace.notes {
+        let extra = format!(",\"args\":{{\"value\":{}}}", n.value);
+        event(&mut out, &mut first, n.name, 'C', 0, 1, &extra);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders a run's JSONL trace (the `--trace=FILE` output) as a Chrome
+/// trace-event document: each `phase_span` becomes a complete (`X`)
+/// event in a lane per phase name, packed end-to-end in emission order;
+/// `serve_request` and `what_if_query` events get their own lanes;
+/// `run_report` becomes the root lane. Counter events are skipped (they
+/// carry no time base).
+///
+/// # Errors
+///
+/// Returns a line-annotated message when a line is not valid JSON.
+pub fn jsonl_to_chrome(text: &str) -> Result<String, String> {
+    struct Lane {
+        tid: u64,
+        cursor_us: u64,
+    }
+    let mut lanes: BTreeMap<String, Lane> = BTreeMap::new();
+    let mut next_tid: u64 = 2; // tid 1 is reserved for the run lane
+    let mut out = String::with_capacity(text.len());
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let kind = v.get("event").and_then(Json::as_str).unwrap_or("");
+        let (lane_name, label, seconds) = match kind {
+            "phase_span" => {
+                let phase = v
+                    .get("phase")
+                    .and_then(Json::as_str)
+                    .unwrap_or("phase")
+                    .to_string();
+                let secs = v.get("seconds").and_then(Json::as_f64).unwrap_or(0.0);
+                (phase.clone(), phase, secs)
+            }
+            "serve_request" => {
+                let route = v.get("route").and_then(Json::as_str).unwrap_or("request");
+                let secs = v.get("seconds").and_then(Json::as_f64).unwrap_or(0.0);
+                ("requests".to_string(), route.to_string(), secs)
+            }
+            "what_if_query" => {
+                let secs = v.get("seconds").and_then(Json::as_f64).unwrap_or(0.0);
+                ("what_if".to_string(), "query".to_string(), secs)
+            }
+            "run_report" => {
+                let secs = v.get("seconds").and_then(Json::as_f64).unwrap_or(0.0);
+                let dur = (secs * 1e6).max(0.0) as u64;
+                let extra = format!(",\"dur\":{dur}");
+                event(&mut out, &mut first, "run", 'X', 0, 1, &extra);
+                continue;
+            }
+            _ => continue,
+        };
+        let lane = lanes.entry(lane_name).or_insert_with(|| {
+            let tid = next_tid;
+            next_tid += 1;
+            Lane { tid, cursor_us: 0 }
+        });
+        let dur = (seconds * 1e6).max(0.0) as u64;
+        let extra = format!(",\"dur\":{dur}");
+        event(
+            &mut out,
+            &mut first,
+            &label,
+            'X',
+            lane.cursor_us,
+            lane.tid,
+            &extra,
+        );
+        lane.cursor_us = lane.cursor_us.saturating_add(dur.max(1));
+    }
+
+    // Name the lanes so Perfetto shows phase names instead of bare tids.
+    for (name, lane) in &lanes {
+        let mut extra = String::from(",\"args\":{\"name\":");
+        push_json_string(&mut extra, name);
+        extra.push('}');
+        event(
+            &mut out,
+            &mut first,
+            "thread_name",
+            'M',
+            0,
+            lane.tid,
+            &extra,
+        );
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+/// Validation summary returned by [`validate_chrome`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChromeSummary {
+    /// Total events in the document.
+    pub events: usize,
+    /// Matched `B`/`E` duration pairs.
+    pub pairs: usize,
+    /// Complete (`X`) events.
+    pub complete: usize,
+    /// Fraction of the root `"request"` span covered by the union of its
+    /// direct children, when a `"request"` root is present.
+    pub coverage: Option<f64>,
+}
+
+/// Parses a Chrome trace-event export back and checks its structure:
+/// a top-level `"traceEvents"` array whose `B` events each close with a
+/// same-name `E` on the same `(pid, tid)` lane, in stack order.
+///
+/// When the document contains a `"request"` root (the
+/// [`request_to_chrome`] shape), also computes how much of the root's
+/// wall time its direct children cover (merged-union fraction).
+///
+/// # Errors
+///
+/// Returns a message describing the first structural violation.
+pub fn validate_chrome(text: &str) -> Result<ChromeSummary, String> {
+    let doc = parse_json(text)?;
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(a)) => a,
+        _ => return Err("missing top-level \"traceEvents\" array".to_string()),
+    };
+    let mut summary = ChromeSummary {
+        events: events.len(),
+        ..ChromeSummary::default()
+    };
+    // Per-(pid, tid) open-span stacks of (name, ts, depth-1 interval
+    // collector for the request root).
+    let mut stacks: BTreeMap<(u64, u64), Vec<(String, f64)>> = BTreeMap::new();
+    let mut root: Option<(f64, f64)> = None; // (start, end) of "request"
+    let mut depth1: Vec<(f64, f64)> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"name\""))?
+            .to_string();
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"ph\""))?;
+        let ts = e
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing numeric \"ts\""))?;
+        let pid = e.get("pid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let tid = e.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        match ph {
+            "B" => {
+                let stack = stacks.entry((pid, tid)).or_default();
+                if stack.is_empty() && name == "request" && root.is_none() {
+                    root = Some((ts, ts));
+                }
+                stack.push((name, ts));
+            }
+            "E" => {
+                let stack = stacks.entry((pid, tid)).or_default();
+                let (open_name, open_ts) = stack
+                    .pop()
+                    .ok_or_else(|| format!("event {i}: \"E\" {name:?} with no open span"))?;
+                if open_name != name {
+                    return Err(format!(
+                        "event {i}: \"E\" {name:?} closes open span {open_name:?}"
+                    ));
+                }
+                summary.pairs += 1;
+                if stack.is_empty() && name == "request" {
+                    if let Some((start, _)) = root {
+                        root = Some((start, ts));
+                    }
+                } else if stack.len() == 1 && stack[0].0 == "request" {
+                    depth1.push((open_ts, ts));
+                }
+            }
+            "X" => summary.complete += 1,
+            // Metadata, counter, and instant events carry no pairing.
+            "M" | "C" | "I" => {}
+            other => return Err(format!("event {i}: unsupported phase {other:?}")),
+        }
+    }
+    for ((pid, tid), stack) in &stacks {
+        if let Some((name, _)) = stack.last() {
+            return Err(format!("unclosed span {name:?} on pid={pid} tid={tid}"));
+        }
+    }
+    if let Some((start, end)) = root {
+        let dur = end - start;
+        if dur > 0.0 {
+            depth1.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut covered = 0.0;
+            let mut cursor = start;
+            for (s, e) in depth1 {
+                let s = s.max(cursor);
+                let e = e.min(end);
+                if e > s {
+                    covered += e - s;
+                    cursor = e;
+                }
+            }
+            summary.coverage = Some(covered / dur);
+        } else {
+            summary.coverage = Some(1.0);
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestContext;
+    use std::time::Instant;
+
+    #[test]
+    fn request_export_round_trips_with_full_coverage() {
+        let ctx = RequestContext::new(42);
+        let h = ctx.open("handle");
+        let s = ctx.open("solve");
+        ctx.close(s);
+        ctx.close(h);
+        let now = Instant::now();
+        ctx.record_span("write", now, now);
+        let mut t = ctx.finish("/solve", 200, "", "deadbeef", true);
+        // Deterministic synthetic layout: handle [0,80], solve [10,60],
+        // write [80,100], total 100µs.
+        t.total_seconds = 100e-6;
+        t.spans[0].start_us = 10; // solve closes first, records first
+        t.spans[0].dur_us = 50;
+        t.spans[1].start_us = 0; // handle
+        t.spans[1].dur_us = 80;
+        t.spans[2].start_us = 80; // write
+        t.spans[2].dur_us = 20;
+        let doc = request_to_chrome(&t);
+        let summary = validate_chrome(&doc).unwrap();
+        assert_eq!(summary.pairs, 4); // request + handle + solve + write
+        assert!(summary.coverage.unwrap() >= 0.99, "{summary:?}");
+    }
+
+    #[test]
+    fn jsonl_export_validates() {
+        let jsonl = concat!(
+            "{\"event\":\"phase_span\",\"phase\":\"ssta\",\"seconds\":0.001}\n",
+            "{\"event\":\"phase_span\",\"phase\":\"ssta\",\"seconds\":0.002}\n",
+            "{\"event\":\"phase_span\",\"phase\":\"auglag\",\"seconds\":0.005}\n",
+            "{\"event\":\"counter\",\"name\":\"gates\",\"value\":4}\n",
+            "{\"event\":\"run_report\",\"bin\":\"b\",\"circuit\":\"c\",\"status\":\"ok\",",
+            "\"objective\":1.0,\"mu\":1.0,\"sigma\":0.1,\"area\":2.0,\"seconds\":0.01,",
+            "\"evals\":{\"objective\":1,\"gradient\":1,\"constraints\":1,\"jacobian\":1,",
+            "\"hessian\":0},\"clark_var_clamps\":0}\n"
+        );
+        let doc = jsonl_to_chrome(jsonl).unwrap();
+        let summary = validate_chrome(&doc).unwrap();
+        assert_eq!(summary.pairs, 0);
+        assert_eq!(summary.complete, 4); // 3 spans + run report
+        assert!(summary.coverage.is_none());
+    }
+
+    #[test]
+    fn validator_rejects_mismatched_pairs() {
+        let bad = "{\"traceEvents\":[\
+            {\"name\":\"a\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":1},\
+            {\"name\":\"b\",\"ph\":\"E\",\"ts\":1,\"pid\":1,\"tid\":1}]}";
+        assert!(validate_chrome(bad).is_err());
+        let unclosed = "{\"traceEvents\":[\
+            {\"name\":\"a\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":1}]}";
+        assert!(validate_chrome(unclosed).is_err());
+    }
+}

@@ -154,6 +154,20 @@ fn push_f64(s: &mut String, v: f64) {
     }
 }
 
+/// Appends `val` to `out` as a JSON string literal — the writer's
+/// escaping, exported for downstream JSON emitters (the Chrome trace
+/// exporter, the daemon's access log).
+pub fn push_json_string(out: &mut String, val: &str) {
+    push_string(out, val);
+}
+
+/// Appends `val` to `out` as a JSON number, using the writer's
+/// `"NaN"`/`"Infinity"` string escapes for non-finite values (the
+/// convention [`Json::as_f64`] decodes).
+pub fn push_json_f64(out: &mut String, val: f64) {
+    push_f64(out, val);
+}
+
 fn push_string(s: &mut String, val: &str) {
     s.push('"');
     for ch in val.chars() {

@@ -33,8 +33,14 @@
 //! assert!(sink.span_seconds("ssta") >= 0.0);
 //! ```
 
+pub mod chrome;
 pub mod json;
+pub mod request;
+pub mod ring;
 pub mod shadow;
+
+pub use request::{RequestContext, RequestTrace};
+pub use ring::RingSink;
 
 use std::collections::VecDeque;
 use std::fs::File;
@@ -380,18 +386,30 @@ impl Drop for JsonlSink {
 
 /// Cheap, copyable handle producers thread through their call stacks.
 ///
-/// The closure passed to [`Tracer::emit`] runs only when the sink is
-/// enabled, so event payloads (strings, iterate vectors) are never built
+/// The closure passed to [`Tracer::emit`] runs only when the tracer is
+/// active, so event payloads (strings, iterate vectors) are never built
 /// on the disabled path.
+///
+/// Besides the sink, a tracer may carry a borrowed
+/// [`request::RequestContext`] (see [`Tracer::attach`]): spans then also
+/// land in the request's span tree, and counter events become request
+/// notes — this is how the daemon attributes solver phases to the HTTP
+/// request that triggered them. A tracer with a context is active even
+/// when its sink is [`NopSink`].
 #[derive(Clone, Copy)]
 pub struct Tracer<'a> {
     sink: &'a dyn TraceSink,
+    ctx: Option<&'a request::RequestContext>,
 }
 
 impl std::fmt::Debug for Tracer<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Tracer")
             .field("enabled", &self.enabled())
+            .field(
+                "request",
+                &self.ctx.map(request::RequestContext::request_id),
+            )
             .finish()
     }
 }
@@ -399,34 +417,69 @@ impl std::fmt::Debug for Tracer<'_> {
 impl<'a> Tracer<'a> {
     /// A tracer delivering to `sink`.
     pub fn new(sink: &'a dyn TraceSink) -> Self {
-        Tracer { sink }
+        Tracer { sink, ctx: None }
     }
 
     /// The disabled tracer (delivers to [`NOP_SINK`]).
     pub fn none() -> Tracer<'static> {
-        Tracer { sink: &NOP_SINK }
+        Tracer {
+            sink: &NOP_SINK,
+            ctx: None,
+        }
     }
 
-    /// Whether events will actually be delivered.
+    /// This tracer, additionally delivering spans and counters to the
+    /// given request context (`None` leaves the tracer unchanged). The
+    /// result's lifetime shrinks to the context borrow.
+    pub fn attach<'b>(self, ctx: Option<&'b request::RequestContext>) -> Tracer<'b>
+    where
+        'a: 'b,
+    {
+        Tracer {
+            sink: self.sink,
+            ctx: ctx.or(self.ctx),
+        }
+    }
+
+    /// The attached request context, if any.
+    pub fn request(&self) -> Option<&'a request::RequestContext> {
+        self.ctx
+    }
+
+    /// Whether events will actually be delivered to the *sink* (the
+    /// hot-path construction gate; a request context alone also
+    /// activates [`Tracer::emit`] and [`Tracer::span`]).
     pub fn enabled(&self) -> bool {
         self.sink.enabled()
     }
 
-    /// Builds (only if enabled) and delivers one event.
+    /// Builds (only if the sink is enabled or a request context is
+    /// attached) and delivers one event: to the sink when enabled, and —
+    /// for [`TraceEvent::Counter`] — as a note on the request context.
     pub fn emit(&self, make: impl FnOnce() -> TraceEvent) {
-        if self.sink.enabled() {
-            self.sink.record(&make());
+        let sink_on = self.sink.enabled();
+        if !sink_on && self.ctx.is_none() {
+            return;
+        }
+        let event = make();
+        if sink_on {
+            self.sink.record(&event);
+        }
+        if let (Some(ctx), TraceEvent::Counter { name, value }) = (self.ctx, &event) {
+            ctx.note(name, *value);
         }
     }
 
     /// Starts a wall-clock span that records a [`TraceEvent::PhaseSpan`]
-    /// when dropped. Disabled tracers return an inert guard (no clock
-    /// read, no allocation).
+    /// when dropped (and, when a request context is attached, a span in
+    /// the request's tree). Disabled tracers return an inert guard (no
+    /// clock read, no allocation).
     pub fn span(&self, phase: &'static str) -> Span<'a> {
         Span {
             sink: self.sink,
             phase,
             start: self.sink.enabled().then(Instant::now),
+            req: self.ctx.map(|c| (c, c.open(phase))),
         }
     }
 
@@ -442,6 +495,7 @@ pub struct Span<'a> {
     sink: &'a dyn TraceSink,
     phase: &'static str,
     start: Option<Instant>,
+    req: Option<(&'a request::RequestContext, request::OpenSpan)>,
 }
 
 impl Span<'_> {
@@ -456,6 +510,9 @@ impl Drop for Span<'_> {
                 phase: self.phase,
                 seconds: start.elapsed().as_secs_f64(),
             });
+        }
+        if let Some((ctx, open)) = self.req.take() {
+            ctx.close(open);
         }
     }
 }

@@ -1,0 +1,318 @@
+//! Request-scoped trace context: per-request span trees and notes.
+//!
+//! A [`RequestContext`] travels with one HTTP request through the
+//! `sgs-serve` daemon — accept, admission queue, session worker queue,
+//! `Resolver`, solver phases — collecting a tree of wall-clock spans
+//! relative to a single request epoch. When the request completes, the
+//! server calls [`RequestContext::finish`] to freeze it into an immutable
+//! [`RequestTrace`], which the ring-buffer sink retains and the Chrome
+//! exporter renders as a timeline.
+//!
+//! Two recording styles coexist:
+//!
+//! - *Open/close* ([`RequestContext::open`] / [`RequestContext::close`]):
+//!   establishes the span as the current parent, so spans recorded while
+//!   it is open — including from another thread, as long as the request's
+//!   handling is serialised (the daemon's rendezvous reply channel
+//!   guarantees this) — nest under it.
+//! - *Post-hoc* ([`RequestContext::record_span`]): records an already
+//!   finished interval (queue waits, socket reads/writes) under the
+//!   current parent without changing it.
+//!
+//! Memory is bounded: at most [`MAX_SPANS`] spans and [`MAX_NOTES`] notes
+//! are retained per request; overflow is counted, not stored.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Maximum spans retained per request; further spans are counted as
+/// dropped. Generous for the daemon's span tree (a handful of transport
+/// spans plus one span per solver phase and inner iteration).
+pub const MAX_SPANS: usize = 4096;
+
+/// Maximum notes retained per request.
+pub const MAX_NOTES: usize = 256;
+
+/// Span name used for time spent in the admission (accept) queue.
+pub const SPAN_ADMISSION_WAIT: &str = "admission_wait";
+
+/// Span name used for time spent in a session worker's job queue.
+pub const SPAN_SESSION_WAIT: &str = "session_wait";
+
+/// One completed span in a request's tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span id, unique within the request (1-based; 0 is the root).
+    pub id: u32,
+    /// Parent span id (0 = the implicit request root).
+    pub parent: u32,
+    /// Static span name (`"read"`, `"handle"`, `"auglag"`, ...).
+    pub name: &'static str,
+    /// Start offset from the request epoch, in microseconds.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// One named counter value attached to a request (no timestamp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoteRecord {
+    /// Counter name.
+    pub name: &'static str,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// Handle returned by [`RequestContext::open`]; pass it back to
+/// [`RequestContext::close`] to end the span.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenSpan {
+    id: u32,
+    parent: u32,
+    name: &'static str,
+    start: Instant,
+}
+
+/// Mutable per-request trace state threaded through the daemon.
+#[derive(Debug)]
+pub struct RequestContext {
+    request_id: u64,
+    epoch: Instant,
+    next_span: AtomicU32,
+    current_parent: AtomicU32,
+    spans: Mutex<Vec<SpanRecord>>,
+    notes: Mutex<Vec<NoteRecord>>,
+    dropped_spans: AtomicU32,
+}
+
+impl RequestContext {
+    /// A fresh context for request `request_id` with epoch *now*.
+    pub fn new(request_id: u64) -> Self {
+        Self::with_epoch(request_id, Instant::now())
+    }
+
+    /// A fresh context whose time zero is `epoch` (e.g. the instant the
+    /// connection was accepted, so admission-queue wait is attributable).
+    pub fn with_epoch(request_id: u64, epoch: Instant) -> Self {
+        RequestContext {
+            request_id,
+            epoch,
+            next_span: AtomicU32::new(1),
+            current_parent: AtomicU32::new(0),
+            spans: Mutex::new(Vec::new()),
+            notes: Mutex::new(Vec::new()),
+            dropped_spans: AtomicU32::new(0),
+        }
+    }
+
+    /// The daemon-unique request id this context belongs to.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// The request's time zero.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    fn offset_us(&self, t: Instant) -> u64 {
+        t.checked_duration_since(self.epoch)
+            .map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+    }
+
+    fn push_span(&self, record: SpanRecord) {
+        let mut spans = self.spans.lock().unwrap();
+        if spans.len() < MAX_SPANS {
+            spans.push(record);
+        } else {
+            self.dropped_spans.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Opens a span starting now and makes it the current parent; spans
+    /// recorded until the matching [`close`](Self::close) nest under it.
+    pub fn open(&self, name: &'static str) -> OpenSpan {
+        let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = self.current_parent.swap(id, Ordering::Relaxed);
+        OpenSpan {
+            id,
+            parent,
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Closes a span opened with [`open`](Self::open), restoring its
+    /// parent as the current parent and recording the elapsed interval.
+    pub fn close(&self, span: OpenSpan) {
+        let end = Instant::now();
+        self.current_parent.store(span.parent, Ordering::Relaxed);
+        self.push_span(SpanRecord {
+            id: span.id,
+            parent: span.parent,
+            name: span.name,
+            start_us: self.offset_us(span.start),
+            dur_us: u64::try_from(
+                end.checked_duration_since(span.start)
+                    .unwrap_or_default()
+                    .as_micros(),
+            )
+            .unwrap_or(u64::MAX),
+        });
+    }
+
+    /// Records an already-finished interval under the current parent
+    /// (does not change the parent). Negative or inverted intervals
+    /// clamp to zero duration.
+    pub fn record_span(&self, name: &'static str, start: Instant, end: Instant) {
+        let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = self.current_parent.load(Ordering::Relaxed);
+        let start_us = self.offset_us(start);
+        let end_us = self.offset_us(end);
+        self.push_span(SpanRecord {
+            id,
+            parent,
+            name,
+            start_us,
+            dur_us: end_us.saturating_sub(start_us),
+        });
+    }
+
+    /// Attaches a named counter value to the request (bounded; overflow
+    /// past [`MAX_NOTES`] is silently discarded).
+    pub fn note(&self, name: &'static str, value: u64) {
+        let mut notes = self.notes.lock().unwrap();
+        if notes.len() < MAX_NOTES {
+            notes.push(NoteRecord { name, value });
+        }
+    }
+
+    /// Freezes the context into an immutable [`RequestTrace`].
+    ///
+    /// Drains the recorded spans/notes, stamps the request outcome, and
+    /// derives the split queue-wait accounting by summing spans named
+    /// [`SPAN_ADMISSION_WAIT`] and [`SPAN_SESSION_WAIT`]. `total_seconds`
+    /// is measured from the epoch to *now*.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn finish(
+        &self,
+        route: &str,
+        status: u16,
+        code: &str,
+        session: &str,
+        session_hit: bool,
+    ) -> RequestTrace {
+        let total_us = self.offset_us(Instant::now());
+        let spans = std::mem::take(&mut *self.spans.lock().unwrap());
+        let notes = std::mem::take(&mut *self.notes.lock().unwrap());
+        let sum_us =
+            |n: &str| -> u64 { spans.iter().filter(|s| s.name == n).map(|s| s.dur_us).sum() };
+        RequestTrace {
+            request_id: self.request_id,
+            route: route.to_string(),
+            status,
+            code: code.to_string(),
+            session: session.to_string(),
+            session_hit,
+            admission_wait_seconds: sum_us(SPAN_ADMISSION_WAIT) as f64 / 1e6,
+            session_wait_seconds: sum_us(SPAN_SESSION_WAIT) as f64 / 1e6,
+            total_seconds: total_us as f64 / 1e6,
+            dropped_spans: self.dropped_spans.load(Ordering::Relaxed),
+            spans,
+            notes,
+        }
+    }
+}
+
+/// An immutable, completed request trace: the outcome plus the span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    /// Daemon-unique request id.
+    pub request_id: u64,
+    /// Request route (the HTTP path, or `"admission"` for connections
+    /// rejected before parsing).
+    pub route: String,
+    /// HTTP status code of the response.
+    pub status: u16,
+    /// Stable error code for non-2xx responses, empty otherwise.
+    pub code: String,
+    /// Session key (hex) the request resolved to, empty when sessionless.
+    pub session: String,
+    /// Whether a warm session served the request.
+    pub session_hit: bool,
+    /// Seconds spent in the admission (accept) queue.
+    pub admission_wait_seconds: f64,
+    /// Seconds spent in the session worker's job queue.
+    pub session_wait_seconds: f64,
+    /// Wall-clock seconds from the request epoch to completion.
+    pub total_seconds: f64,
+    /// Spans that overflowed [`MAX_SPANS`] and were dropped.
+    pub dropped_spans: u32,
+    /// The recorded span tree (ids are request-local; parent 0 is the
+    /// implicit request root spanning `[0, total_seconds]`).
+    pub spans: Vec<SpanRecord>,
+    /// Counter notes attached during handling.
+    pub notes: Vec<NoteRecord>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn open_close_nest_under_parent() {
+        let ctx = RequestContext::new(7);
+        let outer = ctx.open("handle");
+        let inner = ctx.open("solve");
+        ctx.record_span("leaf", Instant::now(), Instant::now());
+        ctx.close(inner);
+        ctx.close(outer);
+        let t = ctx.finish("/solve", 200, "", "abc", true);
+        assert_eq!(t.request_id, 7);
+        assert_eq!(t.spans.len(), 3);
+        let handle = t.spans.iter().find(|s| s.name == "handle").unwrap();
+        let solve = t.spans.iter().find(|s| s.name == "solve").unwrap();
+        let leaf = t.spans.iter().find(|s| s.name == "leaf").unwrap();
+        assert_eq!(handle.parent, 0);
+        assert_eq!(solve.parent, handle.id);
+        assert_eq!(leaf.parent, solve.id);
+    }
+
+    #[test]
+    fn queue_waits_are_summed_per_kind() {
+        let epoch = Instant::now();
+        let ctx = RequestContext::with_epoch(3, epoch);
+        let mid = epoch + Duration::from_millis(10);
+        let later = epoch + Duration::from_millis(25);
+        ctx.record_span(SPAN_ADMISSION_WAIT, epoch, mid);
+        ctx.record_span(SPAN_SESSION_WAIT, mid, later);
+        let t = ctx.finish("/solve", 200, "", "", false);
+        assert!((t.admission_wait_seconds - 0.010).abs() < 1e-6);
+        assert!((t.session_wait_seconds - 0.015).abs() < 1e-6);
+    }
+
+    #[test]
+    fn span_cap_counts_overflow() {
+        let ctx = RequestContext::new(1);
+        let now = Instant::now();
+        for _ in 0..(MAX_SPANS + 5) {
+            ctx.record_span("x", now, now);
+        }
+        let t = ctx.finish("/solve", 200, "", "", false);
+        assert_eq!(t.spans.len(), MAX_SPANS);
+        assert_eq!(t.dropped_spans, 5);
+    }
+
+    #[test]
+    fn inverted_intervals_clamp_to_zero() {
+        let epoch = Instant::now();
+        let ctx = RequestContext::with_epoch(2, epoch + Duration::from_secs(1));
+        // Both instants precede the epoch: offsets clamp to 0, dur to 0.
+        ctx.record_span("pre", epoch, epoch);
+        let t = ctx.finish("/x", 200, "", "", false);
+        assert_eq!(t.spans[0].start_us, 0);
+        assert_eq!(t.spans[0].dur_us, 0);
+    }
+}

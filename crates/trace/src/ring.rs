@@ -1,0 +1,157 @@
+//! Bounded ring buffer of completed request traces (drop-oldest).
+//!
+//! [`RingSink`] retains the last `capacity` [`RequestTrace`]s pushed into
+//! it. The write path is wait-free at the coordination level: a single
+//! atomic fetch-add assigns each push a global sequence number, which maps
+//! to a fixed slot (`seq % capacity`); writers never contend on a shared
+//! lock, only on the per-slot mutex guarding that one slot's contents.
+//! Memory is bounded by construction — the slot array never grows.
+//!
+//! The sink also implements [`TraceSink`] (always enabled) by buffering
+//! solver events in a bounded [`MemorySink`], so it can stand in for a
+//! JSONL sink on a solve. The acceptance contract — solves with a
+//! `RingSink` attached stay bit-identical to [`crate::NopSink`] runs — is
+//! pinned by `sgs-core`'s `ring_bitident` test.
+
+use crate::request::RequestTrace;
+use crate::{MemorySink, TraceEvent, TraceSink};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+type Slot = Mutex<Option<(u64, Arc<RequestTrace>)>>;
+
+/// Fixed-capacity, drop-oldest store of the most recent request traces.
+#[derive(Debug)]
+pub struct RingSink {
+    slots: Vec<Slot>,
+    cursor: AtomicU64,
+    events: MemorySink,
+}
+
+impl RingSink {
+    /// A ring retaining the last `capacity` traces (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            events: MemorySink::with_capacity(4096),
+        }
+    }
+
+    /// Maximum number of traces retained.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total traces ever pushed (monotonic; exceeds `capacity` once the
+    /// ring wraps).
+    pub fn pushed(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Number of traces currently retained (never exceeds `capacity`).
+    pub fn len(&self) -> usize {
+        let pushed = self.pushed();
+        let cap = self.capacity() as u64;
+        usize::try_from(pushed.min(cap)).unwrap_or(usize::MAX)
+    }
+
+    /// Whether no trace has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.pushed() == 0
+    }
+
+    /// Stores a completed trace, overwriting the oldest when full.
+    /// Returns the trace's global sequence number (0-based).
+    pub fn push(&self, trace: RequestTrace) -> u64 {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let idx = usize::try_from(seq % self.slots.len() as u64).unwrap_or(0);
+        let mut slot = self.slots[idx].lock().unwrap();
+        // A slower writer must never clobber a newer generation that
+        // lapped it: only write forward in sequence.
+        if slot.as_ref().is_none_or(|(s, _)| *s < seq) {
+            *slot = Some((seq, Arc::new(trace)));
+        }
+        seq
+    }
+
+    /// The retained traces, newest first.
+    pub fn recent(&self) -> Vec<Arc<RequestTrace>> {
+        let mut entries: Vec<(u64, Arc<RequestTrace>)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap().clone())
+            .collect();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.0));
+        entries.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Looks up a retained trace by its request id.
+    pub fn get(&self, request_id: u64) -> Option<Arc<RequestTrace>> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap().clone())
+            .find(|(_, t)| t.request_id == request_id)
+            .map(|(_, t)| t)
+    }
+
+    /// Solver events buffered through the [`TraceSink`] face, oldest
+    /// first (bounded; the oldest are evicted past the buffer capacity).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.events()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: &TraceEvent) {
+        self.events.record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64) -> RequestTrace {
+        RequestTrace {
+            request_id: id,
+            route: "/solve".to_string(),
+            status: 200,
+            code: String::new(),
+            session: String::new(),
+            session_hit: false,
+            admission_wait_seconds: 0.0,
+            session_wait_seconds: 0.0,
+            total_seconds: 0.0,
+            dropped_spans: 0,
+            spans: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn drop_oldest_keeps_newest_in_order() {
+        let ring = RingSink::new(3);
+        for i in 0..7 {
+            ring.push(trace(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.pushed(), 7);
+        let ids: Vec<u64> = ring.recent().iter().map(|t| t.request_id).collect();
+        assert_eq!(ids, vec![6, 5, 4]);
+        assert!(ring.get(3).is_none());
+        assert_eq!(ring.get(5).unwrap().request_id, 5);
+    }
+
+    #[test]
+    fn sink_face_buffers_events() {
+        let ring = RingSink::new(2);
+        assert!(ring.enabled());
+        ring.record(&TraceEvent::Counter {
+            name: "n",
+            value: 1,
+        });
+        assert_eq!(ring.events().len(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Bounded-memory and ordering contract of the request-trace ring sink.
+
+use sgs_trace::request::RequestTrace;
+use sgs_trace::ring::RingSink;
+use std::sync::Arc;
+
+fn trace(id: u64) -> RequestTrace {
+    RequestTrace {
+        request_id: id,
+        route: "/solve".to_string(),
+        status: 200,
+        code: String::new(),
+        session: String::new(),
+        session_hit: false,
+        admission_wait_seconds: 0.0,
+        session_wait_seconds: 0.0,
+        total_seconds: 0.0,
+        dropped_spans: 0,
+        spans: Vec::new(),
+        notes: Vec::new(),
+    }
+}
+
+#[test]
+fn capacity_never_exceeded_under_concurrent_writers() {
+    const CAP: usize = 8;
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 500;
+    let ring = Arc::new(RingSink::new(CAP));
+
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    ring.push(trace(w as u64 * PER_WRITER + i));
+                    // The bound must hold at every instant, not just at
+                    // the end.
+                    assert!(ring.len() <= CAP);
+                    assert!(ring.recent().len() <= CAP);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert_eq!(ring.pushed(), (WRITERS as u64) * PER_WRITER);
+    assert_eq!(ring.len(), CAP);
+    let survivors = ring.recent();
+    assert_eq!(survivors.len(), CAP);
+    // Every survivor is retrievable by id.
+    for t in &survivors {
+        assert_eq!(ring.get(t.request_id).unwrap().request_id, t.request_id);
+    }
+}
+
+#[test]
+fn drop_oldest_ordering_is_newest_first() {
+    let ring = RingSink::new(4);
+    for i in 0..10 {
+        assert_eq!(ring.push(trace(i)), i);
+    }
+    let ids: Vec<u64> = ring.recent().iter().map(|t| t.request_id).collect();
+    assert_eq!(ids, vec![9, 8, 7, 6]);
+    // Evicted traces are gone; retained ones resolve by id.
+    assert!(ring.get(5).is_none());
+    assert!(ring.get(6).is_some());
+}
+
+#[test]
+fn zero_capacity_clamps_to_one() {
+    let ring = RingSink::new(0);
+    assert_eq!(ring.capacity(), 1);
+    ring.push(trace(1));
+    ring.push(trace(2));
+    assert_eq!(ring.len(), 1);
+    assert_eq!(ring.recent()[0].request_id, 2);
+}
